@@ -1,0 +1,48 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Times reported are *virtual* nanoseconds from the psim machine model
+// (DESIGN.md §2): the host has one physical core, so parallel scaling is
+// modeled, not measured. Shapes — speedups, crossovers, overhead bands —
+// are the reproduction target, not absolute times.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/lulesh/lulesh.h"
+#include "src/apps/minibude/minibude.h"
+#include "src/support/table.h"
+
+namespace parad::bench {
+
+inline void header(const char* id, const char* what, const char* expect) {
+  std::printf("==================================================================\n");
+  std::printf("%s: %s\n", id, what);
+  std::printf("paper shape to reproduce: %s\n", expect);
+  std::printf("(times are virtual ns on the modeled 2x32-core machine)\n");
+  std::printf("==================================================================\n");
+}
+
+struct LuleshVariant {
+  const char* name;
+  apps::lulesh::Config cfg;
+  bool ompOpt = true;
+  bool cotape = false;
+};
+
+/// Builds + prepares + differentiates one LULESH variant, returning the
+/// ready module and gradient info (empty gradient name for cotape).
+struct PreparedLulesh {
+  ir::Module mod;
+  core::GradInfo gi;
+};
+
+inline PreparedLulesh prepareLulesh(const LuleshVariant& v) {
+  PreparedLulesh out;
+  out.mod = apps::lulesh::build(v.cfg);
+  apps::lulesh::prepare(out.mod, v.ompOpt);
+  if (!v.cotape) out.gi = apps::lulesh::buildGradient(out.mod);
+  return out;
+}
+
+}  // namespace parad::bench

@@ -1,0 +1,121 @@
+// Figure 8 reproduction: message-passing LULESH on rank counts {1, 8, 27, 64}
+// (perfect cubes, as LULESH requires).
+//   Top row:    runtime of forward and gradient, fixed total problem size.
+//   Middle row: strong-scaling speedup T1/TN.
+//   Bottom row: weak scaling (fixed per-rank block).
+// Series: Enzyme-style C++ MPI, jlite ("Julia") MPI, RAJA MPI, and the
+// cotape (CoDiPack-style) baseline.
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+using namespace parad;
+using namespace parad::bench;
+using apps::lulesh::Config;
+
+namespace {
+
+struct Series {
+  const char* name;
+  Config::Par par;
+  bool jlite;
+  bool cotape;
+};
+
+const Series kSeries[] = {
+    {"Enzyme C++ MPI", Config::Par::Serial, false, false},
+    {"Enzyme jlite MPI", Config::Par::Serial, true, false},
+    {"Enzyme RAJA MPI", Config::Par::Raja, false, false},
+    {"CoTape C++ MPI", Config::Par::Serial, false, true},
+};
+
+Config mkCfg(const Series& s, int rside, int blockS, int nsteps) {
+  Config cfg;
+  cfg.par = s.par;
+  cfg.mp = true;
+  cfg.jliteMem = s.jlite;
+  cfg.rside = rside;
+  cfg.s = blockS;
+  cfg.nsteps = nsteps;
+  return cfg;
+}
+
+struct Point {
+  double fwd = 0, grad = 0;
+};
+
+Point measure(const Series& s, int rside, int blockS, int nsteps) {
+  Config cfg = mkCfg(s, rside, blockS, nsteps);
+  LuleshVariant v{s.name, cfg, true, s.cotape};
+  PreparedLulesh pl = prepareLulesh(v);
+  Point pt;
+  // Forward time: the plain interpreter primal (the baseline both tools are
+  // measured against, as in the paper).
+  pt.fwd = apps::lulesh::runPrimal(pl.mod, cfg, 1).makespan;
+  if (s.cotape)
+    pt.grad = apps::lulesh::runCotapeGradient(pl.mod, cfg).makespan;
+  else
+    pt.grad = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, 1).makespan;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const int kSteps = 10;
+  // Fixed total size for the runtime/strong-scaling rows: 24^3 elements
+  // (the paper's 1:192 ... 64:48 rank:block ladder, scaled to the
+  // interpreter).
+  const int kRanks[] = {1, 8, 27, 64};
+  const int kRsides[] = {1, 2, 3, 4};
+  const int kBlocks[] = {24, 12, 8, 6};
+
+  header("Fig. 8 (top)", "LULESH message passing: runtime, 10 iterations",
+         "gradient tracks primal; CoTape gradient is far slower at 1 rank");
+  Table top({"impl", "ranks", "block", "forward(ns)", "gradient(ns)",
+             "overhead"});
+  // Cache per-series 1-rank numbers for the speedup row.
+  double fwd1[4] = {0, 0, 0, 0}, grad1[4] = {0, 0, 0, 0};
+  double fwdN[4][4], gradN[4][4];
+  for (int si = 0; si < 4; ++si) {
+    for (int ri = 0; ri < 4; ++ri) {
+      Point pt = measure(kSeries[si], kRsides[ri], kBlocks[ri], kSteps);
+      fwdN[si][ri] = pt.fwd;
+      gradN[si][ri] = pt.grad;
+      if (ri == 0) {
+        fwd1[si] = pt.fwd;
+        grad1[si] = pt.grad;
+      }
+      top.addRow({kSeries[si].name, std::to_string(kRanks[ri]),
+                  std::to_string(kBlocks[ri]), Table::num(pt.fwd, 0),
+                  Table::num(pt.grad, 0), Table::num(pt.grad / pt.fwd, 2)});
+    }
+  }
+  top.print();
+
+  header("Fig. 8 (middle)", "strong-scaling speedup T1/TN, fixed total size",
+         "derivative scales as well as (or better than) the primal; knee "
+         "past 27 ranks (socket crossing); CoTape's apparent scaling comes "
+         "from amortizing its serial overhead");
+  Table mid({"impl", "ranks", "fwd speedup", "grad speedup"});
+  for (int si = 0; si < 4; ++si)
+    for (int ri = 0; ri < 4; ++ri)
+      mid.addRow({kSeries[si].name, std::to_string(kRanks[ri]),
+                  Table::num(fwd1[si] / fwdN[si][ri], 2),
+                  Table::num(grad1[si] / gradN[si][ri], 2)});
+  mid.print();
+
+  header("Fig. 8 (bottom)", "weak scaling, fixed 6^3 block per rank",
+         "near-flat time growth dominated by halo+allreduce; gradient "
+         "parallels primal");
+  Table bot({"impl", "ranks", "forward(ns)", "gradient(ns)", "grad/fwd"});
+  for (const Series& s : kSeries) {
+    for (int ri = 0; ri < 4; ++ri) {
+      Point pt = measure(s, kRsides[ri], 6, kSteps);
+      bot.addRow({s.name, std::to_string(kRanks[ri]), Table::num(pt.fwd, 0),
+                  Table::num(pt.grad, 0), Table::num(pt.grad / pt.fwd, 2)});
+    }
+  }
+  bot.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Micro-benchmarks (google-benchmark): per-op AD machinery costs in *wall*
+// time — gradient generation, pass pipeline, and interpreter throughput.
+// These complement the figure harnesses (which report virtual time).
+#include <benchmark/benchmark.h>
+
+#include "src/core/gradient.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/passes/passes.h"
+#include "src/psim/sim.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+ir::Module chainModule(int n) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto len = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), len, [&](Value i) {
+    auto v = b.load(x, i);
+    for (int k = 0; k < n; ++k) v = b.fmul(v, b.sin_(v));
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, v));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  return mod;
+}
+
+void BM_GradientGeneration(benchmark::State& state) {
+  ir::Module mod = chainModule(static_cast<int>(state.range(0)));
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  for (auto _ : state) {
+    ir::Module m = mod;
+    benchmark::DoNotOptimize(core::generateGradient(m, "f", cfg));
+  }
+}
+BENCHMARK(BM_GradientGeneration)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  ir::Module mod = chainModule(8);
+  psim::Machine m;
+  psim::RtPtr p = m.mem().alloc(Type::F64, 1024, 0);
+  for (i64 k = 0; k < 1024; ++k) m.mem().atF(p, k) = 0.5;
+  for (auto _ : state) {
+    m.run({1, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("f"), {interp::RtVal::P(p), interp::RtVal::I(1024)}, env);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 8);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_PreparePipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Module mod = chainModule(16);
+    passes::prepareForAD(mod, "f");
+    benchmark::DoNotOptimize(mod.get("f").numValues());
+  }
+}
+BENCHMARK(BM_PreparePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

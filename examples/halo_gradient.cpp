@@ -1,0 +1,147 @@
+// Distributed differentiation: a 1-D diffusion solver decomposed across 4
+// message-passing ranks with nonblocking halo exchange (the Fig. 5
+// isend/irecv/wait pattern), differentiated end-to-end. The adjoint runs the
+// communication *reversed* — receives become sends of derivatives.
+//
+// Verifies the paper's §VII protocol: seed every output shadow with 1; the
+// summed input shadows must match a finite-difference of the global
+// objective under a uniform perturbation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/gradient.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/psim/sim.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// step(u: local slice with 2 ghost slots, n, steps): diffuse with halo
+// exchange; objective = sum of u^2 written into out.
+ir::Module buildSolver() {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "diffuse",
+                        {Type::PtrF64, Type::I64, Type::I64, Type::PtrF64});
+  Value u = b.param(0);  // n interior values
+  Value n = b.param(1);
+  Value steps = b.param(2);
+  Value out = b.param(3);
+  Value c0 = b.constI(0), c1 = b.constI(1);
+  Value rank = b.mpRank();
+  Value size = b.mpSize();
+  Value ghostL = b.alloc(c1, Type::F64);
+  Value ghostR = b.alloc(c1, Type::F64);
+  Value un = b.alloc(n, Type::F64);
+  b.emitFor(c0, steps, [&](Value) {
+    // Exchange boundary values with left/right neighbours (non-periodic).
+    b.memset0(ghostL, c1);
+    b.memset0(ghostR, c1);
+    Value hasL = b.igt(rank, c0);
+    Value hasR = b.ilt(rank, b.isub(size, c1));
+    b.emitIf(hasL, [&] {
+      Value rr = b.mpIrecv(ghostL, c1, b.isub(rank, c1), b.constI(1));
+      Value sr = b.mpIsend(u, c1, b.isub(rank, c1), b.constI(2));
+      b.mpWait(rr);
+      b.mpWait(sr);
+    });
+    b.emitIf(hasR, [&] {
+      Value lastPtr = b.ptrOffset(u, b.isub(n, c1));
+      Value rr = b.mpIrecv(ghostR, c1, b.iadd(rank, c1), b.constI(2));
+      Value sr = b.mpIsend(lastPtr, c1, b.iadd(rank, c1), b.constI(1));
+      b.mpWait(rr);
+      b.mpWait(sr);
+    });
+    b.emitFor(c0, n, [&](Value i) {
+      Value isFirst = b.ieq(i, c0);
+      Value isLast = b.ieq(i, b.isub(n, c1));
+      Value li = b.imax_(b.isub(i, c1), c0);
+      Value ri = b.imin_(b.iadd(i, c1), b.isub(n, c1));
+      Value left = b.select(isFirst, b.load(ghostL, c0), b.load(u, li));
+      Value right = b.select(isLast, b.load(ghostR, c0), b.load(u, ri));
+      Value mid = b.load(u, i);
+      Value lap = b.fadd(left, b.fsub(right, b.fmul(b.constF(2), mid)));
+      b.store(un, i, b.fadd(mid, b.fmul(b.constF(0.25), lap)));
+    });
+    b.emitFor(c0, n, [&](Value i) { b.store(u, i, b.load(un, i)); });
+  });
+  b.emitFor(c0, n, [&](Value i) {
+    Value v = b.load(u, i);
+    b.store(out, i, b.fmul(v, v));
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+}  // namespace
+
+int main() {
+  const int R = 4;
+  const i64 N = 16, STEPS = 6;
+  ir::Module mod = buildSolver();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false, false, true};
+  core::GradInfo gi = core::generateGradient(mod, "diffuse", cfg);
+
+  auto runAll = [&](double delta, std::vector<double>* grad) {
+    psim::Machine m;
+    std::vector<psim::RtPtr> us(R), outs(R), dus(R), douts(R);
+    for (int r = 0; r < R; ++r) {
+      us[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+      outs[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+      for (i64 k = 0; k < N; ++k)
+        m.mem().atF(us[(std::size_t)r], k) =
+            std::sin(0.3 * double(r * N + k)) + 1.2 + delta;
+      if (grad) {
+        dus[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+        douts[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+        for (i64 k = 0; k < N; ++k)
+          m.mem().atF(douts[(std::size_t)r], k) = 1.0;
+      }
+    }
+    double makespan = m.run({R, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      int r = env.rank;
+      std::vector<interp::RtVal> args{
+          interp::RtVal::P(us[(std::size_t)r]), interp::RtVal::I(N),
+          interp::RtVal::I(STEPS), interp::RtVal::P(outs[(std::size_t)r])};
+      if (grad) {
+        args.push_back(interp::RtVal::P(dus[(std::size_t)r]));
+        args.push_back(interp::RtVal::P(douts[(std::size_t)r]));
+      }
+      it.run(mod.get(grad ? gi.name : "diffuse"), args, env);
+    });
+    double obj = 0;
+    for (int r = 0; r < R; ++r)
+      for (i64 k = 0; k < N; ++k) obj += m.mem().atF(outs[(std::size_t)r], k);
+    if (grad)
+      for (int r = 0; r < R; ++r)
+        for (i64 k = 0; k < N; ++k)
+          grad->push_back(m.mem().atF(dus[(std::size_t)r], k));
+    std::printf("  %s run: objective %.8f, makespan %.0f ns\n",
+                grad ? "gradient" : "forward ", obj, makespan);
+    return obj;
+  };
+
+  std::printf("4-rank distributed diffusion, %lld cells/rank, %lld steps\n",
+              (long long)N, (long long)STEPS);
+  std::vector<double> g;
+  runAll(0.0, &g);
+  double proj = 0;
+  for (double v : g) proj += v;
+
+  const double h = 1e-6;
+  double op = runAll(h, nullptr), om = runAll(-h, nullptr);
+  double fd = (op - om) / (2 * h);
+  std::printf("fast-mode check (paper SSVII): sum of shadows = %.8f, finite "
+              "difference = %.8f, rel err %.2e\n",
+              proj, fd, std::abs(proj - fd) / std::abs(fd));
+  return 0;
+}

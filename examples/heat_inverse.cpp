@@ -1,0 +1,134 @@
+// Inverse problem with a shared-memory parallel solver (the gradient-based
+// optimization use case from the paper's introduction).
+//
+// Forward model: explicit 1-D heat equation, OpenMP-dialect parallel loops
+// (lowered to fork/workshare before differentiation). Objective: squared
+// misfit against a target temperature profile. We differentiate the whole
+// solver with the Enzyme-style engine and run gradient descent
+// to recover the initial condition.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/gradient.h"
+#include "src/frontends/omp/omp.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/passes/passes.h"
+#include "src/psim/sim.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// Builds: loss(u0, target, n, steps) -> f64
+ir::Module buildHeatLoss() {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "loss",
+                        {Type::PtrF64, Type::PtrF64, Type::I64, Type::I64},
+                        Type::F64);
+  Value u0 = b.param(0), target = b.param(1), n = b.param(2),
+        steps = b.param(3);
+  Value c0 = b.constI(0), c1 = b.constI(1);
+  Value u = b.alloc(n, Type::F64);
+  Value un = b.alloc(n, Type::F64);
+  b.emitFor(c0, n, [&](Value i) { b.store(u, i, b.load(u0, i)); });
+  b.emitFor(c0, steps, [&](Value) {
+    omp::parallelFor(b, c1, b.isub(n, c1), [&](Value i) {
+      Value left = b.load(u, b.isub(i, c1));
+      Value mid = b.load(u, i);
+      Value right = b.load(u, b.iadd(i, c1));
+      Value lap = b.fadd(left, b.fsub(right, b.fmul(b.constF(2), mid)));
+      b.store(un, i, b.fadd(mid, b.fmul(b.constF(0.2), lap)));
+    });
+    omp::parallelFor(b, c1, b.isub(n, c1),
+                     [&](Value i) { b.store(u, i, b.load(un, i)); });
+  });
+  Value acc = b.alloc(c1, Type::F64);
+  b.store(acc, c0, b.constF(0));
+  b.emitFor(c0, n, [&](Value i) {
+    Value d = b.fsub(b.load(u, i), b.load(target, i));
+    Value cur = b.load(acc, c0);
+    b.store(acc, c0, b.fadd(cur, b.fmul(d, d)));
+  });
+  b.ret(b.load(acc, c0));
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+}  // namespace
+
+int main() {
+  const i64 N = 64, STEPS = 30;
+  ir::Module mod = buildHeatLoss();
+  passes::prepareForAD(mod, "loss");  // lower omp dialect, optimize
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false, false, false};
+  core::GradInfo gi = core::generateGradient(mod, "loss", cfg);
+
+  // Ground truth initial condition and the target it produces.
+  std::vector<double> truth((std::size_t)N, 0.0);
+  for (i64 k = 0; k < N; ++k)
+    truth[(std::size_t)k] = std::exp(-0.02 * double(k - N / 2) * (k - N / 2));
+
+  psim::Machine m;
+  auto mk = [&](const std::vector<double>& init) {
+    psim::RtPtr p = m.mem().alloc(Type::F64, (i64)init.size(), 0);
+    for (std::size_t k = 0; k < init.size(); ++k)
+      m.mem().atF(p, (i64)k) = init[k];
+    return p;
+  };
+  auto u0 = mk(truth);
+  auto tgt = mk(std::vector<double>((std::size_t)N, 0.0));
+  // Produce the target field by running the same stencil natively on the
+  // ground-truth initial condition.
+  {
+    std::vector<double> u = truth, un = u;
+    for (i64 s = 0; s < STEPS; ++s) {
+      for (i64 i = 1; i < N - 1; ++i)
+        un[(std::size_t)i] =
+            u[(std::size_t)i] +
+            0.2 * (u[(std::size_t)(i - 1)] + u[(std::size_t)(i + 1)] -
+                   2 * u[(std::size_t)i]);
+      for (i64 i = 1; i < N - 1; ++i) u[(std::size_t)i] = un[(std::size_t)i];
+    }
+    for (i64 k = 0; k < N; ++k) m.mem().atF(tgt, k) = u[(std::size_t)k];
+  }
+
+  // Gradient descent from a flat initial guess.
+  std::vector<double> guess((std::size_t)N, 0.2);
+  auto gbuf = mk(std::vector<double>((std::size_t)N, 0.0));
+  std::printf("%-6s %-14s\n", "iter", "loss");
+  for (int it = 0; it <= 120; ++it) {
+    for (i64 k = 0; k < N; ++k) {
+      m.mem().atF(u0, k) = guess[(std::size_t)k];
+      m.mem().atF(gbuf, k) = 0.0;
+    }
+    double loss = 0;
+    m.run({1, 4}, [&](psim::RankEnv& env) {
+      interp::Interpreter itp(mod, m);
+      auto out = itp.run(mod.get(gi.name),
+                         {interp::RtVal::P(u0), interp::RtVal::P(tgt),
+                          interp::RtVal::I(N), interp::RtVal::I(STEPS),
+                          interp::RtVal::P(gbuf), interp::RtVal::F(1.0)},
+                         env);
+      loss = out.u.f;
+    });
+    if (it % 30 == 0) std::printf("%-6d %-14.8f\n", it, loss);
+    const double lr = 0.04;
+    for (i64 k = 0; k < N; ++k)
+      guess[(std::size_t)k] -= lr * m.mem().atF(gbuf, k);
+  }
+
+  double err = 0;
+  for (i64 k = 0; k < N; ++k)
+    err = std::max(err, std::abs(guess[(std::size_t)k] - truth[(std::size_t)k]));
+  std::printf("max |recovered - truth| after 120 iterations: %.4f\n", err);
+  std::printf("(heat smoothing loses high frequencies, so the interior "
+              "recovers while edges stay regularized)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a small parallel program in the parad IR, differentiate
+// it with the Enzyme-style engine, and run both on the virtual machine.
+//
+//   f(x) = sum_i sin(x_i) * x_i^2     (parallel loop + atomic accumulation)
+//
+// Prints the generated gradient IR (compare Figs. 3-4 of the paper) and
+// checks d f/d x_i = cos(x)x^2 + 2x sin(x).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/gradient.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/psim/sim.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+int main() {
+  // ---- 1. Build the primal program (what a compiler frontend would emit).
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  Value x = b.param(0);
+  Value n = b.param(1);
+  Value acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitParallelFor(b.constI(0), n, [&](Value i) {
+    Value v = b.load(x, i);
+    b.atomicAddF(acc, b.constI(0), b.fmul(b.sin_(v), b.fmul(v, v)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  std::printf("primal IR:\n%s\n", ir::print(mod.get("f")).c_str());
+
+  // ---- 2. Differentiate: reverse mode, x active, seeded with 1.
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradInfo gi = core::generateGradient(mod, "f", cfg);
+  std::printf("gradient IR (augmented forward + parallel reverse):\n%s\n",
+              ir::print(mod.get(gi.name)).c_str());
+
+  // ---- 3. Execute on the virtual parallel machine.
+  const i64 N = 8;
+  psim::Machine m;
+  psim::RtPtr xs = m.mem().alloc(Type::F64, N, 0);
+  psim::RtPtr dxs = m.mem().alloc(Type::F64, N, 0);
+  for (i64 k = 0; k < N; ++k) m.mem().atF(xs, k) = 0.2 + 0.1 * double(k);
+
+  double primal = 0;
+  double makespan = m.run({1, 4}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    auto out = it.run(mod.get(gi.name),
+                      {interp::RtVal::P(xs), interp::RtVal::I(N),
+                       interp::RtVal::P(dxs), interp::RtVal::F(1.0)},
+                      env);
+    primal = out.u.f;
+  });
+
+  std::printf("f(x) = %.12f   (virtual time %.0f ns on 4 modeled threads)\n",
+              primal, makespan);
+  std::printf("%-4s %-12s %-14s %-14s\n", "i", "x", "AD dx", "analytic");
+  for (i64 k = 0; k < N; ++k) {
+    double v = m.mem().atF(xs, k);
+    double expect = std::cos(v) * v * v + 2 * v * std::sin(v);
+    std::printf("%-4lld %-12.6f %-14.10f %-14.10f\n", (long long)k, v,
+                m.mem().atF(dxs, k), expect);
+  }
+  return 0;
+}

@@ -1,0 +1,604 @@
+#include "src/apps/lulesh/lulesh.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/cotape/cotape.h"
+#include "src/frontends/jlite/jlite.h"
+#include "src/frontends/omp/omp.h"
+#include "src/frontends/raja/raja.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/passes/passes.h"
+
+namespace parad::apps::lulesh {
+
+using ir::FunctionBuilder;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// Material/model constants, stored into a params array at function entry and
+// loaded inside the hot loops (mirrors LULESH reading Domain members through
+// a pointer; the OpenMPOpt-style hoisting ablation acts on these loads).
+constexpr double kGamma = 1.4;
+constexpr double kQCoef = 0.08;
+constexpr double kVCoef = 0.10;   // volume-change scale
+constexpr double kWCoef = 0.25;   // work (energy) scale
+constexpr double kCfl = 0.35;
+constexpr double kDtInit = 1e-3;
+constexpr double kDtMax = 5e-3;
+constexpr double kDtGrow = 1.1;
+constexpr int kNumParams = 6;
+
+/// Emission adapter selecting the parallel dialect, the memory dialect
+/// (plain vs. jlite boxed arrays) and the message-passing route (direct ops
+/// vs. ccall shims) for one variant.
+struct Dialect {
+  const Config& cfg;
+  FunctionBuilder& b;
+  jlite::JlBuilder jl;
+
+  Dialect(const Config& c, FunctionBuilder& fb) : cfg(c), b(fb), jl(fb) {}
+
+  Value allocField(Value n) {
+    return cfg.jliteMem ? jl.allocArray(n) : b.alloc(n, Type::F64);
+  }
+  Value get(Value a, Value i) {
+    return cfg.jliteMem ? jl.arrayRef(a, i) : b.load(a, i);
+  }
+  void set(Value a, Value i, Value v) {
+    if (cfg.jliteMem)
+      jl.arraySet(a, i, v);
+    else
+      b.store(a, i, v);
+  }
+
+  void forEach(Value lo, Value hi, const std::function<void(Value)>& body) {
+    switch (cfg.par) {
+      case Config::Par::Serial:
+        b.emitFor(lo, hi, body);
+        break;
+      case Config::Par::Omp:
+        omp::parallelFor(b, lo, hi, body);
+        break;
+      case Config::Par::Raja:
+        raja::forall<raja::omp_parallel_for_exec>(b, lo, hi, body);
+        break;
+      case Config::Par::JliteTasks:
+        jl.threadsFor(lo, hi, cfg.jlTasks, body);
+        break;
+    }
+  }
+
+  /// Minimum of item(i) over [lo, hi), in the variant's native idiom:
+  /// hand-written per-thread partials for OpenMP (exactly Fig. 7), RAJA
+  /// ReduceMin for RAJA, per-task partials for jlite, a plain loop serially.
+  Value minReduce(Value lo, Value hi, const std::function<Value(Value)>& item) {
+    Value big = b.constF(1e30);
+    switch (cfg.par) {
+      case Config::Par::Serial: {
+        Value slot = b.alloc(b.constI(1), Type::F64);
+        b.store(slot, b.constI(0), big);
+        b.emitFor(lo, hi, [&](Value i) {
+          Value cur = b.load(slot, b.constI(0));
+          b.store(slot, b.constI(0), b.fmin_(cur, item(i)));
+        });
+        return b.load(slot, b.constI(0));
+      }
+      case Config::Par::Omp: {
+        // Fig. 7: per-thread partial array, barrier, serial combine.
+        Value nt = b.numThreads();
+        Value partial = b.alloc(nt, Type::F64);
+        Value result = b.alloc(b.constI(1), Type::F64);
+        b.emitFork(b.constI(0), [&](Value tid) {
+          b.store(partial, tid, big);
+          b.emitWorkshare(lo, hi, [&](Value i) {
+            Value cur = b.load(partial, tid);
+            b.store(partial, tid, b.fmin_(cur, item(i)));
+          });
+          b.barrier();
+          b.emitIf(b.ieq(tid, b.constI(0)), [&] {
+            Value acc = b.alloc(b.constI(1), Type::F64);
+            b.store(acc, b.constI(0), big);
+            b.emitFor(b.constI(0), b.numThreads(), [&](Value t) {
+              Value cur = b.load(acc, b.constI(0));
+              b.store(acc, b.constI(0), b.fmin_(cur, b.load(partial, t)));
+            });
+            b.store(result, b.constI(0), b.load(acc, b.constI(0)));
+          });
+        });
+        return b.load(result, b.constI(0));
+      }
+      case Config::Par::Raja: {
+        raja::ReduceMin rmin(b, 1e30);
+        raja::forall<raja::omp_parallel_for_exec>(
+            b, lo, hi, [&](Value i) { rmin.min(item(i)); }, rmin);
+        return rmin.get();
+      }
+      case Config::Par::JliteTasks: {
+        Value partial = b.alloc(b.constI(cfg.jlTasks), Type::F64);
+        Value len = b.isub(hi, lo);
+        Value ntv = b.constI(cfg.jlTasks);
+        Value chunk = b.idiv(b.isub(b.iadd(len, ntv), b.constI(1)), ntv);
+        std::vector<Value> tasks;
+        for (int t = 0; t < cfg.jlTasks; ++t) {
+          Value begin = b.iadd(lo, b.imul(b.constI(t), chunk));
+          Value end = b.imin_(hi, b.iadd(begin, chunk));
+          tasks.push_back(b.spawn([&] {
+            b.store(partial, b.constI(t), big);
+            b.emitFor(begin, end, [&](Value i) {
+              Value cur = b.load(partial, b.constI(t));
+              b.store(partial, b.constI(t), b.fmin_(cur, item(i)));
+            });
+          }));
+        }
+        for (Value t : tasks) b.sync(t);
+        Value acc = b.alloc(b.constI(1), Type::F64);
+        b.store(acc, b.constI(0), big);
+        b.emitFor(b.constI(0), ntv, [&](Value t) {
+          Value cur = b.load(acc, b.constI(0));
+          b.store(acc, b.constI(0), b.fmin_(cur, b.load(partial, t)));
+        });
+        return b.load(acc, b.constI(0));
+      }
+    }
+    PARAD_UNREACHABLE("bad par kind");
+  }
+
+  // Message passing, direct or through the "MPI.jl" ccall shims.
+  Value mpRank() {
+    if (cfg.jliteMem) return jl.ccall("mpijl_rank", {}, Type::I64, {});
+    return b.mpRank();
+  }
+  void sendrecv(Value send, Value recv, Value count, Value dest, Value src,
+                Value sendTag, Value recvTag) {
+    if (cfg.jliteMem) {
+      // The shim posts irecv+isend+waits; tags must match pairwise, so use a
+      // symmetric exchange tag per axis pair (sendTag == peer's recvTag).
+      jl.ccall("mpijl_sendrecv_tags", {send, recv, count, dest, src, sendTag,
+                                       recvTag},
+               Type::Void, {send, recv});
+      return;
+    }
+    Value rr = b.mpIrecv(recv, count, src, recvTag);
+    Value sr = b.mpIsend(send, count, dest, sendTag);
+    b.mpWait(rr);
+    b.mpWait(sr);
+  }
+  void allreduceMin(Value send, Value recv, Value count) {
+    if (cfg.jliteMem) {
+      jl.ccall("mpijl_allreduce_min", {send, recv, count}, Type::Void,
+               {send, recv});
+      return;
+    }
+    b.mpAllreduce(send, recv, count, ir::ReduceKind::Min);
+  }
+};
+
+void installSendrecvTagsShim(ir::Module& mod) {
+  if (mod.has("mpijl_sendrecv_tags")) return;
+  FunctionBuilder b(mod, "mpijl_sendrecv_tags",
+                    {Type::PtrF64, Type::PtrF64, Type::I64, Type::I64,
+                     Type::I64, Type::I64, Type::I64});
+  auto rreq = b.mpIrecv(b.param(1), b.param(2), b.param(4), b.param(6));
+  auto sreq = b.mpIsend(b.param(0), b.param(2), b.param(3), b.param(5));
+  b.mpWait(rreq);
+  b.mpWait(sreq);
+  b.ret();
+  b.finish();
+}
+
+}  // namespace
+
+ir::Module build(const Config& cfg) {
+  ir::Module mod;
+  if (cfg.jliteMem) {
+    jlite::installMpiShims(mod);
+    installSendrecvTagsShim(mod);
+  }
+  FunctionBuilder b(mod, "lulesh",
+                    {Type::PtrF64, Type::PtrF64, Type::PtrF64, Type::I64,
+                     Type::I64, Type::I64});
+  Dialect d(cfg, b);
+
+  Value eArg = b.param(0), vArg = b.param(1), uArg = b.param(2);
+  Value s = b.param(3), nsteps = b.param(4), rside = b.param(5);
+
+  Value c0 = b.constI(0), c1 = b.constI(1);
+  Value np = b.iadd(s, c1);
+  Value ne = b.imul(s, b.imul(s, s));
+  Value nn = b.imul(np, b.imul(np, np));
+  Value faceN = b.imul(s, s);
+
+  // jlite variant: copy the plain argument buffers into GC'd boxed arrays
+  // (and back at the end), as a Julia port would hold Vector{Float64}.
+  Value e = eArg, v = vArg, u = uArg;
+  if (cfg.jliteMem) {
+    e = d.allocField(ne);
+    v = d.allocField(ne);
+    u = d.allocField(nn);
+    b.emitFor(c0, ne, [&](Value i) {
+      d.set(e, i, b.load(eArg, i));
+      d.set(v, i, b.load(vArg, i));
+    });
+    b.emitFor(c0, nn, [&](Value i) { d.set(u, i, b.load(uArg, i)); });
+  }
+
+  // Model parameters: stored once at entry, loaded inside the hot loops.
+  // The jlite variant keeps them in a GC'd boxed array like a Julia struct
+  // field; the resulting may-alias data pointer defeats hoisting and forces
+  // per-iteration reverse caching (the §VIII Julia-overhead mechanism).
+  Value params = d.allocField(b.constI(kNumParams));
+  d.set(params, b.constI(0), b.constF(kGamma - 1.0));
+  d.set(params, b.constI(1), b.constF(kQCoef));
+  d.set(params, b.constI(2), b.constF(kVCoef));
+  d.set(params, b.constI(3), b.constF(kWCoef));
+  d.set(params, b.constI(4), b.constF(kCfl));
+  d.set(params, b.constI(5), b.constF(kGamma));
+
+  Value fe = d.allocField(ne);   // per-element force magnitude (p + q)
+  Value fn = d.allocField(nn);   // per-node gathered force
+  Value dtSlot = b.alloc(c1, Type::F64);
+  b.store(dtSlot, c0, b.constF(kDtInit));
+
+  // Rank topology (mp): rank -> (rx, ry, rz) on an rside^3 cube.
+  Value rank = cfg.mp ? d.mpRank() : c0;
+  Value rx = b.irem(rank, rside);
+  Value ry = b.irem(b.idiv(rank, rside), rside);
+  Value rz = b.idiv(rank, b.imul(rside, rside));
+
+  // Face comm buffers (always allocated; loads from them are masked off when
+  // there is no neighbour). dir: 0 xlo, 1 xhi, 2 ylo, 3 yhi, 4 zlo, 5 zhi.
+  Value sendF[6], recvF[6], nbr[6], hasNbr[6];
+  Value rc[3] = {rx, ry, rz};
+  for (int dir = 0; dir < 6; ++dir) {
+    sendF[dir] = b.alloc(faceN, Type::F64);
+    recvF[dir] = b.alloc(faceN, Type::F64);
+    b.memset0(recvF[dir], faceN);
+    int axis = dir / 2;
+    bool hi = dir % 2;
+    Value delta = b.constI(hi ? 1 : -1);
+    Value nc = b.iadd(rc[axis], delta);
+    hasNbr[dir] = hi ? b.ilt(nc, rside) : b.ige(nc, c0);
+    // Neighbour rank id with the shifted coordinate.
+    Value nx = axis == 0 ? nc : rx;
+    Value ny = axis == 1 ? nc : ry;
+    Value nz = axis == 2 ? nc : rz;
+    nbr[dir] = b.iadd(nx, b.imul(rside, b.iadd(ny, b.imul(rside, nz))));
+  }
+
+  auto elemIdx = [&](Value i, Value j, Value k) {
+    return b.iadd(i, b.imul(s, b.iadd(j, b.imul(s, k))));
+  };
+  auto nodeIdx = [&](Value i, Value j, Value k) {
+    return b.iadd(i, b.imul(np, b.iadd(j, b.imul(np, k))));
+  };
+  auto clamp0 = [&](Value x, Value hiEx) {
+    return b.imax_(c0, b.imin_(x, b.isub(hiEx, c1)));
+  };
+
+  // Signed corner stencil of the nodal field around element (i,j,k):
+  // du = sum over 8 corners of sign * u[corner] / 4  (divergence proxy).
+  auto divergence = [&](Value arr, Value i, Value j, Value k) {
+    Value sum = b.constF(0);
+    for (int ck = 0; ck < 2; ++ck)
+      for (int cj = 0; cj < 2; ++cj)
+        for (int ci = 0; ci < 2; ++ci) {
+          double sign = ((ci + cj + ck) % 2 == 0) ? 1.0 : -1.0;
+          Value ni = ci ? b.iadd(i, c1) : i;
+          Value nj = cj ? b.iadd(j, c1) : j;
+          Value nk = ck ? b.iadd(k, c1) : k;
+          Value val = d.get(arr, nodeIdx(ni, nj, nk));
+          sum = b.fadd(sum, b.fmul(b.constF(sign * 0.25), val));
+        }
+    return sum;
+  };
+
+  // ======================= time-step loop =======================
+  b.emitFor(c0, nsteps, [&](Value) {
+    Value dt = b.load(dtSlot, c0);
+
+    // ---- Phase 1: element force fe = p(e, v) + q(du) ----
+    d.forEach(c0, ne, [&](Value idx) {
+      Value i = b.irem(idx, s);
+      Value j = b.irem(b.idiv(idx, s), s);
+      Value k = b.idiv(idx, b.imul(s, s));
+      Value gm1 = d.get(params, b.constI(0));
+      Value qc = d.get(params, b.constI(1));
+      Value p = b.fdiv(b.fmul(gm1, d.get(e, idx)), d.get(v, idx));
+      Value du = divergence(u, i, j, k);
+      Value q = b.fmul(qc, b.fmul(du, b.fabs_(du)));
+      d.set(fe, idx, b.fadd(p, q));
+    });
+
+    // ---- Halo: exchange boundary fe layers with the 6 face neighbours ----
+    if (cfg.mp) {
+      for (int dir = 0; dir < 6; ++dir) {
+        int axis = dir / 2;
+        bool hiSide = dir % 2;
+        // Pack the boundary element layer: plane index 0 or s-1 on `axis`.
+        Value plane = hiSide ? b.isub(s, c1) : c0;
+        b.emitFor(c0, faceN, [&](Value fidx) {
+          Value a = b.irem(fidx, s);   // first in-plane coordinate
+          Value c = b.idiv(fidx, s);   // second in-plane coordinate
+          Value i = axis == 0 ? plane : a;
+          Value j = axis == 1 ? plane : (axis == 0 ? a : c);
+          Value k = axis == 2 ? plane : c;
+          b.store(sendF[dir], fidx, d.get(fe, elemIdx(i, j, k)));
+        });
+        b.emitIf(hasNbr[dir], [&] {
+          // Tag pairing: our send on `dir` matches the neighbour's receive
+          // on the opposite direction.
+          int opp = dir ^ 1;
+          d.sendrecv(sendF[dir], recvF[dir], faceN, nbr[dir], nbr[dir],
+                     b.constI(100 + dir), b.constI(100 + opp));
+        });
+      }
+    }
+
+    // ---- Phase 2: gather node force from adjacent elements ----
+    d.forEach(c0, nn, [&](Value nidx) {
+      Value i = b.irem(nidx, np);
+      Value j = b.irem(b.idiv(nidx, np), np);
+      Value k = b.idiv(nidx, b.imul(np, np));
+      Value sum = b.constF(0);
+      for (int dk = -1; dk <= 0; ++dk)
+        for (int dj = -1; dj <= 0; ++dj)
+          for (int di = -1; di <= 0; ++di) {
+            int ci = -di, cj = -dj, ck = -dk;
+            double sign = ((ci + cj + ck) % 2 == 0) ? 1.0 : -1.0;
+            Value ei = b.iadd(i, b.constI(di));
+            Value ej = b.iadd(j, b.constI(dj));
+            Value ek = b.iadd(k, b.constI(dk));
+            Value inX = b.band(b.ige(ei, c0), b.ilt(ei, s));
+            Value inY = b.band(b.ige(ej, c0), b.ilt(ej, s));
+            Value inZ = b.band(b.ige(ek, c0), b.ilt(ek, s));
+            Value allIn = b.band(inX, b.band(inY, inZ));
+            Value cl = elemIdx(clamp0(ei, s), clamp0(ej, s), clamp0(ek, s));
+            Value val = d.get(fe, cl);
+            Value contrib = b.select(allIn, val, b.constF(0));
+            sum = b.fadd(sum, b.fmul(b.constF(sign * 0.125), contrib));
+            if (cfg.mp) {
+              // Face-neighbour ghost contributions (one axis out of range,
+              // the other two in range; edge/corner neighbours omitted).
+              struct GhostCase {
+                int dir;
+                Value cond;
+                Value fidx;
+              };
+              std::vector<GhostCase> cases;
+              Value faceJK = b.iadd(clamp0(ej, s),
+                                    b.imul(s, clamp0(ek, s)));
+              Value faceIK = b.iadd(clamp0(ei, s),
+                                    b.imul(s, clamp0(ek, s)));
+              Value faceIJ = b.iadd(clamp0(ei, s),
+                                    b.imul(s, clamp0(ej, s)));
+              cases.push_back({0, b.band(b.ilt(ei, c0), b.band(inY, inZ)),
+                               faceJK});
+              cases.push_back({1, b.band(b.ige(ei, s), b.band(inY, inZ)),
+                               faceJK});
+              cases.push_back({2, b.band(b.ilt(ej, c0), b.band(inX, inZ)),
+                               faceIK});
+              cases.push_back({3, b.band(b.ige(ej, s), b.band(inX, inZ)),
+                               faceIK});
+              cases.push_back({4, b.band(b.ilt(ek, c0), b.band(inX, inY)),
+                               faceIJ});
+              cases.push_back({5, b.band(b.ige(ek, s), b.band(inX, inY)),
+                               faceIJ});
+              for (const GhostCase& gc : cases) {
+                Value cond = b.band(gc.cond, hasNbr[gc.dir]);
+                Value gval = b.load(recvF[gc.dir], gc.fidx);
+                Value gc2 = b.select(cond, gval, b.constF(0));
+                sum = b.fadd(sum, b.fmul(b.constF(sign * 0.125), gc2));
+              }
+            }
+          }
+      d.set(fn, nidx, sum);
+    });
+
+    // ---- Phase 3: velocity update (unit nodal mass) ----
+    d.forEach(c0, nn, [&](Value nidx) {
+      Value un = b.fadd(d.get(u, nidx), b.fmul(dt, d.get(fn, nidx)));
+      d.set(u, nidx, un);
+    });
+
+    // ---- Phase 4: element update (volume + energy, in place) ----
+    d.forEach(c0, ne, [&](Value idx) {
+      Value i = b.irem(idx, s);
+      Value j = b.irem(b.idiv(idx, s), s);
+      Value k = b.idiv(idx, b.imul(s, s));
+      Value gm1 = d.get(params, b.constI(0));
+      Value vc = d.get(params, b.constI(2));
+      Value wc = d.get(params, b.constI(3));
+      Value du = divergence(u, i, j, k);
+      Value eOld = d.get(e, idx);
+      Value vOld = d.get(v, idx);
+      Value p = b.fdiv(b.fmul(gm1, eOld), vOld);
+      Value vNew = b.fmax_(
+          b.fmul(vOld, b.fadd(b.constF(1), b.fmul(vc, b.fmul(dt, du)))),
+          b.constF(0.05));
+      Value eNew = b.fmax_(
+          b.fsub(eOld, b.fmul(wc, b.fmul(p, b.fmul(du, dt)))),
+          b.constF(1e-8));
+      d.set(v, idx, vNew);
+      d.set(e, idx, eNew);
+    });
+
+    // ---- Phase 5: timestep constraints (Courant-like min reduction) ----
+    Value dtc = d.minReduce(c0, ne, [&](Value idx) -> Value {
+      Value i = b.irem(idx, s);
+      Value j = b.irem(b.idiv(idx, s), s);
+      Value k = b.idiv(idx, b.imul(s, s));
+      Value gamma = d.get(params, b.constI(5));
+      Value cfl = d.get(params, b.constI(4));
+      Value p = b.fdiv(b.fmul(b.fsub(gamma, b.constF(1)), d.get(e, idx)),
+                       d.get(v, idx));
+      Value ss = b.sqrt_(b.fadd(b.fmul(gamma, p), b.constF(1e-9)));
+      Value du = divergence(u, i, j, k);
+      return b.fdiv(cfl, b.fadd(ss, b.fadd(b.fabs_(du), b.constF(1e-6))));
+    });
+    Value dtNew;
+    if (cfg.mp) {
+      Value sendSlot = b.alloc(c1, Type::F64);
+      Value recvSlot = b.alloc(c1, Type::F64);
+      b.store(sendSlot, c0, dtc);
+      d.allreduceMin(sendSlot, recvSlot, c1);
+      dtNew = b.load(recvSlot, c0);
+    } else {
+      dtNew = dtc;
+    }
+    Value bounded =
+        b.fmin_(b.fmin_(dtNew, b.fmul(b.constF(kDtGrow), dt)),
+                b.constF(kDtMax));
+    b.store(dtSlot, c0, bounded);
+  });
+
+  if (cfg.jliteMem) {  // copy boxed fields back to the argument buffers
+    b.emitFor(c0, ne, [&](Value i) {
+      b.store(eArg, i, d.get(e, i));
+      b.store(vArg, i, d.get(v, i));
+    });
+    b.emitFor(c0, nn, [&](Value i) { b.store(uArg, i, d.get(u, i)); });
+  }
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+void prepare(ir::Module& mod, bool ompOpt) {
+  passes::PipelineOptions opts;
+  opts.ompOpt = ompOpt;
+  passes::prepareForAD(mod, "lulesh", opts);
+}
+
+core::GradInfo buildGradient(ir::Module& mod, bool allAtomic) {
+  core::GradConfig cfg;
+  cfg.activeArg = {true, true, true, false, false, false};
+  cfg.allAtomic = allAtomic;
+  core::GradInfo gi = core::generateGradient(mod, "lulesh", cfg);
+  passes::optimizeGradient(mod, gi.name);
+  return gi;
+}
+
+State initialState(const Config& cfg, int rank) {
+  State st;
+  int s = cfg.s;
+  int rs = cfg.rside;
+  int rx = rank % rs, ry = (rank / rs) % rs, rz = rank / (rs * rs);
+  double gTotal = s * rs;  // global elements per edge
+  double cx = gTotal / 2.0, cy = gTotal / 2.0, cz = gTotal / 2.0;
+  st.e.resize(static_cast<std::size_t>(cfg.elems()));
+  st.v.assign(static_cast<std::size_t>(cfg.elems()), 1.0);
+  st.u.assign(static_cast<std::size_t>(cfg.nodes()), 0.0);
+  for (int k = 0; k < s; ++k)
+    for (int j = 0; j < s; ++j)
+      for (int i = 0; i < s; ++i) {
+        double gx = rx * s + i + 0.5, gy = ry * s + j + 0.5,
+               gz = rz * s + k + 0.5;
+        double r2 = (gx - cx) * (gx - cx) + (gy - cy) * (gy - cy) +
+                    (gz - cz) * (gz - cz);
+        double w = gTotal * gTotal / 16.0 + 1e-9;
+        st.e[(std::size_t)((k * s + j) * s + i)] =
+            1.0 + 3.0 * std::exp(-r2 / w);
+      }
+  return st;
+}
+
+namespace {
+
+struct RankBufs {
+  psim::RtPtr e, v, u, de, dv, dup;
+};
+
+RunResult runImpl(const ir::Module& mod, const Config& cfg, int threads,
+                  psim::MachineConfig mc, const std::string& fnName,
+                  bool isGradient, bool useCotape) {
+  psim::Machine m(mc);
+  int R = cfg.ranks();
+  std::vector<RankBufs> bufs(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    State st = initialState(cfg, r);
+    RankBufs& rb = bufs[(std::size_t)r];
+    auto mk = [&](const std::vector<double>& init) {
+      psim::RtPtr p =
+          m.mem().alloc(Type::F64, static_cast<i64>(init.size()),
+                        m.socketOfRank(r));
+      for (std::size_t k = 0; k < init.size(); ++k)
+        m.mem().atF(p, static_cast<i64>(k)) = init[k];
+      return p;
+    };
+    rb.e = mk(st.e);
+    rb.v = mk(st.v);
+    rb.u = mk(st.u);
+    if (isGradient) {
+      rb.de = mk(std::vector<double>(st.e.size(), 1.0));  // objective seed
+      rb.dv = mk(std::vector<double>(st.v.size(), 0.0));
+      rb.dup = mk(std::vector<double>(st.u.size(), 0.0));
+    }
+  }
+
+  RunResult out;
+  out.makespan = m.run({R, threads}, [&](psim::RankEnv& env) {
+    RankBufs& rb = bufs[(std::size_t)env.rank];
+    std::vector<interp::RtVal> args{
+        interp::RtVal::P(rb.e),        interp::RtVal::P(rb.v),
+        interp::RtVal::P(rb.u),        interp::RtVal::I(cfg.s),
+        interp::RtVal::I(cfg.nsteps),  interp::RtVal::I(cfg.rside)};
+    if (useCotape) {
+      cotape::TapeInterpreter tape(mod, m);
+      tape.gradient(mod.get(fnName), args, env,
+                    {{rb.e, rb.de, cfg.elems()},
+                     {rb.v, rb.dv, cfg.elems()},
+                     {rb.u, rb.dup, cfg.nodes()}},
+                    {{rb.e, rb.de, cfg.elems()}});
+    } else {
+      std::vector<interp::RtVal> full = args;
+      if (isGradient) {
+        full.push_back(interp::RtVal::P(rb.de));
+        full.push_back(interp::RtVal::P(rb.dv));
+        full.push_back(interp::RtVal::P(rb.dup));
+      }
+      interp::Interpreter it(mod, m);
+      it.run(mod.get(fnName), full, env);
+    }
+  });
+
+  for (int r = 0; r < R; ++r) {
+    const RankBufs& rb = bufs[(std::size_t)r];
+    for (i64 k = 0; k < cfg.elems(); ++k)
+      out.objective += m.mem().atF(rb.e, k);
+    if (isGradient) {
+      for (i64 k = 0; k < cfg.elems(); ++k)
+        out.gradE.push_back(m.mem().atF(rb.de, k));
+      for (i64 k = 0; k < cfg.nodes(); ++k)
+        out.gradU.push_back(m.mem().atF(rb.dup, k));
+    }
+  }
+  out.stats = m.stats();
+  return out;
+}
+
+}  // namespace
+
+RunResult runPrimal(const ir::Module& mod, const Config& cfg, int threads,
+                    psim::MachineConfig mc) {
+  return runImpl(mod, cfg, threads, mc, "lulesh", false, false);
+}
+
+RunResult runGradient(const ir::Module& mod, const core::GradInfo& gi,
+                      const Config& cfg, int threads, psim::MachineConfig mc) {
+  return runImpl(mod, cfg, threads, mc, gi.name, true, false);
+}
+
+RunResult runCotapeGradient(const ir::Module& mod, const Config& cfg,
+                            psim::MachineConfig mc) {
+  PARAD_CHECK(cfg.par == Config::Par::Serial,
+              "cotape supports only the serial-per-rank variants");
+  return runImpl(mod, cfg, 1, mc, "lulesh", true, true);
+}
+
+}  // namespace parad::apps::lulesh

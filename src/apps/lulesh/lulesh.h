@@ -1,0 +1,84 @@
+// LULESH-flavored explicit shock-hydrodynamics proxy (paper §VII).
+//
+// A structured s^3-element block per rank with LULESH's AD-relevant
+// structure:
+//   * element pressure from a nonlinear EOS + artificial viscosity q built
+//     from a signed corner stencil of nodal velocity (the "divergence");
+//   * a race-free node-force gather whose *reverse* is a concurrent scatter
+//     (atomic adds / reduction analysis, §VI-A1);
+//   * in-place state updates each timestep (reverse-pass caching, §IV-C);
+//   * hand-written per-thread min reductions for the Courant/hydro timestep
+//     constraints in the OpenMP variant (Fig. 7), RAJA ReduceMin in the RAJA
+//     variant;
+//   * a 3-D cube rank decomposition with nonblocking face halo exchange of
+//     element forces (Fig. 5) and an allreduce-min timestep (winner-routed
+//     adjoint);
+//   * a boxed-array + ccall "LULESH.jl" variant (MPI.jl analog).
+//
+// Deviations from LULESH 2.0 are documented in DESIGN.md: scalar velocity
+// proxy field, face-only (no edge/corner) ghost exchange, fixed unit nodal
+// mass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/gradient.h"
+#include "src/ir/inst.h"
+#include "src/psim/sim.h"
+
+namespace parad::apps::lulesh {
+
+struct Config {
+  enum class Par { Serial, Omp, Raja, JliteTasks };
+  Par par = Par::Serial;
+  bool mp = false;        // rank cube decomposition + halo exchange
+  bool jliteMem = false;  // boxed arrays + ccall message passing (LULESH.jl)
+  int s = 8;              // elements per edge per rank
+  int rside = 1;          // ranks per edge (ranks = rside^3)
+  int nsteps = 10;
+  int jlTasks = 8;        // tasks for the jlite @threads-style loops
+
+  int ranks() const { return rside * rside * rside; }
+  i64 elems() const { return i64(s) * s * s; }
+  i64 nodes() const { return i64(s + 1) * (s + 1) * (s + 1); }
+};
+
+/// Builds the module containing function "lulesh" (plus jlite shims when
+/// configured). The module is *unlowered* (omp dialect ops, indirect calls).
+ir::Module build(const Config& cfg);
+
+/// Runs the standard pre-AD pipeline appropriate for the variant
+/// (resolve-indirect, inline, lower-omp, cleanup, optional OpenMPOpt-style
+/// hoisting). Required before interpretation and differentiation.
+void prepare(ir::Module& mod, bool ompOpt = true);
+
+/// Generates the gradient of "lulesh" wrt (e, v, u); returns its info.
+core::GradInfo buildGradient(ir::Module& mod, bool allAtomic = false);
+
+/// Deterministic Sedov-like initial state for the given rank.
+struct State {
+  std::vector<double> e, v, u;
+};
+State initialState(const Config& cfg, int rank);
+
+struct RunResult {
+  double makespan = 0;    // virtual ns (max over ranks)
+  double objective = 0;   // sum of final energy over all ranks
+  psim::RunStats stats;
+  std::vector<double> gradE;  // per-rank-concatenated d(objective)/d(e0)
+  std::vector<double> gradU;  // d(objective)/d(u0)
+};
+
+/// Runs the primal across cfg.ranks() ranks with `threads` per rank.
+RunResult runPrimal(const ir::Module& mod, const Config& cfg, int threads,
+                    psim::MachineConfig mc = {});
+/// Runs the Enzyme-style gradient (seeding d(sum e_final) = 1).
+RunResult runGradient(const ir::Module& mod, const core::GradInfo& gi,
+                      const Config& cfg, int threads,
+                      psim::MachineConfig mc = {});
+/// Runs the cotape (CoDiPack-style) gradient; Serial-par variants only.
+RunResult runCotapeGradient(const ir::Module& mod, const Config& cfg,
+                            psim::MachineConfig mc = {});
+
+}  // namespace parad::apps::lulesh

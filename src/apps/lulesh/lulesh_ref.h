@@ -1,0 +1,126 @@
+// Native (plain C++) reference implementation of the LULESH-like proxy's
+// physics — the same math as the IR builder in lulesh.cpp, single block,
+// no decomposition. Used to validate the interpreted variants and as the
+// documentation of the model. Templated on the real type so alternative
+// scalar types (e.g. a user's own operator-overloading type) can be plugged
+// in.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace parad::apps::lulesh {
+
+template <typename Real = double>
+struct RefSim {
+  int s;
+  int np;
+  std::vector<Real> e, v, u;  // sized s^3, s^3, (s+1)^3
+
+  static constexpr double kGamma = 1.4;
+  static constexpr double kQCoef = 0.08;
+  static constexpr double kVCoef = 0.10;
+  static constexpr double kWCoef = 0.25;
+  static constexpr double kCfl = 0.35;
+  static constexpr double kDtInit = 1e-3;
+  static constexpr double kDtMax = 5e-3;
+  static constexpr double kDtGrow = 1.1;
+
+  explicit RefSim(int size) : s(size), np(size + 1) {
+    e.assign((std::size_t)(s * s * s), Real(1));
+    v.assign((std::size_t)(s * s * s), Real(1));
+    u.assign((std::size_t)(np * np * np), Real(0));
+  }
+
+  int elemIdx(int i, int j, int k) const { return (k * s + j) * s + i; }
+  int nodeIdx(int i, int j, int k) const { return (k * np + j) * np + i; }
+
+  Real divergence(int i, int j, int k) const {
+    Real sum = Real(0);
+    for (int ck = 0; ck < 2; ++ck)
+      for (int cj = 0; cj < 2; ++cj)
+        for (int ci = 0; ci < 2; ++ci) {
+          double sign = ((ci + cj + ck) % 2 == 0) ? 1.0 : -1.0;
+          sum = sum + Real(sign * 0.25) * u[(std::size_t)nodeIdx(i + ci, j + cj, k + ck)];
+        }
+    return sum;
+  }
+
+  void run(int nsteps) {
+    using std::fabs;
+    using std::max;
+    using std::min;
+    using std::sqrt;
+    std::vector<Real> fe((std::size_t)(s * s * s));
+    std::vector<Real> fn((std::size_t)(np * np * np));
+    Real dt = Real(kDtInit);
+    for (int step = 0; step < nsteps; ++step) {
+      // Phase 1: element force.
+      for (int k = 0; k < s; ++k)
+        for (int j = 0; j < s; ++j)
+          for (int i = 0; i < s; ++i) {
+            int idx = elemIdx(i, j, k);
+            Real p = Real(kGamma - 1.0) * e[(std::size_t)idx] / v[(std::size_t)idx];
+            Real du = divergence(i, j, k);
+            Real q = Real(kQCoef) * du * fabs(du);
+            fe[(std::size_t)idx] = p + q;
+          }
+      // Phase 2: node gather.
+      for (int k = 0; k <= s; ++k)
+        for (int j = 0; j <= s; ++j)
+          for (int i = 0; i <= s; ++i) {
+            Real sum = Real(0);
+            for (int dk = -1; dk <= 0; ++dk)
+              for (int dj = -1; dj <= 0; ++dj)
+                for (int di = -1; di <= 0; ++di) {
+                  int ei = i + di, ej = j + dj, ek = k + dk;
+                  if (ei < 0 || ei >= s || ej < 0 || ej >= s || ek < 0 ||
+                      ek >= s)
+                    continue;
+                  int ci = -di, cj = -dj, ck = -dk;
+                  double sign = ((ci + cj + ck) % 2 == 0) ? 1.0 : -1.0;
+                  sum = sum + Real(sign * 0.125) * fe[(std::size_t)elemIdx(ei, ej, ek)];
+                }
+            fn[(std::size_t)nodeIdx(i, j, k)] = sum;
+          }
+      // Phase 3: velocity.
+      for (std::size_t n = 0; n < u.size(); ++n) u[n] = u[n] + dt * fn[n];
+      // Phase 4: element update.
+      for (int k = 0; k < s; ++k)
+        for (int j = 0; j < s; ++j)
+          for (int i = 0; i < s; ++i) {
+            int idx = elemIdx(i, j, k);
+            Real du = divergence(i, j, k);
+            Real eOld = e[(std::size_t)idx], vOld = v[(std::size_t)idx];
+            Real p = Real(kGamma - 1.0) * eOld / vOld;
+            Real vNew =
+                max(vOld * (Real(1) + Real(kVCoef) * dt * du), Real(0.05));
+            Real eNew =
+                max(eOld - Real(kWCoef) * p * du * dt, Real(1e-8));
+            v[(std::size_t)idx] = vNew;
+            e[(std::size_t)idx] = eNew;
+          }
+      // Phase 5: timestep constraint.
+      Real dtc = Real(1e30);
+      for (int k = 0; k < s; ++k)
+        for (int j = 0; j < s; ++j)
+          for (int i = 0; i < s; ++i) {
+            int idx = elemIdx(i, j, k);
+            Real p = Real(kGamma - 1.0) * e[(std::size_t)idx] / v[(std::size_t)idx];
+            Real ss = sqrt(Real(kGamma) * p + Real(1e-9));
+            Real du = divergence(i, j, k);
+            dtc = min(dtc, Real(kCfl) / (ss + fabs(du) + Real(1e-6)));
+          }
+      dt = min(min(dtc, Real(kDtGrow) * dt), Real(kDtMax));
+    }
+  }
+
+  Real totalEnergy() const {
+    Real sum = Real(0);
+    for (const Real& x : e) sum = sum + x;
+    return sum;
+  }
+};
+
+}  // namespace parad::apps::lulesh

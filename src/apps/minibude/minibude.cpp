@@ -1,0 +1,267 @@
+#include "src/apps/minibude/minibude.h"
+
+#include <cmath>
+
+#include "src/frontends/jlite/jlite.h"
+#include "src/frontends/omp/omp.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/passes/passes.h"
+#include "src/support/rng.h"
+
+namespace parad::apps::minibude {
+
+using ir::FunctionBuilder;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr double kSigma2 = 1.3;   // steric length^2 scale
+constexpr double kEps = 0.15;     // electrostatic softening
+constexpr double kElec = 0.8;     // electrostatic strength
+constexpr double kSteric = 0.4;   // steric strength
+constexpr int kNumFf = 4;
+}  // namespace
+
+ir::Module build(const Config& cfg) {
+  ir::Module mod;
+  FunctionBuilder b(mod, "bude",
+                    {Type::PtrF64, Type::PtrF64, Type::PtrF64, Type::PtrF64,
+                     Type::I64, Type::I64, Type::I64});
+  jlite::JlBuilder jl(b);
+
+  Value posesArg = b.param(0), ligArg = b.param(1), prot = b.param(2),
+        energiesArg = b.param(3);
+  Value P = b.param(4), L = b.param(5), N = b.param(6);
+  Value c0 = b.constI(0);
+
+  // Forcefield constants: stored once, loaded in the hot loop (the hoisting
+  // ablation's target, mirroring miniBUDE's forcefield table reads).
+  Value ff = b.alloc(b.constI(kNumFf), Type::F64);
+  b.store(ff, b.constI(0), b.constF(kSigma2));
+  b.store(ff, b.constI(1), b.constF(kEps));
+  b.store(ff, b.constI(2), b.constF(kElec));
+  b.store(ff, b.constI(3), b.constF(kSteric));
+
+  // jlite variant holds poses/energies in boxed arrays.
+  Value poses = posesArg, energies = energiesArg;
+  Value sixP = b.imul(b.constI(6), P);
+  if (cfg.jliteMem) {
+    poses = jl.allocArray(sixP);
+    energies = jl.allocArray(P);
+    b.emitFor(c0, sixP, [&](Value i) {
+      jl.arraySet(poses, i, b.load(posesArg, i));
+    });
+  }
+  auto get = [&](Value arr, Value i) {
+    return cfg.jliteMem && (arr.id == poses.id || arr.id == energies.id)
+               ? jl.arrayRef(arr, i)
+               : b.load(arr, i);
+  };
+  auto set = [&](Value arr, Value i, Value v) {
+    if (cfg.jliteMem && (arr.id == poses.id || arr.id == energies.id))
+      jl.arraySet(arr, i, v);
+    else
+      b.store(arr, i, v);
+  };
+
+  auto poseBody = [&](Value p) {
+    Value base = b.imul(p, b.constI(6));
+    Value a1 = get(poses, base);
+    Value a2 = get(poses, b.iaddc(base, 1));
+    Value a3 = get(poses, b.iaddc(base, 2));
+    Value tx = get(poses, b.iaddc(base, 3));
+    Value ty = get(poses, b.iaddc(base, 4));
+    Value tz = get(poses, b.iaddc(base, 5));
+    Value s1 = b.sin_(a1), co1 = b.cos_(a1);
+    Value s2 = b.sin_(a2), co2 = b.cos_(a2);
+    Value s3 = b.sin_(a3), co3 = b.cos_(a3);
+
+    Value acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, c0, b.constF(0));
+    b.emitFor(c0, L, [&](Value l) {
+      Value lb = b.imul(l, b.constI(3));
+      Value lx = b.load(ligArg, lb);
+      Value ly = b.load(ligArg, b.iaddc(lb, 1));
+      Value lz = b.load(ligArg, b.iaddc(lb, 2));
+      // z-rotation by a1, y-rotation by a2, x-rotation by a3, translation.
+      Value x1 = b.fsub(b.fmul(co1, lx), b.fmul(s1, ly));
+      Value y1 = b.fadd(b.fmul(s1, lx), b.fmul(co1, ly));
+      Value z1 = lz;
+      Value x2 = b.fadd(b.fmul(co2, x1), b.fmul(s2, z1));
+      Value z2 = b.fsub(b.fmul(co2, z1), b.fmul(s2, x1));
+      Value y3 = b.fsub(b.fmul(co3, y1), b.fmul(s3, z2));
+      Value z3 = b.fadd(b.fmul(s3, y1), b.fmul(co3, z2));
+      Value gx = b.fadd(x2, tx);
+      Value gy = b.fadd(y3, ty);
+      Value gz = b.fadd(z3, tz);
+      b.emitFor(c0, N, [&](Value q) {
+        Value qb = b.imul(q, b.constI(4));
+        Value px = b.load(prot, qb);
+        Value py = b.load(prot, b.iaddc(qb, 1));
+        Value pz = b.load(prot, b.iaddc(qb, 2));
+        Value charge = b.load(prot, b.iaddc(qb, 3));
+        Value dx = b.fsub(gx, px);
+        Value dy = b.fsub(gy, py);
+        Value dz = b.fsub(gz, pz);
+        Value r2 = b.fadd(b.fmul(dx, dx),
+                          b.fadd(b.fmul(dy, dy), b.fmul(dz, dz)));
+        Value sig = b.load(ff, b.constI(0));
+        Value eps = b.load(ff, b.constI(1));
+        Value elec = b.load(ff, b.constI(2));
+        Value ster = b.load(ff, b.constI(3));
+        Value inv = b.fdiv(sig, b.fadd(r2, eps));
+        Value lj = b.fmul(ster, b.fsub(b.fmul(inv, inv), inv));
+        Value es = b.fmul(elec, b.fdiv(charge, b.fadd(r2, eps)));
+        Value cur = b.load(acc, c0);
+        b.store(acc, c0, b.fadd(cur, b.fadd(lj, es)));
+      });
+    });
+    set(energies, p, b.load(acc, c0));
+  };
+
+  switch (cfg.par) {
+    case Config::Par::Serial:
+      b.emitFor(c0, P, poseBody);
+      break;
+    case Config::Par::Omp:
+      omp::parallelFor(b, c0, P, poseBody);
+      break;
+    case Config::Par::JliteTasks:
+      jl.threadsFor(c0, P, cfg.jlTasks, poseBody);
+      break;
+  }
+
+  if (cfg.jliteMem)
+    b.emitFor(c0, P, [&](Value p) {
+      b.store(energiesArg, p, jl.arrayRef(energies, p));
+    });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+void prepare(ir::Module& mod, bool ompOpt) {
+  passes::PipelineOptions opts;
+  opts.ompOpt = ompOpt;
+  passes::prepareForAD(mod, "bude", opts);
+}
+
+core::GradInfo buildGradient(ir::Module& mod) {
+  core::GradConfig cfg;
+  cfg.activeArg = {true, true, false, true, false, false, false};
+  core::GradInfo gi = core::generateGradient(mod, "bude", cfg);
+  passes::optimizeGradient(mod, gi.name);
+  return gi;
+}
+
+Deck makeDeck(const Config& cfg, unsigned seed) {
+  Deck d;
+  Rng rng(seed);
+  d.poses.resize((std::size_t)cfg.poses * 6);
+  for (int p = 0; p < cfg.poses; ++p) {
+    for (int k = 0; k < 3; ++k)
+      d.poses[(std::size_t)(p * 6 + k)] = rng.uniform(-0.8, 0.8);
+    for (int k = 3; k < 6; ++k)
+      d.poses[(std::size_t)(p * 6 + k)] = rng.uniform(-1.5, 1.5);
+  }
+  d.lig.resize((std::size_t)cfg.ligAtoms * 3);
+  for (auto& v : d.lig) v = rng.uniform(-1.0, 1.0);
+  d.prot.resize((std::size_t)cfg.protAtoms * 4);
+  for (int q = 0; q < cfg.protAtoms; ++q) {
+    for (int k = 0; k < 3; ++k)
+      d.prot[(std::size_t)(q * 4 + k)] = rng.uniform(-3.0, 3.0);
+    d.prot[(std::size_t)(q * 4 + 3)] = rng.uniform(-1.0, 1.0);
+  }
+  return d;
+}
+
+double refPoseEnergy(const Config& cfg, const Deck& d, int pose) {
+  const double* ps = &d.poses[(std::size_t)pose * 6];
+  double s1 = std::sin(ps[0]), c1 = std::cos(ps[0]);
+  double s2 = std::sin(ps[1]), c2 = std::cos(ps[1]);
+  double s3 = std::sin(ps[2]), c3 = std::cos(ps[2]);
+  double acc = 0;
+  for (int l = 0; l < cfg.ligAtoms; ++l) {
+    double lx = d.lig[(std::size_t)(l * 3)], ly = d.lig[(std::size_t)(l * 3 + 1)],
+           lz = d.lig[(std::size_t)(l * 3 + 2)];
+    double x1 = c1 * lx - s1 * ly, y1 = s1 * lx + c1 * ly, z1 = lz;
+    double x2 = c2 * x1 + s2 * z1, z2 = c2 * z1 - s2 * x1;
+    double y3 = c3 * y1 - s3 * z2, z3 = s3 * y1 + c3 * z2;
+    double gx = x2 + ps[3], gy = y3 + ps[4], gz = z3 + ps[5];
+    for (int q = 0; q < cfg.protAtoms; ++q) {
+      const double* pa = &d.prot[(std::size_t)q * 4];
+      double dx = gx - pa[0], dy = gy - pa[1], dz = gz - pa[2];
+      double r2 = dx * dx + dy * dy + dz * dz;
+      double inv = kSigma2 / (r2 + kEps);
+      acc += kSteric * (inv * inv - inv) + kElec * pa[3] / (r2 + kEps);
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+RunResult runImpl(const ir::Module& mod, const Config& cfg, int threads,
+                  psim::MachineConfig mc, const std::string& fnName,
+                  bool isGradient) {
+  psim::Machine m(mc);
+  Deck deck = makeDeck(cfg);
+  auto mk = [&](const std::vector<double>& init) {
+    psim::RtPtr p = m.mem().alloc(Type::F64, (i64)init.size(), 0);
+    for (std::size_t k = 0; k < init.size(); ++k)
+      m.mem().atF(p, (i64)k) = init[k];
+    return p;
+  };
+  auto poses = mk(deck.poses);
+  auto lig = mk(deck.lig);
+  auto prot = mk(deck.prot);
+  auto energies = mk(std::vector<double>((std::size_t)cfg.poses, 0.0));
+  psim::RtPtr dposes{}, dlig{}, denergies{};
+  if (isGradient) {
+    dposes = mk(std::vector<double>(deck.poses.size(), 0.0));
+    dlig = mk(std::vector<double>(deck.lig.size(), 0.0));
+    denergies = mk(std::vector<double>((std::size_t)cfg.poses, 1.0));
+  }
+  RunResult out;
+  out.makespan = m.run({1, threads}, [&](psim::RankEnv& env) {
+    std::vector<interp::RtVal> args{
+        interp::RtVal::P(poses),    interp::RtVal::P(lig),
+        interp::RtVal::P(prot),     interp::RtVal::P(energies),
+        interp::RtVal::I(cfg.poses), interp::RtVal::I(cfg.ligAtoms),
+        interp::RtVal::I(cfg.protAtoms)};
+    if (isGradient) {
+      args.push_back(interp::RtVal::P(dposes));
+      args.push_back(interp::RtVal::P(dlig));
+      args.push_back(interp::RtVal::P(denergies));
+    }
+    interp::Interpreter it(mod, m);
+    it.run(mod.get(fnName), args, env);
+  });
+  for (i64 p = 0; p < cfg.poses; ++p)
+    out.objective += m.mem().atF(energies, p);
+  if (isGradient) {
+    for (i64 k = 0; k < (i64)deck.poses.size(); ++k)
+      out.gradPoses.push_back(m.mem().atF(dposes, k));
+    for (i64 k = 0; k < (i64)deck.lig.size(); ++k)
+      out.gradLig.push_back(m.mem().atF(dlig, k));
+  }
+  out.stats = m.stats();
+  return out;
+}
+
+}  // namespace
+
+RunResult runPrimal(const ir::Module& mod, const Config& cfg, int threads,
+                    psim::MachineConfig mc) {
+  return runImpl(mod, cfg, threads, mc, "bude", false);
+}
+
+RunResult runGradient(const ir::Module& mod, const core::GradInfo& gi,
+                      const Config& cfg, int threads, psim::MachineConfig mc) {
+  return runImpl(mod, cfg, threads, mc, gi.name, true);
+}
+
+}  // namespace parad::apps::minibude

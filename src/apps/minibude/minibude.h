@@ -1,0 +1,63 @@
+// miniBUDE-flavored molecular-docking proxy (paper §VII).
+//
+// The heavily compute-bound kernel: for each candidate pose (3 rotation
+// angles + 3 translations), transform every ligand atom and accumulate a
+// pairwise protein-ligand energy (steric Lennard-Jones-like term on r^2 plus
+// a screened electrostatic term). Parallelism is across poses; per-pose work
+// is a dense atoms x atoms loop full of sin/cos/div — exactly the profile
+// that makes the paper's miniBUDE gradient recompute-friendly once invariant
+// loads are hoisted (the OpenMPOpt ablation: with hoisting the AD engine
+// caches nothing and recomputes temporaries, §VIII).
+//
+// Variants: Serial, Omp (#pragma-style worksharing over poses), JliteTasks
+// (Julia @threads-style tasks over poses).
+#pragma once
+
+#include <vector>
+
+#include "src/core/gradient.h"
+#include "src/ir/inst.h"
+#include "src/psim/sim.h"
+
+namespace parad::apps::minibude {
+
+struct Config {
+  enum class Par { Serial, Omp, JliteTasks };
+  Par par = Par::Serial;
+  bool jliteMem = false;  // boxed arrays for the pose/energy fields
+  int poses = 32;
+  int ligAtoms = 8;
+  int protAtoms = 24;
+  int jlTasks = 8;
+};
+
+/// Module with function "bude(poses, lig, prot, energies, P, L, N)".
+ir::Module build(const Config& cfg);
+void prepare(ir::Module& mod, bool ompOpt = true);
+/// Gradient wrt poses and ligand coordinates (protein is constant).
+core::GradInfo buildGradient(ir::Module& mod);
+
+struct Deck {
+  std::vector<double> poses;  // 6 per pose
+  std::vector<double> lig;    // 3 per ligand atom
+  std::vector<double> prot;   // 4 per protein atom (x, y, z, charge)
+};
+Deck makeDeck(const Config& cfg, unsigned seed = 2022);
+
+struct RunResult {
+  double makespan = 0;
+  double objective = 0;  // sum of pose energies
+  psim::RunStats stats;
+  std::vector<double> gradPoses;
+  std::vector<double> gradLig;
+};
+RunResult runPrimal(const ir::Module& mod, const Config& cfg, int threads,
+                    psim::MachineConfig mc = {});
+RunResult runGradient(const ir::Module& mod, const core::GradInfo& gi,
+                      const Config& cfg, int threads,
+                      psim::MachineConfig mc = {});
+
+/// Native reference energy of one pose (same math; used by tests).
+double refPoseEnergy(const Config& cfg, const Deck& deck, int pose);
+
+}  // namespace parad::apps::minibude

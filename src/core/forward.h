@@ -1,0 +1,33 @@
+// Forward (tangent) mode differentiation — the paper's §III counterpart to
+// the reverse mode. Each active f64 value is paired with a tangent computed
+// in place; memory tangents live in shadow objects; parallel constructs need
+// no special treatment at all (tangents propagate inside the same fork /
+// task / loop structure), and message passing duplicates each transfer on
+// the shadow buffers.
+//
+// Generated signature: fwd_<f>(primal args..., shadow args for active ptr
+// args...) with the same return type; a function returning f64 returns the
+// *tangent* of its result (the Enzyme __enzyme_fwddiff convention).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/inst.h"
+
+namespace parad::core {
+
+struct FwdConfig {
+  std::vector<bool> activeArg;  // per param; pointer args get shadow params
+  std::string nameSuffix;
+};
+
+struct FwdInfo {
+  std::string name;
+  std::vector<int> shadowParam;  // per primal param, -1 if none
+};
+
+FwdInfo generateForward(ir::Module& mod, const std::string& fnName,
+                        const FwdConfig& cfg);
+
+}  // namespace parad::core

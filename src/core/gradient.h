@@ -1,0 +1,63 @@
+// Reverse-mode gradient generation over parallel parad IR — the paper's core
+// contribution, reproduced as an IR->IR transformation (Enzyme's position in
+// the LLVM pipeline).
+//
+// Given a primal function (inlined, omp-lowered), generateGradient emits a
+// new function
+//     grad_<f>(primal args..., shadow args for active ptr args..., [seed])
+// that runs an augmented forward pass (primal + cache stores + shadow
+// bookkeeping) followed by a reverse pass over the mirrored region tree:
+//   * parallel-for / fork bodies are reversed into parallel adjoint regions
+//     at the mirrored DAG position (spawn<->sync, Fig. 2);
+//   * shadow-memory increments pick serial / per-thread-reduction / atomic
+//     accumulation from the thread-locality analysis (§VI-A1);
+//   * intermediate values needed by adjoints are recomputed when legal and
+//     cached otherwise, with function-lifetime slots, loop-trip-indexed
+//     arrays (indexed by iteration for worksharing loops, by thread id
+//     otherwise, §VI-B), and dynamically-counted while-loops (§IV-C);
+//   * message-passing ops follow the shadow-request discipline of Fig. 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/inst.h"
+
+namespace parad::core {
+
+struct GradConfig {
+  /// Per primal parameter: true if this (pointer) argument is differentiable
+  /// and receives a shadow argument. Scalar f64 args are treated as constant.
+  std::vector<bool> activeArg;
+  /// The generated gradient may itself be called concurrently: accumulation
+  /// into argument shadows must then be atomic even outside parallel regions.
+  bool parallelCaller = false;
+  /// Legal-but-slow fallback (§VI-A1): every shadow accumulation is atomic.
+  bool allAtomic = false;
+  /// Use per-thread partial slots for parallel accumulation into locations
+  /// uniform across the parallel construct (the "registered reduction" path).
+  bool enableReductionSlots = true;
+  /// Free cache arrays after the reverse pass consumed them.
+  bool freeCaches = true;
+  /// Suffix appended to the generated function name ("grad_<f><suffix>").
+  std::string nameSuffix;
+};
+
+struct GradInfo {
+  std::string name;
+  /// Per primal parameter: index of its shadow parameter in the gradient
+  /// function, or -1.
+  std::vector<int> shadowParam;
+  /// Index of the f64 seed parameter (present iff the primal returns f64).
+  int seedParam = -1;
+  /// Static count of cache arrays planned (ablation reporting).
+  int numCachedValues = 0;
+};
+
+/// Generates the gradient of mod[fnName] into the module and returns its
+/// description. Throws parad::Error for unsupported shapes (calls must be
+/// inlined and the omp dialect lowered first).
+GradInfo generateGradient(ir::Module& mod, const std::string& fnName,
+                          const GradConfig& cfg);
+
+}  // namespace parad::core

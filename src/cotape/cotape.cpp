@@ -1,0 +1,600 @@
+#include "src/cotape/cotape.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parad::cotape {
+
+using interp::RtVal;
+using ir::Op;
+using ir::Type;
+using psim::RtPtr;
+
+std::vector<std::int32_t>& TapeInterpreter::idxOf(RtPtr p) {
+  auto it = memIdx_.find(p.obj);
+  if (it == memIdx_.end()) {
+    const psim::MemObject& o = machine_.mem().get(p);
+    it = memIdx_
+             .emplace(p.obj, std::vector<std::int32_t>(
+                                 static_cast<std::size_t>(o.count), -1))
+             .first;
+  }
+  return it->second;
+}
+
+void TapeInterpreter::record1(std::int32_t lhs, std::int32_t a, double pa,
+                              psim::WorkerCtx& w) {
+  Stmt s;
+  s.lhs = lhs;
+  s.nargs = 1;
+  s.arg[0] = a;
+  s.partial[0] = pa;
+  stmts_.push_back(s);
+  w.advance(cfg_.tapeWriteCost);
+}
+
+void TapeInterpreter::record2(std::int32_t lhs, std::int32_t a, double pa,
+                              std::int32_t b, double pb, psim::WorkerCtx& w) {
+  Stmt s;
+  s.lhs = lhs;
+  s.nargs = 2;
+  s.arg[0] = a;
+  s.arg[1] = b;
+  s.partial[0] = pa;
+  s.partial[1] = pb;
+  stmts_.push_back(s);
+  w.advance(cfg_.tapeWriteCost);
+}
+
+void TapeInterpreter::gradient(const ir::Function& fn,
+                               std::vector<interp::RtVal> args,
+                               psim::RankEnv& env,
+                               const std::vector<ActiveBinding>& inputs,
+                               const std::vector<ActiveBinding>& outputs) {
+  PARAD_CHECK(args.size() == fn.paramTypes.size(),
+              "cotape: wrong argument count for @", fn.name);
+  stmts_.clear();
+  comms_.clear();
+  commAt_.clear();
+  memIdx_.clear();
+  nextIdx_ = 0;
+
+  // Register inputs: every element gets a fresh adjoint index.
+  std::vector<std::vector<std::int32_t>> inputIdx(inputs.size());
+  for (std::size_t bi = 0; bi < inputs.size(); ++bi) {
+    const ActiveBinding& ab = inputs[bi];
+    auto& mi = idxOf(ab.primal);
+    for (i64 k = 0; k < ab.count; ++k) {
+      std::int32_t id = fresh();
+      mi[static_cast<std::size_t>(ab.primal.off + k)] = id;
+      inputIdx[bi].push_back(id);
+    }
+  }
+
+  // Forward (taping) sweep.
+  Frame f(static_cast<std::size_t>(fn.numValues()));
+  for (std::size_t i = 0; i < args.size(); ++i)
+    f[static_cast<std::size_t>(fn.body.args[i])].v = args[i];
+  psim::WorkerCtx w = env.main;
+  execRegion(fn, fn.body, f, env, w);
+  env.main = w;
+  machine_.stats().tapeBytes +=
+      stmts_.size() * sizeof(Stmt) + comms_.size() * 64;
+
+  // Seed from output shadows (using the *final* indices of the locations),
+  // consuming the seeds: like the IR engine's store adjoints, the output
+  // shadow is zeroed so in/out buffers end up holding only input gradients.
+  adjoint_.assign(static_cast<std::size_t>(nextIdx_), 0.0);
+  for (const ActiveBinding& ab : outputs) {
+    auto& mi = idxOf(ab.primal);
+    for (i64 k = 0; k < ab.count; ++k) {
+      std::int32_t id = mi[static_cast<std::size_t>(ab.primal.off + k)];
+      if (id >= 0) {
+        adjoint_[static_cast<std::size_t>(id)] +=
+            machine_.mem().atF(ab.shadow, k);
+        machine_.mem().atF(ab.shadow, k) = 0;
+      }
+    }
+  }
+
+  reverse(env, env.main);
+
+  // Extract input gradients (initial indices).
+  for (std::size_t bi = 0; bi < inputs.size(); ++bi) {
+    const ActiveBinding& ab = inputs[bi];
+    for (i64 k = 0; k < ab.count; ++k)
+      machine_.mem().atF(ab.shadow, k) +=
+          adjoint_[static_cast<std::size_t>(inputIdx[bi][(std::size_t)k])];
+  }
+}
+
+void TapeInterpreter::reverse(psim::RankEnv& env, psim::WorkerCtx& w) {
+  const psim::CostModel& c = machine_.config().cost;
+  constexpr i64 kTagShift = i64(1) << 20;
+  std::size_t commIdx = comms_.size();
+  int rankSocket = w.socket;
+  std::size_t pos = stmts_.size();
+  while (true) {
+    // Handle communication records that occurred after statement pos-1.
+    while (commIdx > 0 && commAt_[commIdx - 1] >= pos) {
+      const CommRec& cr = comms_[--commIdx];
+      switch (cr.kind) {
+        case CommKind::Isend: {
+          // Receive the adjoints of the values we sent, accumulate.
+          RtPtr tmp = machine_.mem().alloc(Type::F64, cr.count, rankSocket);
+          machine_.fabric()->recv(env.rank, w, tmp, cr.count, cr.peer,
+                                  cr.tag + static_cast<int>(kTagShift));
+          for (i64 k = 0; k < cr.count; ++k) {
+            std::int32_t id = cr.indices[(std::size_t)k];
+            if (id >= 0)
+              adjoint_[(std::size_t)id] += machine_.mem().atF(tmp, k);
+            machine_.chargeMem(w, rankSocket, 8);
+          }
+          machine_.mem().free(tmp);
+          break;
+        }
+        case CommKind::Irecv: {
+          // Send the adjoints of what we received back to the sender.
+          std::vector<double> buf((std::size_t)cr.count, 0.0);
+          for (i64 k = 0; k < cr.count; ++k) {
+            std::int32_t id = cr.indices[(std::size_t)k];
+            if (id >= 0) {
+              buf[(std::size_t)k] = adjoint_[(std::size_t)id];
+              adjoint_[(std::size_t)id] = 0;
+            }
+            machine_.chargeMem(w, rankSocket, 8);
+          }
+          machine_.fabric()->send(env.rank, w, buf.data(), cr.count, cr.peer,
+                                  cr.tag + static_cast<int>(kTagShift));
+          break;
+        }
+        case CommKind::AllreduceSum:
+        case CommKind::AllreduceMinMax: {
+          std::vector<double> buf((std::size_t)cr.count, 0.0);
+          for (i64 k = 0; k < cr.count; ++k) {
+            std::int32_t id = cr.indices[(std::size_t)k];
+            if (id >= 0) {
+              buf[(std::size_t)k] = adjoint_[(std::size_t)id];
+              adjoint_[(std::size_t)id] = 0;
+            }
+          }
+          RtPtr tmp = machine_.mem().alloc(Type::F64, cr.count, rankSocket);
+          machine_.fabric()->allreduce(env.rank, w, ir::ReduceKind::Sum,
+                                       buf.data(), tmp, cr.count);
+          for (i64 k = 0; k < cr.count; ++k) {
+            std::int32_t sid = cr.sendIndices[(std::size_t)k];
+            bool mine = cr.kind == CommKind::AllreduceSum ||
+                        (k < static_cast<i64>(cr.won.size()) &&
+                         cr.won[(std::size_t)k]);
+            if (sid >= 0 && mine)
+              adjoint_[(std::size_t)sid] += machine_.mem().atF(tmp, k);
+            machine_.chargeMem(w, rankSocket, 8);
+          }
+          machine_.mem().free(tmp);
+          break;
+        }
+        case CommKind::Barrier:
+          machine_.fabric()->barrier(env.rank, w);
+          break;
+      }
+    }
+    if (pos == 0) break;
+    --pos;
+    const Stmt& s = stmts_[pos];
+    // Tape read + random-access adjoint traffic: the CoDiPack-characteristic
+    // serial overhead.
+    w.advance(cfg_.tapeReadCost);
+    machine_.chargeMem(w, rankSocket, 8);  // adjoint[lhs]
+    double g = adjoint_[(std::size_t)s.lhs];
+    adjoint_[(std::size_t)s.lhs] = 0;
+    if (g != 0) {
+      for (int k = 0; k < s.nargs; ++k) {
+        if (s.arg[k] < 0) continue;
+        machine_.chargeMem(w, rankSocket, 8);
+        w.advance(c.flop * 2);
+        adjoint_[(std::size_t)s.arg[k]] += g * s.partial[k];
+      }
+    }
+  }
+}
+
+TapeInterpreter::Flow TapeInterpreter::execRegion(const ir::Function& fn,
+                                                  const ir::Region& r,
+                                                  Frame& f, psim::RankEnv& env,
+                                                  psim::WorkerCtx& w) {
+  for (const ir::Inst& in : r.insts)
+    if (execInst(fn, in, f, env, w) == Flow::Return) return Flow::Return;
+  return Flow::Normal;
+}
+
+TapeInterpreter::Flow TapeInterpreter::execInst(const ir::Function& fn,
+                                                const ir::Inst& in, Frame& f,
+                                                psim::RankEnv& env,
+                                                psim::WorkerCtx& w) {
+  const psim::CostModel& c = machine_.config().cost;
+  psim::MemoryManager& mem = machine_.mem();
+  auto V = [&](std::size_t i) -> TapedVal& {
+    return f[static_cast<std::size_t>(in.operands[i])];
+  };
+  auto out = [&]() -> TapedVal& {
+    return f[static_cast<std::size_t>(in.result)];
+  };
+  // Unary/binary recorded f64 op helpers.
+  auto un = [&](double value, double partial, double cost) {
+    w.advance(cost);
+    TapedVal& o = out();
+    o.v.u.f = value;
+    o.idx = -1;
+    if (V(0).idx >= 0) {
+      o.idx = fresh();
+      record1(o.idx, V(0).idx, partial, w);
+    }
+  };
+  auto bin = [&](double value, double pa, double pb, double cost) {
+    w.advance(cost);
+    TapedVal& o = out();
+    o.v.u.f = value;
+    o.idx = -1;
+    std::int32_t ia = V(0).idx, ib = V(1).idx;
+    if (ia >= 0 || ib >= 0) {
+      o.idx = fresh();
+      if (ia >= 0 && ib >= 0)
+        record2(o.idx, ia, pa, ib, pb, w);
+      else if (ia >= 0)
+        record1(o.idx, ia, pa, w);
+      else
+        record1(o.idx, ib, pb, w);
+    }
+  };
+
+  switch (in.op) {
+    case Op::ConstF: out().v.u.f = in.fconst; out().idx = -1; return Flow::Normal;
+    case Op::ConstI: case Op::ConstB: out().v.u.i = in.iconst; return Flow::Normal;
+
+    case Op::FAdd: bin(V(0).v.u.f + V(1).v.u.f, 1, 1, c.flop); return Flow::Normal;
+    case Op::FSub: bin(V(0).v.u.f - V(1).v.u.f, 1, -1, c.flop); return Flow::Normal;
+    case Op::FMul: bin(V(0).v.u.f * V(1).v.u.f, V(1).v.u.f, V(0).v.u.f, c.flop); return Flow::Normal;
+    case Op::FDiv: {
+      double a = V(0).v.u.f, b = V(1).v.u.f, r = a / b;
+      bin(r, 1.0 / b, -r / b, c.flop * 4);
+      return Flow::Normal;
+    }
+    case Op::FNeg: un(-V(0).v.u.f, -1, c.flop); return Flow::Normal;
+    case Op::Sqrt: {
+      double r = std::sqrt(V(0).v.u.f);
+      un(r, 0.5 / r, c.special);
+      return Flow::Normal;
+    }
+    case Op::Sin: un(std::sin(V(0).v.u.f), std::cos(V(0).v.u.f), c.special); return Flow::Normal;
+    case Op::Cos: un(std::cos(V(0).v.u.f), -std::sin(V(0).v.u.f), c.special); return Flow::Normal;
+    case Op::Exp: {
+      double r = std::exp(V(0).v.u.f);
+      un(r, r, c.special);
+      return Flow::Normal;
+    }
+    case Op::Log: un(std::log(V(0).v.u.f), 1.0 / V(0).v.u.f, c.special); return Flow::Normal;
+    case Op::Cbrt: {
+      double x = V(0).v.u.f, r = std::cbrt(x);
+      un(r, 1.0 / (3 * r * r), c.special);
+      return Flow::Normal;
+    }
+    case Op::Pow: {
+      double a = V(0).v.u.f, b = V(1).v.u.f, r = std::pow(a, b);
+      bin(r, b * std::pow(a, b - 1), a > 0 ? r * std::log(a) : 0, c.powCost);
+      return Flow::Normal;
+    }
+    case Op::FAbs:
+      un(std::fabs(V(0).v.u.f), V(0).v.u.f < 0 ? -1 : 1, c.minmax);
+      return Flow::Normal;
+    case Op::FMin: {
+      bool takeA = V(0).v.u.f <= V(1).v.u.f;
+      bin(takeA ? V(0).v.u.f : V(1).v.u.f, takeA ? 1 : 0, takeA ? 0 : 1,
+          c.minmax);
+      return Flow::Normal;
+    }
+    case Op::FMax: {
+      bool takeA = V(0).v.u.f >= V(1).v.u.f;
+      bin(takeA ? V(0).v.u.f : V(1).v.u.f, takeA ? 1 : 0, takeA ? 0 : 1,
+          c.minmax);
+      return Flow::Normal;
+    }
+
+    case Op::IAdd: w.advance(c.intOp); out().v.u.i = V(0).v.u.i + V(1).v.u.i; return Flow::Normal;
+    case Op::ISub: w.advance(c.intOp); out().v.u.i = V(0).v.u.i - V(1).v.u.i; return Flow::Normal;
+    case Op::IMul: w.advance(c.intOp); out().v.u.i = V(0).v.u.i * V(1).v.u.i; return Flow::Normal;
+    case Op::IDiv:
+      w.advance(c.intOp * 4);
+      PARAD_CHECK(V(1).v.u.i != 0, "division by zero");
+      out().v.u.i = V(0).v.u.i / V(1).v.u.i;
+      return Flow::Normal;
+    case Op::IRem:
+      w.advance(c.intOp * 4);
+      PARAD_CHECK(V(1).v.u.i != 0, "remainder by zero");
+      out().v.u.i = V(0).v.u.i % V(1).v.u.i;
+      return Flow::Normal;
+    case Op::IMinOp: w.advance(c.intOp); out().v.u.i = std::min(V(0).v.u.i, V(1).v.u.i); return Flow::Normal;
+    case Op::IMaxOp: w.advance(c.intOp); out().v.u.i = std::max(V(0).v.u.i, V(1).v.u.i); return Flow::Normal;
+    case Op::ICmpEq: w.advance(c.intOp); out().v.u.i = V(0).v.u.i == V(1).v.u.i; return Flow::Normal;
+    case Op::ICmpNe: w.advance(c.intOp); out().v.u.i = V(0).v.u.i != V(1).v.u.i; return Flow::Normal;
+    case Op::ICmpLt: w.advance(c.intOp); out().v.u.i = V(0).v.u.i < V(1).v.u.i; return Flow::Normal;
+    case Op::ICmpLe: w.advance(c.intOp); out().v.u.i = V(0).v.u.i <= V(1).v.u.i; return Flow::Normal;
+    case Op::ICmpGt: w.advance(c.intOp); out().v.u.i = V(0).v.u.i > V(1).v.u.i; return Flow::Normal;
+    case Op::ICmpGe: w.advance(c.intOp); out().v.u.i = V(0).v.u.i >= V(1).v.u.i; return Flow::Normal;
+    case Op::FCmpLt: w.advance(c.intOp); out().v.u.i = V(0).v.u.f < V(1).v.u.f; return Flow::Normal;
+    case Op::FCmpLe: w.advance(c.intOp); out().v.u.i = V(0).v.u.f <= V(1).v.u.f; return Flow::Normal;
+    case Op::FCmpGt: w.advance(c.intOp); out().v.u.i = V(0).v.u.f > V(1).v.u.f; return Flow::Normal;
+    case Op::FCmpGe: w.advance(c.intOp); out().v.u.i = V(0).v.u.f >= V(1).v.u.f; return Flow::Normal;
+    case Op::FCmpEq: w.advance(c.intOp); out().v.u.i = V(0).v.u.f == V(1).v.u.f; return Flow::Normal;
+    case Op::BAnd: w.advance(c.intOp); out().v.u.i = V(0).v.u.i && V(1).v.u.i; return Flow::Normal;
+    case Op::BOr: w.advance(c.intOp); out().v.u.i = V(0).v.u.i || V(1).v.u.i; return Flow::Normal;
+    case Op::BNot: w.advance(c.intOp); out().v.u.i = !V(0).v.u.i; return Flow::Normal;
+    case Op::Select:
+      w.advance(c.intOp);
+      out() = V(0).v.u.i ? V(1) : V(2);
+      return Flow::Normal;
+    case Op::IToF:
+      w.advance(c.intOp);
+      out().v.u.f = static_cast<double>(V(0).v.u.i);
+      out().idx = -1;
+      return Flow::Normal;
+    case Op::FToI:
+      w.advance(c.intOp);
+      out().v.u.i = static_cast<i64>(V(0).v.u.f);
+      return Flow::Normal;
+
+    case Op::Alloc: {
+      i64 count = V(0).v.u.i;
+      machine_.chargeAlloc(w, count * 8);
+      out().v.u.p = mem.alloc(static_cast<Type>(in.iconst), count, w.socket);
+      return Flow::Normal;
+    }
+    case Op::Free:
+      w.advance(c.allocBase * 0.3);
+      // Keep the object alive: its taped indices may still be needed.
+      return Flow::Normal;
+    case Op::Load: {
+      RtPtr p = V(0).v.u.p;
+      const psim::MemObject& o = mem.get(p);
+      machine_.chargeMem(w, o.homeSocket, 8);
+      i64 idx = V(1).v.u.i;
+      TapedVal& res = out();
+      switch (o.elem) {
+        case Type::F64:
+          res.v.u.f = mem.atF(p, idx);
+          res.idx = idxOf(p)[static_cast<std::size_t>(p.off + idx)];
+          // Reading the activity index alongside the value (active type).
+          machine_.chargeMem(w, o.homeSocket, 4);
+          break;
+        case Type::I64: res.v.u.i = mem.atI(p, idx); break;
+        case Type::PtrF64: res.v.u.p = mem.atP(p, idx); break;
+        default: PARAD_UNREACHABLE("bad load elem");
+      }
+      return Flow::Normal;
+    }
+    case Op::Store: {
+      RtPtr p = V(0).v.u.p;
+      const psim::MemObject& o = mem.get(p);
+      machine_.chargeMem(w, o.homeSocket, 8);
+      i64 idx = V(1).v.u.i;
+      switch (o.elem) {
+        case Type::F64:
+          mem.atF(p, idx) = V(2).v.u.f;
+          idxOf(p)[static_cast<std::size_t>(p.off + idx)] = V(2).idx;
+          machine_.chargeMem(w, o.homeSocket, 4);
+          break;
+        case Type::I64: mem.atI(p, idx) = V(2).v.u.i; break;
+        case Type::PtrF64: mem.atP(p, idx) = V(2).v.u.p; break;
+        default: PARAD_UNREACHABLE("bad store elem");
+      }
+      return Flow::Normal;
+    }
+    case Op::PtrOffset: {
+      w.advance(c.intOp);
+      RtPtr p = V(0).v.u.p;
+      p.off += V(1).v.u.i;
+      out().v.u.p = p;
+      return Flow::Normal;
+    }
+    case Op::Memset0: {
+      RtPtr p = V(0).v.u.p;
+      i64 count = V(1).v.u.i;
+      const psim::MemObject& o = mem.get(p);
+      machine_.chargeMem(w, o.homeSocket, count * 8);
+      auto& mi = idxOf(p);
+      for (i64 k = 0; k < count; ++k) {
+        mem.atF(p, k) = 0;
+        mi[static_cast<std::size_t>(p.off + k)] = -1;
+      }
+      return Flow::Normal;
+    }
+
+    case Op::Call: {
+      const ir::Function& callee = mod_.get(in.sym);
+      w.advance(c.callCost);
+      Frame cf(static_cast<std::size_t>(callee.numValues()));
+      for (std::size_t i = 0; i < in.operands.size(); ++i)
+        cf[static_cast<std::size_t>(callee.body.args[i])] = V(i);
+      RtVal saved = retVal_;
+      execRegion(callee, callee.body, cf, env, w);
+      if (in.result >= 0) {
+        out().v = retVal_;
+        out().idx = retIdx_;
+      }
+      retVal_ = saved;
+      return Flow::Normal;
+    }
+    case Op::Return:
+      if (!in.operands.empty()) {
+        retVal_ = V(0).v;
+        retIdx_ = V(0).idx;
+      }
+      return Flow::Return;
+
+    case Op::For: {
+      i64 lo = V(0).v.u.i, hi = V(1).v.u.i;
+      const ir::Region& body = in.regions[0];
+      for (i64 i = lo; i < hi; ++i) {
+        f[static_cast<std::size_t>(body.args[0])].v = RtVal::I(i);
+        w.advance(c.loopIter);
+        if (execRegion(fn, body, f, env, w) == Flow::Return)
+          return Flow::Return;
+      }
+      return Flow::Normal;
+    }
+    case Op::While: {
+      const ir::Region& body = in.regions[0];
+      for (i64 iter = 0;; ++iter) {
+        f[static_cast<std::size_t>(body.args[0])].v = RtVal::I(iter);
+        w.advance(c.loopIter);
+        yield_ = false;
+        if (execRegion(fn, body, f, env, w) == Flow::Return)
+          return Flow::Return;
+        if (!yield_) break;
+      }
+      return Flow::Normal;
+    }
+    case Op::Yield:
+      yield_ = V(0).v.u.i != 0;
+      return Flow::Normal;
+    case Op::If: {
+      w.advance(c.intOp);
+      return execRegion(fn, V(0).v.u.i ? in.regions[0] : in.regions[1], f, env,
+                        w);
+    }
+
+    case Op::MpRank: out().v.u.i = env.rank; return Flow::Normal;
+    case Op::MpSize: out().v.u.i = env.ranks; return Flow::Normal;
+    case Op::MpIsend:
+    case Op::MpSend: {
+      RtPtr p = V(0).v.u.p;
+      i64 count = V(1).v.u.i;
+      const psim::MemObject& o = mem.get(p);
+      PARAD_CHECK(o.elem == Type::F64 && p.off + count <= o.count,
+                  "send out of bounds");
+      int dest = static_cast<int>(V(2).v.u.i);
+      int tag = static_cast<int>(V(3).v.u.i);
+      psim::ReqId id =
+          machine_.fabric()->isend(env.rank, w, o.f.data() + p.off, count,
+                                   dest, tag);
+      CommRec cr;
+      cr.kind = CommKind::Isend;
+      cr.peer = dest;
+      cr.tag = tag;
+      cr.count = count;
+      auto& mi = idxOf(p);
+      cr.indices.assign(mi.begin() + p.off, mi.begin() + p.off + count);
+      commAt_.push_back(stmts_.size());
+      comms_.push_back(std::move(cr));
+      if (in.op == Op::MpIsend)
+        out().v.u.req = id;
+      else
+        machine_.fabric()->wait(env.rank, w, id);
+      return Flow::Normal;
+    }
+    case Op::MpIrecv: {
+      RtPtr p = V(0).v.u.p;
+      i64 count = V(1).v.u.i;
+      psim::ReqId id = machine_.fabric()->irecv(
+          env.rank, w, p, count, static_cast<int>(V(2).v.u.i),
+          static_cast<int>(V(3).v.u.i));
+      out().v.u.req = id;
+      pendingRecv_[id] = {p, count, static_cast<int>(V(2).v.u.i),
+                          static_cast<int>(V(3).v.u.i)};
+      return Flow::Normal;
+    }
+    case Op::MpRecv: {
+      RtPtr p = V(0).v.u.p;
+      i64 count = V(1).v.u.i;
+      int src = static_cast<int>(V(2).v.u.i);
+      int tag = static_cast<int>(V(3).v.u.i);
+      machine_.fabric()->recv(env.rank, w, p, count, src, tag);
+      recordRecv(p, count, src, tag);
+      return Flow::Normal;
+    }
+    case Op::MpWaitOp: {
+      psim::ReqId id = V(0).v.u.req;
+      machine_.fabric()->wait(env.rank, w, id);
+      auto it = pendingRecv_.find(id);
+      if (it != pendingRecv_.end()) {
+        recordRecv(it->second.p, it->second.count, it->second.src,
+                   it->second.tag);
+        pendingRecv_.erase(it);
+      }
+      return Flow::Normal;
+    }
+    case Op::MpAllreduce: {
+      RtPtr sp = V(0).v.u.p;
+      RtPtr rp = V(1).v.u.p;
+      i64 count = V(2).v.u.i;
+      const psim::MemObject& so = mem.get(sp);
+      PARAD_CHECK(so.elem == Type::F64 && sp.off + count <= so.count,
+                  "allreduce out of bounds");
+      auto kind = static_cast<ir::ReduceKind>(in.iconst);
+      std::vector<i64> winners;
+      machine_.fabric()->allreduce(env.rank, w, kind, so.f.data() + sp.off, rp,
+                                   count,
+                                   kind == ir::ReduceKind::Sum ? nullptr
+                                                               : &winners);
+      CommRec cr;
+      cr.kind = kind == ir::ReduceKind::Sum ? CommKind::AllreduceSum
+                                            : CommKind::AllreduceMinMax;
+      cr.count = count;
+      auto& si = idxOf(sp);
+      cr.sendIndices.assign(si.begin() + sp.off, si.begin() + sp.off + count);
+      auto& ri = idxOf(rp);
+      cr.indices.resize((std::size_t)count);
+      for (i64 k = 0; k < count; ++k) {
+        std::int32_t id = fresh();
+        ri[static_cast<std::size_t>(rp.off + k)] = id;
+        cr.indices[(std::size_t)k] = id;
+      }
+      if (kind != ir::ReduceKind::Sum) {
+        cr.won.resize((std::size_t)count);
+        for (i64 k = 0; k < count; ++k)
+          cr.won[(std::size_t)k] = winners[(std::size_t)k] == env.rank;
+      }
+      commAt_.push_back(stmts_.size());
+      comms_.push_back(std::move(cr));
+      return Flow::Normal;
+    }
+    case Op::MpBarrier: {
+      machine_.fabric()->barrier(env.rank, w);
+      CommRec cr;
+      cr.kind = CommKind::Barrier;
+      commAt_.push_back(stmts_.size());
+      comms_.push_back(std::move(cr));
+      return Flow::Normal;
+    }
+
+    case Op::Fork:
+    case Op::ParallelFor:
+    case Op::Workshare:
+    case Op::BarrierOp:
+    case Op::Spawn:
+    case Op::SyncOp:
+    case Op::OmpParallelFor:
+      fail("cotape cannot differentiate shared-memory parallel constructs "
+           "(like CoDiPack with OpenMP, paper §VIII)");
+    default:
+      fail("cotape: unsupported op ", ir::traits(in.op).name);
+  }
+}
+
+void TapeInterpreter::recordRecv(RtPtr p, i64 count, int src, int tag) {
+  CommRec cr;
+  cr.kind = CommKind::Irecv;
+  cr.peer = src;
+  cr.tag = tag;
+  cr.count = count;
+  auto& mi = idxOf(p);
+  cr.indices.resize((std::size_t)count);
+  for (i64 k = 0; k < count; ++k) {
+    std::int32_t id = fresh();
+    mi[static_cast<std::size_t>(p.off + k)] = id;
+    cr.indices[(std::size_t)k] = id;
+  }
+  commAt_.push_back(stmts_.size());
+  comms_.push_back(std::move(cr));
+}
+
+}  // namespace parad::cotape

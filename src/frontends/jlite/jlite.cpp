@@ -1,0 +1,71 @@
+#include "src/frontends/jlite/jlite.h"
+
+namespace parad::jlite {
+
+using ir::Type;
+using ir::Value;
+
+void installMpiShims(ir::Module& mod) {
+  if (mod.has("mpijl_send")) return;
+  {
+    // send(buf, count, dest, tag)
+    ir::FunctionBuilder b(mod, "mpijl_send",
+                          {Type::PtrF64, Type::I64, Type::I64, Type::I64});
+    b.mpSend(b.param(0), b.param(1), b.param(2), b.param(3));
+    b.ret();
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mpijl_recv",
+                          {Type::PtrF64, Type::I64, Type::I64, Type::I64});
+    b.mpRecv(b.param(0), b.param(1), b.param(2), b.param(3));
+    b.ret();
+    b.finish();
+  }
+  {
+    // sendrecv(sendbuf, recvbuf, count, dest, src, tag): nonblocking pair so
+    // neighbouring ranks cannot deadlock (the MPI.jl halo-exchange pattern).
+    ir::FunctionBuilder b(mod, "mpijl_sendrecv",
+                          {Type::PtrF64, Type::PtrF64, Type::I64, Type::I64,
+                           Type::I64, Type::I64});
+    auto rreq = b.mpIrecv(b.param(1), b.param(2), b.param(4), b.param(5));
+    auto sreq = b.mpIsend(b.param(0), b.param(2), b.param(3), b.param(5));
+    b.mpWait(rreq);
+    b.mpWait(sreq);
+    b.ret();
+    b.finish();
+  }
+  {
+    // allreduce(sendbuf, recvbuf, count) with op selected by an i64 code.
+    ir::FunctionBuilder b(mod, "mpijl_allreduce_sum",
+                          {Type::PtrF64, Type::PtrF64, Type::I64});
+    b.mpAllreduce(b.param(0), b.param(1), b.param(2), ir::ReduceKind::Sum);
+    b.ret();
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mpijl_allreduce_min",
+                          {Type::PtrF64, Type::PtrF64, Type::I64});
+    b.mpAllreduce(b.param(0), b.param(1), b.param(2), ir::ReduceKind::Min);
+    b.ret();
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mpijl_rank", {}, Type::I64);
+    b.ret(b.mpRank());
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mpijl_size", {}, Type::I64);
+    b.ret(b.mpSize());
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mpijl_barrier", {});
+    b.mpBarrier();
+    b.ret();
+    b.finish();
+  }
+}
+
+}  // namespace parad::jlite

@@ -1,0 +1,81 @@
+// jlite: a dynamic-language frontend modeling how Julia code reaches the
+// AD engine (§VI-C, §VIII):
+//   * boxed, GC-managed arrays with a descriptor indirection — every access
+//     reloads the data pointer, degrading alias analysis exactly as the
+//     paper reports for Julia arrays (more reverse-pass caching);
+//   * foreign calls emitted as indirect calls to opaque integer addresses,
+//     resolved through the module symbol table by the resolve-indirect pass
+//     (the Enzyme.jl symbol-table trick, §VI-C1);
+//   * gc_preserve_begin/end intrinsics around foreign calls, which the AD
+//     engine must extend to shadow values;
+//   * task-based parallel for (`@threads`-style) lowered onto spawn/sync.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/builder.h"
+
+namespace parad::jlite {
+
+class JlBuilder {
+ public:
+  explicit JlBuilder(ir::FunctionBuilder& b) : b_(b) {}
+
+  ir::FunctionBuilder& ir() { return b_; }
+
+  /// Allocates a GC'd boxed f64 array; returns the descriptor.
+  ir::Value allocArray(ir::Value n) { return b_.jlAllocArray(n); }
+
+  /// Loads the data pointer out of the descriptor. Called per access site
+  /// (the JIT does not CSE across calls), which is what makes jlite arrays
+  /// opaque to alias analysis unless the optimizer hoists the load.
+  ir::Value arrayData(ir::Value desc) { return b_.load(desc, b_.constI(0)); }
+
+  ir::Value arrayRef(ir::Value desc, ir::Value i) {
+    return b_.load(arrayData(desc), i);
+  }
+  void arraySet(ir::Value desc, ir::Value i, ir::Value v) {
+    b_.store(arrayData(desc), i, v);
+  }
+
+  /// Foreign call through an opaque address (ccall): the callee name is
+  /// interned in the module symbol table; the emitted IR contains only the
+  /// integer address. `gcRoots` are preserved across the call.
+  ir::Value ccall(const std::string& sym, const std::vector<ir::Value>& args,
+                  ir::Type retType, const std::vector<ir::Value>& gcRoots) {
+    i64 addr = b_.module().symbols.intern(sym);
+    ir::Value tok;
+    if (!gcRoots.empty()) tok = b_.gcPreserveBegin(gcRoots);
+    ir::Value r = b_.callIndirect(b_.constI(addr), args, retType);
+    if (!gcRoots.empty()) b_.gcPreserveEnd(tok);
+    return r;
+  }
+
+  /// Julia `Threads.@threads`-style loop: statically splits [lo, hi) into
+  /// `ntasks` chunks, spawning one task per chunk and syncing all of them.
+  void threadsFor(ir::Value lo, ir::Value hi, int ntasks,
+                  const std::function<void(ir::Value)>& body) {
+    ir::Value len = b_.isub(hi, lo);
+    ir::Value nt = b_.constI(ntasks);
+    ir::Value chunk = b_.idiv(b_.isub(b_.iadd(len, nt), b_.constI(1)), nt);
+    std::vector<ir::Value> tasks;
+    for (int t = 0; t < ntasks; ++t) {
+      ir::Value begin = b_.iadd(lo, b_.imul(b_.constI(t), chunk));
+      ir::Value end = b_.imin_(hi, b_.iadd(begin, chunk));
+      tasks.push_back(b_.spawn([&] { b_.emitFor(begin, end, body); }));
+    }
+    for (ir::Value t : tasks) b_.sync(t);
+  }
+
+ private:
+  ir::FunctionBuilder& b_;
+};
+
+/// Installs the "MPI.jl" shim functions into the module: thin IR wrappers
+/// over the message-passing ops, reached from jlite code only through
+/// opaque indirect calls (like MPI.jl's ccall wrappers over libmpi).
+void installMpiShims(ir::Module& mod);
+
+}  // namespace parad::jlite

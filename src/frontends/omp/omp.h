@@ -1,0 +1,68 @@
+// OpenMP-pragma-style frontend: emits the high-level omp dialect op that the
+// lower-omp pass turns into fork/workshare/allocas (the role Clang's OpenMP
+// codegen plays for LLVM, Fig. 3). The AD engine never sees these clauses —
+// it differentiates the lowered memory operations (§VI-A2).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/ir/builder.h"
+
+namespace parad::omp {
+
+/// Clause list for `parallelFor`, built fluently:
+///   omp::Clauses().firstprivate(x).reduction(ReduceKind::Min, target)
+class Clauses {
+ public:
+  Clauses& firstprivate(ir::Value init) {
+    specs_.push_back({ir::OmpClauseKind::FirstPrivate, init, ir::ReduceKind::Sum});
+    return *this;
+  }
+  Clauses& privateVar() {
+    specs_.push_back({ir::OmpClauseKind::Private, {}, ir::ReduceKind::Sum});
+    return *this;
+  }
+  Clauses& lastprivate(ir::Value dest) {
+    specs_.push_back({ir::OmpClauseKind::LastPrivate, dest, ir::ReduceKind::Sum});
+    return *this;
+  }
+  Clauses& reduction(ir::ReduceKind k, ir::Value target) {
+    specs_.push_back({ir::OmpClauseKind::Reduction, target, k});
+    return *this;
+  }
+  Clauses& numThreads(ir::Value n) {
+    numThreads_ = n;
+    return *this;
+  }
+
+  const std::vector<ir::FunctionBuilder::OmpClauseSpec>& specs() const {
+    return specs_;
+  }
+  ir::Value numThreadsValue() const { return numThreads_; }
+
+ private:
+  std::vector<ir::FunctionBuilder::OmpClauseSpec> specs_;
+  ir::Value numThreads_;
+};
+
+/// #pragma omp parallel for
+inline void parallelFor(ir::FunctionBuilder& b, ir::Value lo, ir::Value hi,
+                        const std::function<void(ir::Value)>& body) {
+  b.emitOmpParallelFor(lo, hi, {}, [&](ir::Value iv, std::vector<ir::Value>) {
+    body(iv);
+  });
+}
+
+/// #pragma omp parallel for <clauses>; the body receives the induction
+/// variable plus one ptr<f64> slot per clause, in clause order.
+inline void parallelFor(
+    ir::FunctionBuilder& b, ir::Value lo, ir::Value hi, const Clauses& clauses,
+    const std::function<void(ir::Value, const std::vector<ir::Value>&)>& body) {
+  b.emitOmpParallelFor(
+      lo, hi, clauses.specs(),
+      [&](ir::Value iv, std::vector<ir::Value> slots) { body(iv, slots); },
+      clauses.numThreadsValue());
+}
+
+}  // namespace parad::omp

@@ -1,0 +1,113 @@
+// RAJA-style portability layer: `forall<ExecPolicy>` plus reducer objects.
+//
+// Exactly as §VI-D describes, this layer needs NO AD-specific support: the
+// omp execution policy lowers onto the omp dialect (and from there onto
+// fork/workshare), the sequential policy onto a plain loop, and Enzyme-style
+// differentiation happens below it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/frontends/omp/omp.h"
+#include "src/ir/builder.h"
+
+namespace parad::raja {
+
+struct seq_exec {};
+struct omp_parallel_for_exec {};
+
+/// RAJA-style reducer. Create before the forall, fold values inside the
+/// body, read the result after with get().
+class ReduceBase {
+ public:
+  ReduceBase(ir::FunctionBuilder& b, ir::ReduceKind kind, double init)
+      : b_(&b), kind_(kind) {
+    target_ = b.alloc(b.constI(1), ir::Type::F64);
+    b.store(target_, b.constI(0), b.constF(init));
+  }
+
+  ir::Value get() const { return b_->load(target_, b_->constI(0)); }
+
+  // -- used by forall --
+  ir::ReduceKind kind() const { return kind_; }
+  ir::Value target() const { return target_; }
+  void bindSlot(ir::Value slot) { slot_ = slot; }
+  void fold(ir::Value v) {
+    ir::Value cur = b_->load(bound(), b_->constI(0));
+    ir::Value comb = kind_ == ir::ReduceKind::Sum ? b_->fadd(cur, v)
+                     : kind_ == ir::ReduceKind::Min ? b_->fmin_(cur, v)
+                                                    : b_->fmax_(cur, v);
+    b_->store(bound(), b_->constI(0), comb);
+  }
+
+ private:
+  ir::Value bound() const { return slot_.valid() ? slot_ : target_; }
+  ir::FunctionBuilder* b_;
+  ir::ReduceKind kind_;
+  ir::Value target_;
+  ir::Value slot_;
+};
+
+class ReduceMin : public ReduceBase {
+ public:
+  ReduceMin(ir::FunctionBuilder& b, double init = 1e308)
+      : ReduceBase(b, ir::ReduceKind::Min, init) {}
+  void min(ir::Value v) { fold(v); }
+};
+class ReduceMax : public ReduceBase {
+ public:
+  ReduceMax(ir::FunctionBuilder& b, double init = -1e308)
+      : ReduceBase(b, ir::ReduceKind::Max, init) {}
+  void max(ir::Value v) { fold(v); }
+};
+class ReduceSum : public ReduceBase {
+ public:
+  ReduceSum(ir::FunctionBuilder& b, double init = 0)
+      : ReduceBase(b, ir::ReduceKind::Sum, init) {}
+  void sum(ir::Value v) { fold(v); }
+};
+
+namespace detail {
+inline void collect(std::vector<ReduceBase*>&) {}
+template <typename... Rest>
+void collect(std::vector<ReduceBase*>& out, ReduceBase& r, Rest&... rest) {
+  out.push_back(&r);
+  collect(out, rest...);
+}
+}  // namespace detail
+
+/// RAJA::forall — sequential policy.
+inline void forallImpl(seq_exec, ir::FunctionBuilder& b, ir::Value lo,
+                       ir::Value hi, const std::function<void(ir::Value)>& body,
+                       const std::vector<ReduceBase*>& reducers) {
+  // Sequential execution folds straight into the targets.
+  (void)reducers;
+  b.emitFor(lo, hi, body);
+}
+
+/// RAJA::forall — OpenMP policy, lowering onto the omp dialect.
+inline void forallImpl(omp_parallel_for_exec, ir::FunctionBuilder& b,
+                       ir::Value lo, ir::Value hi,
+                       const std::function<void(ir::Value)>& body,
+                       const std::vector<ReduceBase*>& reducers) {
+  omp::Clauses clauses;
+  for (ReduceBase* r : reducers) clauses.reduction(r->kind(), r->target());
+  omp::parallelFor(b, lo, hi, clauses,
+                   [&](ir::Value iv, const std::vector<ir::Value>& slots) {
+                     for (std::size_t k = 0; k < reducers.size(); ++k)
+                       reducers[k]->bindSlot(slots[k]);
+                     body(iv);
+                     for (ReduceBase* r : reducers) r->bindSlot({});
+                   });
+}
+
+template <typename Exec, typename... Reducers>
+void forall(ir::FunctionBuilder& b, ir::Value lo, ir::Value hi,
+            const std::function<void(ir::Value)>& body, Reducers&... reducers) {
+  std::vector<ReduceBase*> rs;
+  detail::collect(rs, reducers...);
+  forallImpl(Exec{}, b, lo, hi, body, rs);
+}
+
+}  // namespace parad::raja

@@ -1,0 +1,90 @@
+// IR interpreter executing on the psim virtual machine.
+//
+// This is the "runtime + JIT" of the reproduction: IR semantics are executed
+// exactly (with bounds-checked memory), while every operation charges a cost
+// against the current virtual worker's clock. Parallel constructs execute
+// deterministically:
+//   * fork bodies run thread-by-thread per barrier-delimited segment, with
+//     per-thread storage for SSA values that cross segment boundaries;
+//   * parallel-for iterations run in order, attributed to statically-chunked
+//     virtual threads;
+//   * spawned tasks run eagerly (serial-elision semantics, valid for
+//     race-free programs) and are list-scheduled onto virtual task workers;
+//   * message-passing ops call into the fabric, cooperatively yielding the
+//     rank when a wait cannot complete yet.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/inst.h"
+#include "src/psim/sim.h"
+
+namespace parad::interp {
+
+/// Runtime value: untagged union (the IR's static types select the member).
+struct RtVal {
+  union U {
+    double f;
+    i64 i;
+    psim::RtPtr p;
+    std::int32_t req;
+    std::int32_t task;
+    U() : i(0) {}
+  } u;
+  static RtVal F(double v) { RtVal x; x.u.f = v; return x; }
+  static RtVal I(i64 v) { RtVal x; x.u.i = v; return x; }
+  static RtVal P(psim::RtPtr v) { RtVal x; x.u.p = v; return x; }
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Module& mod, psim::Machine& machine)
+      : mod_(mod), machine_(machine) {}
+
+  /// Runs `fn` as the given rank's program (on the rank's main worker).
+  /// Returns the function's return value (undefined content for void).
+  RtVal run(const ir::Function& fn, std::vector<RtVal> args,
+            psim::RankEnv& env);
+
+ private:
+  struct ThreadState {
+    psim::WorkerCtx w;
+    int tid = 0;
+    int nthreads = 1;
+  };
+  struct TaskRec {
+    double endTime = 0;
+  };
+  struct RankRun {  // mutable per-rank interpreter state
+    psim::RankEnv* env = nullptr;
+    ThreadState* ts = nullptr;  // current virtual thread
+    std::vector<TaskRec> tasks;
+    std::vector<double> taskWorkerFree;
+    RtVal retVal{};
+    bool yield = false;
+    int callDepth = 0;
+  };
+  using Frame = std::vector<RtVal>;
+  enum class Flow { Normal, Return };
+
+  Flow execRegion(const ir::Function& fn, const ir::Region& r, Frame& f,
+                  RankRun& rr);
+  Flow execInst(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                RankRun& rr);
+  Flow execFork(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                RankRun& rr);
+  Flow execParallelFor(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                       RankRun& rr);
+  RtVal callFunction(const ir::Function& callee, std::vector<RtVal> args,
+                     RankRun& rr);
+
+  const std::vector<int>& definedValues(const ir::Inst& in);
+
+  const ir::Module& mod_;
+  psim::Machine& machine_;
+  std::unordered_map<const ir::Inst*, std::vector<int>> definedCache_;
+};
+
+}  // namespace parad::interp

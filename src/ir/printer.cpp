@@ -1,0 +1,137 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+
+namespace parad::ir {
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const Function& fn) : fn_(fn) {}
+
+  std::string run() {
+    os_ << "func @" << fn_.name << "(";
+    for (std::size_t i = 0; i < fn_.body.args.size(); ++i) {
+      if (i) os_ << ", ";
+      os_ << "%" << fn_.body.args[i] << ": "
+          << typeName(fn_.paramTypes[i]);
+    }
+    os_ << ")";
+    if (fn_.retType != Type::Void) os_ << " -> " << typeName(fn_.retType);
+    os_ << " {\n";
+    printRegionBody(fn_.body, 1);
+    os_ << "}\n";
+    return os_.str();
+  }
+
+ private:
+  void indent(int d) {
+    for (int i = 0; i < d; ++i) os_ << "  ";
+  }
+  void printOperands(const Inst& in, std::size_t from = 0) {
+    for (std::size_t i = from; i < in.operands.size(); ++i) {
+      if (i > from) os_ << ", ";
+      os_ << "%" << in.operands[i];
+    }
+  }
+  void printRegionHeader(const Region& r) {
+    os_ << " {";
+    if (!r.args.empty()) {
+      os_ << " |";
+      for (std::size_t i = 0; i < r.args.size(); ++i) {
+        if (i) os_ << ", ";
+        os_ << "%" << r.args[i];
+      }
+      os_ << "|";
+    }
+    os_ << "\n";
+  }
+  void printRegionBody(const Region& r, int d) {
+    for (const Inst& in : r.insts) printInst(in, d);
+  }
+  void printInst(const Inst& in, int d) {
+    indent(d);
+    if (in.result >= 0)
+      os_ << "%" << in.result << ": " << typeName(fn_.typeOf(in.result))
+          << " = ";
+    os_ << traits(in.op).name;
+    switch (in.op) {
+      case Op::ConstF: os_ << " " << in.fconst; break;
+      case Op::ConstI: os_ << " " << in.iconst; break;
+      case Op::ConstB: os_ << " " << (in.iconst ? "true" : "false"); break;
+      case Op::Alloc:
+        os_ << "[" << typeName(static_cast<Type>(in.iconst)) << "] ";
+        printOperands(in);
+        if (in.flags & kFlagCacheAlloc) os_ << "  // cache";
+        if (in.flags & kFlagShadowAlloc) os_ << "  // shadow";
+        break;
+      case Op::Call:
+        os_ << " @" << in.sym << "(";
+        printOperands(in);
+        os_ << ")";
+        break;
+      case Op::CallIndirect:
+        os_ << " *%" << in.operands[0] << "(";
+        printOperands(in, 1);
+        os_ << ")";
+        break;
+      case Op::MpAllreduce: {
+        const char* k[] = {"sum", "min", "max"};
+        os_ << "<" << k[in.iconst] << "> ";
+        printOperands(in);
+        break;
+      }
+      case Op::OmpParallelFor: {
+        os_ << " ";
+        printOperands(in);
+        if (in.omp) {
+          os_ << "  // clauses:";
+          for (const auto& c : in.omp->clauses) {
+            switch (c.kind) {
+              case OmpClauseKind::FirstPrivate: os_ << " firstprivate"; break;
+              case OmpClauseKind::Private: os_ << " private"; break;
+              case OmpClauseKind::LastPrivate: os_ << " lastprivate"; break;
+              case OmpClauseKind::Reduction: os_ << " reduction"; break;
+            }
+          }
+        }
+        break;
+      }
+      default: {
+        if (!in.operands.empty()) os_ << " ";
+        printOperands(in);
+        break;
+      }
+    }
+    if (!in.regions.empty()) {
+      for (const Region& r : in.regions) {
+        printRegionHeader(r);
+        printRegionBody(r, d + 1);
+        indent(d);
+        os_ << "}";
+      }
+      os_ << "\n";
+    } else {
+      if (!in.sym.empty() && in.op != Op::Call) os_ << "  // " << in.sym;
+      os_ << "\n";
+    }
+  }
+
+  const Function& fn_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string print(const Function& fn) { return Printer(fn).run(); }
+
+std::string print(const Module& mod) {
+  std::string out;
+  for (const auto& [name, fn] : mod.functions) {
+    out += print(fn);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace parad::ir

@@ -1,0 +1,14 @@
+// Textual IR printer. Output is for humans (docs, debugging, examples) — it
+// is not meant to be reparsed.
+#pragma once
+
+#include <string>
+
+#include "src/ir/inst.h"
+
+namespace parad::ir {
+
+std::string print(const Function& fn);
+std::string print(const Module& mod);
+
+}  // namespace parad::ir

@@ -1,0 +1,66 @@
+// Value types of the parad IR.
+//
+// The IR is a small SSA-based, structured-region compiler IR in the spirit of
+// LLVM/MLIR (the compiler levels the paper's AD engine operates on). Pointer
+// types are typed by element so the interpreter can execute without runtime
+// tags and the verifier can type-check memory traffic.
+#pragma once
+
+#include <string>
+
+#include "src/support/common.h"
+
+namespace parad::ir {
+
+enum class Type : unsigned char {
+  Void,
+  F64,     // differentiable scalar
+  I64,     // index/integer
+  I1,      // boolean
+  PtrF64,  // pointer into an f64 memory object
+  PtrI64,  // pointer into an i64 memory object
+  PtrPtr,  // pointer into a memory object holding f64 pointers (boxed arrays)
+  Req,     // message-passing request handle
+  Task,    // spawned-task handle
+};
+
+inline bool isPtr(Type t) {
+  return t == Type::PtrF64 || t == Type::PtrI64 || t == Type::PtrPtr;
+}
+
+/// Element type of a memory object addressed by a pointer of type `t`.
+inline Type elemType(Type t) {
+  switch (t) {
+    case Type::PtrF64: return Type::F64;
+    case Type::PtrI64: return Type::I64;
+    case Type::PtrPtr: return Type::PtrF64;
+    default: fail("elemType: not a pointer type");
+  }
+}
+
+/// Pointer type whose elements have type `t`.
+inline Type ptrTo(Type t) {
+  switch (t) {
+    case Type::F64: return Type::PtrF64;
+    case Type::I64: return Type::PtrI64;
+    case Type::PtrF64: return Type::PtrPtr;
+    default: fail("ptrTo: unsupported element type");
+  }
+}
+
+inline const char* typeName(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::F64: return "f64";
+    case Type::I64: return "i64";
+    case Type::I1: return "i1";
+    case Type::PtrF64: return "ptr<f64>";
+    case Type::PtrI64: return "ptr<i64>";
+    case Type::PtrPtr: return "ptr<ptr>";
+    case Type::Req: return "req";
+    case Type::Task: return "task";
+  }
+  return "?";
+}
+
+}  // namespace parad::ir

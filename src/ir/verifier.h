@@ -1,0 +1,15 @@
+// IR verifier: structural and type checking. Run after frontends, after each
+// pass, and after gradient generation (all generated IR must verify).
+#pragma once
+
+#include "src/ir/inst.h"
+
+namespace parad::ir {
+
+/// Throws parad::Error with a diagnostic if the function is malformed.
+void verify(const Module& mod, const Function& fn);
+
+/// Verifies every function in the module.
+void verify(const Module& mod);
+
+}  // namespace parad::ir

@@ -1,0 +1,51 @@
+// Compiler passes around the AD engine (paper §V-E: "optimization and
+// differentiation").
+//
+//   * inlineCalls        — flattens direct calls (AD requires a flat body)
+//   * resolveIndirect    — rewrites jlite indirect calls to direct calls by
+//                          looking up opaque addresses in the module's symbol
+//                          table (§VI-C1)
+//   * lowerOmp           — lowers the high-level omp dialect (worksharing
+//                          loop + private/firstprivate/lastprivate/reduction
+//                          clauses) onto fork/workshare/allocas (Fig. 3/6);
+//                          AD then needs no clause-specific handling
+//   * cleanup            — constant folding + dead code elimination
+//   * hoistInvariants    — LICM incl. parallel-region load hoisting: our
+//                          OpenMPOpt stand-in; moving read-only loads out of
+//                          parallel bodies lets AD keep scalars instead of
+//                          per-iteration caches (§VIII's ablation mechanism)
+//   * mergeAdjacentForks — merges back-to-back forks over the same thread
+//                          count with a barrier in between (the post-AD
+//                          optimization suggested for Fig. 4)
+#pragma once
+
+#include <string>
+
+#include "src/ir/inst.h"
+
+namespace parad::passes {
+
+void inlineCalls(ir::Module& mod, const std::string& fn);
+void resolveIndirect(ir::Module& mod, const std::string& fn);
+void lowerOmp(ir::Module& mod, const std::string& fn);
+void cleanup(ir::Module& mod, const std::string& fn);
+/// Returns the number of instructions hoisted.
+int hoistInvariants(ir::Module& mod, const std::string& fn);
+/// Returns the number of fork pairs merged.
+int mergeAdjacentForks(ir::Module& mod, const std::string& fn);
+
+struct PipelineOptions {
+  bool ompOpt = true;   // run invariant/load hoisting (OpenMPOpt stand-in)
+  bool cleanup = true;
+};
+
+/// Standard pre-AD pipeline: resolve indirect calls, lower omp, inline,
+/// optionally optimize. Mirrors "running optimizations prior to AD".
+void prepareForAD(ir::Module& mod, const std::string& fn,
+                  const PipelineOptions& opts = {});
+
+/// Standard post-AD pipeline on a generated gradient.
+void optimizeGradient(ir::Module& mod, const std::string& fn,
+                      const PipelineOptions& opts = {});
+
+}  // namespace parad::passes

@@ -1,0 +1,174 @@
+#include "src/psim/fabric.h"
+
+#include <algorithm>
+
+namespace parad::psim {
+
+ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
+                    int dest, int tag) {
+  PARAD_CHECK(dest >= 0 && dest < nranks_, "isend: bad destination rank ",
+              dest);
+  PARAD_CHECK(count >= 0, "isend: negative count");
+  // Post overhead plus the local buffering copy.
+  w.advance(cfg_.cost.mpWaitCost * 0.5 +
+            static_cast<double>(count) * 8.0 / cfg_.cost.coreBandwidth);
+  stats_.messages++;
+  stats_.bytesSent += static_cast<std::uint64_t>(count) * 8u;
+
+  Message msg{rank, tag, std::vector<double>(data, data + count), w.clock};
+
+  // If the destination already posted a matching receive, deliver into it.
+  auto& pend = pendingRecvs_[static_cast<std::size_t>(dest)];
+  for (std::size_t k = 0; k < pend.size(); ++k) {
+    Request& r = reqs_[static_cast<std::size_t>(pend[k])];
+    if (!r.complete && (r.src == rank || r.src == -1) &&
+        (r.tag == tag || r.tag == -1)) {
+      deliver(r, std::move(msg));
+      pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(k));
+      Request sreq{Request::Kind::Send};
+      sreq.complete = true;
+      sreq.completeTime = w.clock;
+      reqs_.push_back(sreq);
+      return static_cast<ReqId>(reqs_.size() - 1);
+    }
+  }
+  inbox_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
+
+  Request sreq{Request::Kind::Send};
+  sreq.complete = true;  // buffered send completes locally at post time
+  sreq.completeTime = w.clock;
+  reqs_.push_back(sreq);
+  return static_cast<ReqId>(reqs_.size() - 1);
+}
+
+void Fabric::deliver(Request& r, Message&& msg) {
+  PARAD_CHECK(static_cast<i64>(msg.data.size()) == r.count,
+              "message length mismatch: sent ", msg.data.size(), ", expected ",
+              r.count);
+  for (i64 k = 0; k < r.count; ++k)
+    mem_.atF(r.dest, k) = msg.data[static_cast<std::size_t>(k)];
+  r.complete = true;
+  r.completeTime = std::max(r.postTime, msg.availTime) +
+                   transferCost(msg.src, r.rank, r.count * 8);
+}
+
+ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
+                    int tag) {
+  PARAD_CHECK(src >= -1 && src < nranks_, "irecv: bad source rank ", src);
+  w.advance(cfg_.cost.mpWaitCost * 0.5);
+  Request r{Request::Kind::Recv};
+  r.rank = rank;
+  r.src = src;
+  r.tag = tag;
+  r.dest = dest;
+  r.count = count;
+  r.postTime = w.clock;
+
+  auto& box = inbox_[static_cast<std::size_t>(rank)];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if ((it->src == src || src == -1) && (it->tag == tag || tag == -1)) {
+      deliver(r, std::move(*it));
+      box.erase(it);
+      reqs_.push_back(std::move(r));
+      return static_cast<ReqId>(reqs_.size() - 1);
+    }
+  }
+  reqs_.push_back(std::move(r));
+  ReqId id = static_cast<ReqId>(reqs_.size() - 1);
+  pendingRecvs_[static_cast<std::size_t>(rank)].push_back(id);
+  return id;
+}
+
+void Fabric::wait(int rank, WorkerCtx& w, ReqId id) {
+  PARAD_CHECK(id >= 0 && static_cast<std::size_t>(id) < reqs_.size(),
+              "wait on invalid request");
+  if (!reqs_[static_cast<std::size_t>(id)].complete)
+    sched_.blockUntil(rank, [this, id] {
+      return reqs_[static_cast<std::size_t>(id)].complete;
+    });
+  const Request& r = reqs_[static_cast<std::size_t>(id)];
+  w.clock = std::max(w.clock, r.completeTime);
+  w.advance(cfg_.cost.mpWaitCost);
+}
+
+void Fabric::barrier(int rank, WorkerCtx& w) {
+  std::uint64_t gen = barrier_.generation;
+  barrier_.arrive[static_cast<std::size_t>(rank)] = w.clock;
+  barrier_.count++;
+  if (barrier_.count == nranks_) {
+    double latest = *std::max_element(barrier_.arrive.begin(),
+                                      barrier_.arrive.end());
+    int stages = 1;
+    while ((1 << stages) < nranks_) ++stages;
+    barrier_.releaseTime =
+        latest + cfg_.cost.allreducePerStage * (nranks_ > 1 ? stages : 0);
+    barrier_.count = 0;
+    barrier_.generation++;
+  } else {
+    sched_.blockUntil(rank, [this, gen] { return barrier_.generation != gen; });
+  }
+  w.clock = std::max(w.clock, barrier_.releaseTime);
+}
+
+void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
+                       const double* sendbuf, RtPtr recvbuf, i64 count,
+                       std::vector<i64>* winners) {
+  std::uint64_t gen = allred_.generation;
+  if (allred_.count == 0) {
+    allred_.kind = kind;
+    allred_.acc.assign(sendbuf, sendbuf + count);
+    allred_.winner.assign(static_cast<std::size_t>(count),
+                          static_cast<i64>(rank));
+  } else {
+    PARAD_CHECK(allred_.kind == kind &&
+                    static_cast<i64>(allred_.acc.size()) == count,
+                "mismatched allreduce call across ranks");
+    for (i64 k = 0; k < count; ++k) {
+      double v = sendbuf[k];
+      double& a = allred_.acc[static_cast<std::size_t>(k)];
+      switch (kind) {
+        case ir::ReduceKind::Sum: a += v; break;
+        case ir::ReduceKind::Min:
+          if (v < a) {
+            a = v;
+            allred_.winner[static_cast<std::size_t>(k)] = rank;
+          }
+          break;
+        case ir::ReduceKind::Max:
+          if (v > a) {
+            a = v;
+            allred_.winner[static_cast<std::size_t>(k)] = rank;
+          }
+          break;
+      }
+    }
+  }
+  allred_.arrive[static_cast<std::size_t>(rank)] = w.clock;
+  allred_.count++;
+  stats_.messages++;
+  stats_.bytesSent += static_cast<std::uint64_t>(count) * 8u;
+
+  if (allred_.count == nranks_) {
+    double latest =
+        *std::max_element(allred_.arrive.begin(), allred_.arrive.end());
+    int stages = 0;
+    while ((1 << stages) < nranks_) ++stages;
+    allred_.releaseTime =
+        latest + (cfg_.cost.allreducePerStage +
+                  cfg_.cost.mpBetaPerByte * static_cast<double>(count) * 8.0) *
+                     std::max(stages, 1);
+    allred_.count = 0;
+    allred_.generation++;
+    allred_.result = allred_.acc;
+    allred_.resultWinner = allred_.winner;
+  } else {
+    sched_.blockUntil(rank, [this, gen] { return allred_.generation != gen; });
+  }
+  for (i64 k = 0; k < count; ++k)
+    mem_.atF(recvbuf, k) = allred_.result[static_cast<std::size_t>(k)];
+  if (winners) *winners = allred_.resultWinner;
+  w.clock = std::max(w.clock, allred_.releaseTime);
+  w.advance(cfg_.cost.mpWaitCost);
+}
+
+}  // namespace parad::psim

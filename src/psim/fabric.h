@@ -1,0 +1,125 @@
+// Message-passing fabric of the virtual machine (the "simMP" substrate).
+//
+// Implements the MPI-style primitives the paper differentiates: nonblocking
+// Isend/Irecv with request handles completed by Wait, blocking Send/Recv,
+// Allreduce (sum/min/max, with per-element winning-rank capture for min/max
+// so the AD engine can route adjoints, cf. DESIGN.md), and Barrier.
+// Matching is FIFO per (destination, source, tag). Transfer times follow a
+// Hockney alpha-beta model with a larger alpha across the socket boundary.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/ir/inst.h"
+#include "src/psim/machine.h"
+#include "src/psim/memory.h"
+#include "src/psim/sched.h"
+
+namespace parad::psim {
+
+using ReqId = std::int32_t;
+
+class Fabric {
+ public:
+  Fabric(int nranks, const MachineConfig& cfg, MemoryManager& mem,
+         RunStats& stats, CoopScheduler& sched,
+         std::function<int(int)> socketOfRank)
+      : nranks_(nranks), cfg_(cfg), mem_(mem), stats_(stats), sched_(sched),
+        socketOfRank_(std::move(socketOfRank)),
+        barrier_{}, allred_{} {
+    inbox_.resize(static_cast<std::size_t>(nranks));
+    pendingRecvs_.resize(static_cast<std::size_t>(nranks));
+    barrier_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
+    allred_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
+  }
+
+  int ranks() const { return nranks_; }
+
+  /// Nonblocking send: the payload is captured immediately (buffered send).
+  ReqId isend(int rank, WorkerCtx& w, const double* data, i64 count, int dest,
+              int tag);
+  /// Nonblocking receive into interpreter memory `dest` (count elements).
+  ReqId irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src, int tag);
+  /// Completes a request, advancing the worker clock to the completion time.
+  void wait(int rank, WorkerCtx& w, ReqId id);
+
+  void send(int rank, WorkerCtx& w, const double* data, i64 count, int dest,
+            int tag) {
+    wait(rank, w, isend(rank, w, data, count, dest, tag));
+  }
+  void recv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src, int tag) {
+    wait(rank, w, irecv(rank, w, dest, count, src, tag));
+  }
+
+  void barrier(int rank, WorkerCtx& w);
+
+  /// Allreduce over `count` elements. If `winners` is non-null and the kind
+  /// is Min/Max, it receives the winning rank per element (lowest rank wins
+  /// ties), which the AD engine caches to route min/max adjoints.
+  void allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
+                 const double* sendbuf, RtPtr recvbuf, i64 count,
+                 std::vector<i64>* winners = nullptr);
+
+ private:
+  struct Message {
+    int src, tag;
+    std::vector<double> data;
+    double availTime;  // post time at the sender
+  };
+  struct Request {
+    enum class Kind { Send, Recv };
+    explicit Request(Kind k) : kind(k) {}
+    Kind kind;
+    bool complete = false;
+    double completeTime = 0;
+    // For pending receives:
+    int rank = 0, src = 0, tag = 0;
+    RtPtr dest;
+    i64 count = 0;
+    double postTime = 0;
+  };
+
+  double transferCost(int src, int dst, i64 bytes) const {
+    double alpha = socketOfRank_(src) == socketOfRank_(dst)
+                       ? cfg_.cost.mpAlphaLocal
+                       : cfg_.cost.mpAlphaRemote;
+    return alpha + cfg_.cost.mpBetaPerByte * static_cast<double>(bytes);
+  }
+
+  void deliver(Request& r, Message&& msg);
+
+  int nranks_;
+  const MachineConfig& cfg_;
+  MemoryManager& mem_;
+  RunStats& stats_;
+  CoopScheduler& sched_;
+  std::function<int(int)> socketOfRank_;
+
+  std::vector<std::deque<Message>> inbox_;          // per destination rank
+  std::vector<std::vector<ReqId>> pendingRecvs_;    // per destination rank
+  std::vector<Request> reqs_;
+
+  struct Rendezvous {
+    std::vector<double> arrive;
+    int count = 0;
+    std::uint64_t generation = 0;
+    double releaseTime = 0;
+  };
+  Rendezvous barrier_;
+
+  struct AllredState : Rendezvous {
+    ir::ReduceKind kind = ir::ReduceKind::Sum;
+    std::vector<double> acc;
+    std::vector<i64> winner;
+    // Snapshot written when the last rank arrives. Stable until every rank
+    // has consumed it (the next allreduce cannot complete before then).
+    std::vector<double> result;
+    std::vector<i64> resultWinner;
+  };
+  AllredState allred_;
+};
+
+}  // namespace parad::psim

@@ -1,0 +1,95 @@
+// psim: a deterministic virtual parallel machine.
+//
+// The paper evaluates on a dual-socket 32+32-core Xeon (AWS c6i.metal) plus
+// MPI ranks; this host has a single core, so parallel execution is *modeled*:
+// every interpreted operation advances a virtual per-worker clock by a cost
+// from a calibrated model, with first-touch NUMA placement, per-socket
+// bandwidth contention, atomic serialization, fork/join/barrier overheads and
+// an alpha-beta communication model for message passing. Program *semantics*
+// are executed exactly (deterministically); only time is simulated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/common.h"
+
+namespace parad::psim {
+
+/// Cost model, in virtual nanoseconds. Values are calibrated so the
+/// benchmark curves reproduce the qualitative shapes reported in the paper
+/// (see DESIGN.md §2 and bench/README notes).
+struct CostModel {
+  // Scalar op costs.
+  double flop = 0.7;        // simple f64 arithmetic
+  double intOp = 0.35;      // integer/compare/select
+  double special = 12.0;    // sqrt/sin/cos/exp/log/cbrt/fabs-min-max treated below
+  double powCost = 20.0;
+  double minmax = 0.9;      // fabs/fmin/fmax
+  // Memory system.
+  double memLatencyLocal = 1.3;   // per access, home socket == worker socket
+  double memLatencyRemote = 3.6;  // per access crossing the socket interconnect
+  double coreBandwidth = 16.0;    // bytes/ns a single core can stream
+  double socketBandwidth = 170.0; // bytes/ns shared per socket
+  double atomicCost = 16.0;       // base cost of an atomic RMW
+  double atomicPingPong = 42.0;   // extra cost when the line moved cores
+  // Parallel runtime overheads.
+  double forkBase = 900.0, forkPerThread = 28.0;
+  double joinBase = 160.0, joinPerThread = 9.0;
+  double barrierBase = 140.0, barrierPerThread = 7.0;
+  double workshareInit = 55.0;
+  double spawnCost = 320.0, syncCost = 90.0;
+  double loopIter = 0.25;  // per-iteration loop control
+  // Message passing (Hockney model).
+  double mpAlphaLocal = 550.0;   // same-socket rank pair
+  double mpAlphaRemote = 1050.0; // cross-socket rank pair
+  double mpBetaPerByte = 0.055;  // ~18 GB/s effective point-to-point
+  double mpWaitCost = 120.0;
+  double allreducePerStage = 420.0;  // per log2(ranks) stage
+  // Allocation.
+  double allocBase = 180.0, allocPerKb = 2.0;
+  // Misc.
+  double callCost = 12.0;  // direct call overhead
+  double gcCost = 20.0;    // GC intrinsic bookkeeping (jlite)
+  double boxedExtra = 1.0; // extra indirection charge for boxed-array allocs
+};
+
+/// Hardware shape of the modeled machine.
+struct MachineConfig {
+  int sockets = 2;
+  int coresPerSocket = 32;
+  CostModel cost;
+  /// Forced serialization of all shadow accumulation to atomics (the
+  /// legal-but-slow fallback discussed in §VI-A1); used by ablation benches.
+  bool chargeAtomicContention = true;
+
+  int totalCores() const { return sockets * coresPerSocket; }
+  int socketOfCore(int core) const {
+    return (core / coresPerSocket) % sockets;
+  }
+};
+
+/// A virtual worker (one thread of one rank). The interpreter creates these
+/// when entering parallel regions; psim charges costs against their clocks.
+struct WorkerCtx {
+  double clock = 0;   // virtual ns
+  int core = 0;       // modeled core this worker is pinned to
+  int socket = 0;
+  double dilation = 1;  // >1 when virtual workers oversubscribe modeled cores
+
+  void advance(double ns) { clock += ns * dilation; }
+};
+
+/// Statistics gathered over one Machine::run (see bench harnesses).
+struct RunStats {
+  std::uint64_t atomicOps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t allocBytes = 0;
+  std::uint64_t cacheBytes = 0;   // bytes allocated by the AD cache planner
+  std::uint64_t tapeBytes = 0;    // bytes recorded by the cotape baseline
+  std::uint64_t peakLiveBytes = 0;
+  void reset() { *this = RunStats{}; }
+};
+
+}  // namespace parad::psim

@@ -1,0 +1,123 @@
+#include "src/psim/sched.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace parad::psim {
+
+struct CoopScheduler::Impl {
+  enum class State { Ready, Running, Blocked, Done };
+
+  std::mutex m;
+  std::condition_variable cv;
+  int current = -1;
+  bool failed = false;
+  std::vector<State> state;
+  std::vector<std::function<bool()>> pred;
+  std::vector<std::exception_ptr> err;
+  std::function<double(int)> clockOf;
+
+  // Picks the next rank to run; called with the lock held while no rank runs.
+  void pickNext() {
+    current = -1;
+    double best = 0;
+    for (int r = 0; r < static_cast<int>(state.size()); ++r) {
+      bool runnable =
+          state[static_cast<std::size_t>(r)] == State::Ready ||
+          (state[static_cast<std::size_t>(r)] == State::Blocked &&
+           pred[static_cast<std::size_t>(r)] && pred[static_cast<std::size_t>(r)]());
+      if (!runnable) continue;
+      double c = clockOf(r);
+      if (current < 0 || c < best) {
+        current = r;
+        best = c;
+      }
+    }
+    if (current >= 0) {
+      state[static_cast<std::size_t>(current)] = State::Running;
+      return;
+    }
+    // No runnable rank: either everyone is done, or we deadlocked.
+    for (State s : state)
+      if (s != State::Done) {
+        failed = true;
+        for (std::size_t r = 0; r < err.size(); ++r)
+          if (!err[r] && state[r] == State::Blocked)
+            err[r] = std::make_exception_ptr(
+                Error("message-passing deadlock: all ranks blocked"));
+        break;
+      }
+  }
+};
+
+void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
+                        const std::function<double(int)>& clockOf) {
+  PARAD_CHECK(nranks >= 1, "need at least one rank");
+  Impl impl;
+  impl_ = &impl;
+  impl.state.assign(static_cast<std::size_t>(nranks), Impl::State::Ready);
+  impl.pred.resize(static_cast<std::size_t>(nranks));
+  impl.err.resize(static_cast<std::size_t>(nranks));
+  impl.clockOf = clockOf;
+
+  {
+    std::lock_guard<std::mutex> lk(impl.m);
+    impl.pickNext();
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&impl, &fn, r] {
+      {
+        std::unique_lock<std::mutex> lk(impl.m);
+        impl.cv.wait(lk, [&] { return impl.current == r || impl.failed; });
+        if (impl.failed && impl.current != r) {
+          impl.state[static_cast<std::size_t>(r)] = Impl::State::Done;
+          impl.cv.notify_all();
+          return;
+        }
+      }
+      try {
+        fn(r);
+      } catch (...) {
+        impl.err[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(impl.m);
+        impl.state[static_cast<std::size_t>(r)] = Impl::State::Done;
+        if (impl.current == r) impl.pickNext();
+        impl.cv.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  impl_ = nullptr;
+  for (auto& e : impl.err)
+    if (e) std::rethrow_exception(e);
+}
+
+void CoopScheduler::blockUntil(int rank, const std::function<bool()>& pred) {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lk(impl.m);
+  PARAD_CHECK(impl.current == rank, "blockUntil called by non-running rank");
+  if (pred()) return;  // condition already satisfied; keep running
+  impl.state[static_cast<std::size_t>(rank)] = Impl::State::Blocked;
+  impl.pred[static_cast<std::size_t>(rank)] = pred;
+  impl.pickNext();
+  impl.cv.notify_all();
+  impl.cv.wait(lk, [&] { return impl.current == rank || impl.failed; });
+  impl.pred[static_cast<std::size_t>(rank)] = nullptr;
+  if (impl.failed && impl.current != rank) {
+    impl.state[static_cast<std::size_t>(rank)] = Impl::State::Done;
+    impl.cv.notify_all();
+    throw Error("message-passing deadlock: all ranks blocked");
+  }
+}
+
+}  // namespace parad::psim

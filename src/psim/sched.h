@@ -1,0 +1,34 @@
+// Cooperative rank scheduler.
+//
+// Message-passing ranks execute on carrier threads, but exactly one runs at
+// any instant; a rank yields only when it blocks on a communication
+// condition. The scheduler always resumes the runnable rank with the
+// smallest virtual clock, so simulated executions are deterministic and
+// message completion times are exact (a receive can only complete once the
+// matching send has been posted). Deadlocks (all ranks blocked) are detected
+// and reported rather than hanging.
+#pragma once
+
+#include <functional>
+
+namespace parad::psim {
+
+class CoopScheduler {
+ public:
+  /// Runs fn(rank) for ranks 0..nranks-1 cooperatively to completion.
+  /// `clockOf(rank)` must return the rank's current virtual clock; it is only
+  /// called while that rank is quiescent.
+  void run(int nranks, const std::function<void(int)>& fn,
+           const std::function<double(int)>& clockOf);
+
+  /// Called from inside a running rank: blocks until pred() holds. pred is
+  /// evaluated only while all ranks are quiescent, so it may read shared
+  /// simulation state without further locking.
+  void blockUntil(int rank, const std::function<bool()>& pred);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace parad::psim

@@ -1,0 +1,45 @@
+#include "src/psim/sim.h"
+
+#include <algorithm>
+
+namespace parad::psim {
+
+double Machine::run(const Launch& launch,
+                    const std::function<void(RankEnv&)>& fn) {
+  PARAD_CHECK(launch.ranks >= 1 && launch.threadsPerRank >= 1,
+              "bad launch configuration");
+  launch_ = launch;
+  std::vector<RankEnv> envs(static_cast<std::size_t>(launch.ranks));
+  envs_ = &envs;
+  for (int r = 0; r < launch.ranks; ++r) {
+    RankEnv& e = envs[static_cast<std::size_t>(r)];
+    e.machine = this;
+    e.rank = r;
+    e.ranks = launch.ranks;
+    e.threadsPerRank = launch.threadsPerRank;
+    e.main.clock = 0;
+    e.main.core = coreOfRankThread(r, 0);
+    e.main.socket = socketOfCore(e.main.core);
+    e.main.dilation = dilation();
+    addWorkers(e.main.socket, 1);
+  }
+  fabric_ = std::make_unique<Fabric>(
+      launch.ranks, cfg_, mem_, stats_, sched_,
+      [this](int r) { return socketOfRank(r); });
+
+  sched_.run(
+      launch.ranks,
+      [&](int r) { fn(envs[static_cast<std::size_t>(r)]); },
+      [&](int r) { return envs[static_cast<std::size_t>(r)].main.clock; });
+
+  double makespan = 0;
+  for (const RankEnv& e : envs) {
+    makespan = std::max(makespan, e.main.clock);
+    removeWorkers(e.main.socket, 1);
+  }
+  fabric_.reset();
+  envs_ = nullptr;
+  return makespan;
+}
+
+}  // namespace parad::psim

@@ -1,0 +1,130 @@
+// Machine: top-level handle of the virtual parallel machine.
+//
+// Owns the memory manager, run statistics, cooperative rank scheduler and
+// (during a run) the message fabric; provides the cost-charging entry points
+// the interpreter uses to advance virtual worker clocks with NUMA and
+// contention effects.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/psim/fabric.h"
+#include "src/psim/machine.h"
+#include "src/psim/memory.h"
+#include "src/psim/sched.h"
+
+namespace parad::psim {
+
+class Machine;
+
+/// Per-rank execution environment handed to the interpreter.
+struct RankEnv {
+  Machine* machine = nullptr;
+  int rank = 0;
+  int ranks = 1;
+  int threadsPerRank = 1;
+  WorkerCtx main;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {})
+      : cfg_(cfg), mem_(stats_), workers_(static_cast<std::size_t>(cfg.sockets), 0) {}
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  MachineConfig& config() { return cfg_; }
+  const MachineConfig& config() const { return cfg_; }
+  RunStats& stats() { return stats_; }
+  MemoryManager& mem() { return mem_; }
+  Fabric* fabric() { return fabric_.get(); }
+  CoopScheduler& sched() { return sched_; }
+
+  struct Launch {
+    int ranks = 1;
+    int threadsPerRank = 1;
+  };
+
+  /// Runs fn over all ranks on the cooperative scheduler; returns the
+  /// maximum finishing virtual clock over ranks (the program's makespan).
+  double run(const Launch& launch, const std::function<void(RankEnv&)>& fn);
+
+  // ---- placement ----
+  int coreOfRankThread(int rank, int tid) const {
+    return (rank * launch_.threadsPerRank + tid) % cfg_.totalCores();
+  }
+  int socketOfCore(int core) const { return cfg_.socketOfCore(core); }
+  int socketOfRank(int rank) const {
+    return socketOfCore(coreOfRankThread(rank, 0));
+  }
+  /// Clock-dilation factor when virtual workers oversubscribe modeled cores.
+  double dilation() const {
+    double w = static_cast<double>(launch_.ranks) * launch_.threadsPerRank;
+    double c = static_cast<double>(cfg_.totalCores());
+    return w > c ? w / c : 1.0;
+  }
+
+  // ---- contention bookkeeping (workers active per socket) ----
+  void addWorkers(int socket, int n) {
+    workers_[static_cast<std::size_t>(socket)] += n;
+  }
+  void removeWorkers(int socket, int n) {
+    workers_[static_cast<std::size_t>(socket)] -= n;
+  }
+  int workersOn(int socket) const {
+    return workers_[static_cast<std::size_t>(socket)];
+  }
+
+  // ---- cost charging ----
+  /// One memory access of `bytes` bytes whose object is homed on homeSocket.
+  void chargeMem(WorkerCtx& w, int homeSocket, i64 bytes) {
+    const CostModel& c = cfg_.cost;
+    double lat = (w.socket == homeSocket) ? c.memLatencyLocal
+                                          : c.memLatencyRemote;
+    int sharers = workersOn(homeSocket);
+    double perWorker = c.socketBandwidth / (sharers > 0 ? sharers : 1);
+    double bw = perWorker < c.coreBandwidth ? perWorker : c.coreBandwidth;
+    w.advance(lat + static_cast<double>(bytes) / bw);
+  }
+  /// Atomic read-modify-write contention: each ownership *transition* of a
+  /// cache line between cores pays a line transfer; a line that alternates
+  /// rapidly (several transitions without a sustained single-core streak)
+  /// is hot and pays the transfer on every access, like a hammered shared
+  /// counter. Lines that one core re-owns for a stretch re-localize.
+  void chargeAtomic(WorkerCtx& w, MemObject& obj, i64 elemIndex) {
+    stats_.atomicOps++;
+    MemObject::AtomicLine& line = obj.atomicLine(elemIndex);
+    bool charge = false;
+    if (line.lastCore >= 0 && line.lastCore != w.core) {
+      line.streak = 0;
+      if (++line.transitions >= 3) line.hot = true;
+      charge = true;
+    } else if (++line.streak > 16) {
+      line.hot = false;
+      line.transitions = 0;
+    }
+    line.lastCore = w.core;
+    if (cfg_.chargeAtomicContention && (charge || line.hot))
+      w.advance(cfg_.cost.atomicPingPong);
+    chargeMem(w, obj.homeSocket, 8);
+    w.advance(cfg_.cost.atomicCost);
+  }
+  void chargeAlloc(WorkerCtx& w, i64 bytes) {
+    w.advance(cfg_.cost.allocBase +
+              cfg_.cost.allocPerKb * static_cast<double>(bytes) / 1024.0);
+  }
+
+ private:
+  MachineConfig cfg_;
+  RunStats stats_;
+  MemoryManager mem_;
+  std::unique_ptr<Fabric> fabric_;
+  CoopScheduler sched_;
+  std::vector<int> workers_;
+  Launch launch_{};
+  std::vector<RankEnv>* envs_ = nullptr;
+};
+
+}  // namespace parad::psim

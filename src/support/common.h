@@ -1,0 +1,48 @@
+// Common error handling and small utilities shared across all parad modules.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parad {
+
+using i64 = std::int64_t;
+
+/// Exception type for all invariant violations, verifier failures, and
+/// runtime errors inside the parad toolchain. Carries a plain message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+namespace detail {
+inline void formatInto(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void formatInto(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  formatInto(os, rest...);
+}
+}  // namespace detail
+
+/// Builds a message from stream-able pieces and throws parad::Error.
+template <typename... Args>
+[[noreturn]] void fail(const Args&... args) {
+  std::ostringstream os;
+  detail::formatInto(os, args...);
+  throw Error(os.str());
+}
+
+/// Checks a condition; on failure throws with file/line and message pieces.
+#define PARAD_CHECK(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::parad::fail("check failed at ", __FILE__, ":", __LINE__, ": ", \
+                    #cond, ": ", ##__VA_ARGS__);                        \
+  } while (0)
+
+#define PARAD_UNREACHABLE(msg) \
+  ::parad::fail("unreachable at ", __FILE__, ":", __LINE__, ": ", msg)
+
+}  // namespace parad

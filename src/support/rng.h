@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation (SplitMix64) used by
+// workload generators and property tests. We avoid <random> engines so the
+// exact streams are stable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace parad {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG with a one-word state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t nextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * nextDouble(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? nextU64() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parad

@@ -1,0 +1,57 @@
+// Plain-text table printer used by the benchmark harnesses to emit
+// paper-style rows (one table/figure per bench binary).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parad {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int prec = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+  }
+  static std::string sci(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+    return buf;
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < w.size(); ++i)
+        if (row[i].size() > w[i]) w[i] = row[i].size();
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        std::fprintf(out, "%-*s", static_cast<int>(w[i] + 2),
+                     i < row.size() ? row[i].c_str() : "");
+      }
+      std::fprintf(out, "\n");
+    };
+    printRow(header_);
+    std::string rule;
+    for (std::size_t i = 0; i < w.size(); ++i) rule += std::string(w[i], '-') + "  ";
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& r : rows_) printRow(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parad

@@ -1,0 +1,143 @@
+// Error paths of the AD engine: unsupported shapes must be rejected with
+// actionable diagnostics, never silently mis-differentiated.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/forward.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+std::string gradError(ir::Module& mod, const std::string& fn,
+                      core::GradConfig cfg) {
+  try {
+    core::generateGradient(mod, fn, cfg);
+  } catch (const parad::Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(AdErrors, CallsMustBeInlined) {
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "g", {Type::F64}, Type::F64);
+    b.ret(b.fmul(b.param(0), b.param(0)));
+    b.finish();
+  }
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  b.ret(b.call("g", {b.load(b.param(0), b.constI(0))}));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("inlined"), std::string::npos) << msg;
+}
+
+TEST(AdErrors, OmpDialectMustBeLowered) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  b.emitOmpParallelFor(b.constI(0), b.param(1), {},
+                       [&](Value i, std::vector<Value>) {
+                         b.store(x, i, b.constF(1));
+                       });
+  b.ret(b.load(x, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("omp"), std::string::npos) << msg;
+}
+
+TEST(AdErrors, CachingUnderWhileIsRejected) {
+  // A nonlinear use of a value loaded from *written* memory inside a while
+  // loop needs a dynamically-sized cache, which is unsupported.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto slot = b.alloc(b.constI(1), Type::F64);
+  b.store(slot, b.constI(0), b.load(x, b.constI(0)));
+  b.emitWhile([&](Value) -> Value {
+    auto v = b.load(slot, b.constI(0));
+    b.store(slot, b.constI(0), b.fmul(v, v));  // needs v cached per iter
+    return b.fgt(b.load(slot, b.constI(0)), b.constF(1e-3));
+  });
+  b.ret(b.load(slot, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("while"), std::string::npos) << msg;
+}
+
+TEST(AdErrors, WaitOutsideDefiningRegionIsRejected) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64});
+  auto x = b.param(0);
+  auto n = b.param(1);
+  ir::Value req{};
+  b.emitIf(b.ieq(b.mpRank(), b.constI(0)), [&] {
+    req = b.mpIsend(x, n, b.constI(1), b.constI(0));
+  });
+  // Illegal for AD: the wait is in a different region than the isend.
+  b.emitIf(b.ieq(b.mpRank(), b.constI(0)), [&] { b.mpWait(req); });
+  b.ret();
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("same region"), std::string::npos) << msg;
+}
+
+TEST(AdErrors, DifferentiableLoopLocalBoxedArrayIsRejected) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto desc = b.jlAllocArray(b.constI(2));  // GC alloc inside a loop
+    auto data = b.load(desc, b.constI(0));
+    b.store(data, b.constI(0), b.load(x, i));
+    auto v = b.load(data, b.constI(0));
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, b.fmul(v, v)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("boxed-array"), std::string::npos) << msg;
+}
+
+TEST(AdErrors, GradientOfUnknownFunctionThrows) {
+  ir::Module mod;
+  core::GradConfig cfg;
+  EXPECT_THROW(core::generateGradient(mod, "nope", cfg), parad::Error);
+}
+
+TEST(AdErrors, ForwardModeRejectsCallsToo) {
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "g", {Type::F64}, Type::F64);
+    b.ret(b.param(0));
+    b.finish();
+  }
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  b.ret(b.call("g", {b.load(b.param(0), b.constI(0))}));
+  b.finish();
+  core::FwdConfig cfg;
+  cfg.activeArg = {true, false};
+  EXPECT_THROW(core::generateForward(mod, "f", cfg), parad::Error);
+}

@@ -1,0 +1,357 @@
+// Reverse-mode AD of shared-memory parallel constructs: parallel-for, fork /
+// workshare / barrier, tasks (spawn<->sync reversal), accumulation-kind
+// selection, and per-thread reduction slots (§IV-A, §VI-A).
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+using BodyFn = std::function<void(ir::FunctionBuilder&, Value, Value)>;
+
+ir::Module buildFn(const std::string& name, const BodyFn& body) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, name, {Type::PtrF64, Type::I64}, Type::F64);
+  body(b, b.param(0), b.param(1));
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+std::vector<double> testInput(std::size_t n, double lo = 0.2, double hi = 1.8) {
+  Rng rng(99);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(lo, hi);
+  return x;
+}
+
+// f = sum_i sin(x_i) * x_i, accumulated with atomics in a parallel for.
+ir::Module parallelSumModule() {
+  return buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      b.atomicAddF(acc, b.constI(0), b.fmul(b.sin_(v), v));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+}
+
+}  // namespace
+
+TEST(AdParallel, ParallelForElementwise) {
+  // out[i] = x[i]^2 pattern through a temp buffer, then a serial sum.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      b.store(u, i, b.fmul(v, b.exp_(v)));
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(24), 1e-6, {}, 8);
+}
+
+TEST(AdParallel, ParallelForAtomicAccumulation) {
+  ir::Module mod = parallelSumModule();
+  expectGradMatchesFD(mod, "f", testInput(20), 1e-6, {}, 8);
+}
+
+TEST(AdParallel, GatherPatternNeedsAtomicReverseScatter) {
+  // out[i] += x[i] and x[i+1]: the reverse of the gather races on shadow(x),
+  // which the engine must resolve with atomic adds.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto wIdx = b.irem(b.iadd(i, b.constI(1)), n);
+      auto w = b.load(x, wIdx);
+      b.store(u, i, b.fmul(v, w));
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  auto gi = core::generateGradient(mod, "f", cfg);
+  (void)gi;
+  expectGradMatchesFD(mod, "f", testInput(16), 1e-6, {}, 8);
+}
+
+TEST(AdParallel, ForkWorkshareBarrier) {
+  // Phase 1 (workshare): u[i] = x[i]^3; barrier; phase 2 (workshare):
+  // w[i] = u[i] + u[(i+1)%n]; serial combine.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    auto w = b.alloc(n, Type::F64);
+    b.emitFork(b.constI(0), [&](Value) {
+      b.emitWorkshare(b.constI(0), n, [&](Value i) {
+        auto v = b.load(x, i);
+        b.store(u, i, b.fmul(v, b.fmul(v, v)));
+      });
+      b.barrier();
+      b.emitWorkshare(b.constI(0), n, [&](Value i) {
+        auto nIdx = b.irem(b.iadd(i, b.constI(1)), n);
+        b.store(w, i, b.fadd(b.load(u, i), b.load(u, nIdx)));
+      });
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(w, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  auto x = testInput(17);
+  auto g = adGradScalarFn(mod, "f", x, {}, 4);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(g[i], 2 * 3 * x[i] * x[i], 1e-9) << "component " << i;
+}
+
+TEST(AdParallel, Figure7HandWrittenMinReduction) {
+  // LULESH-style per-thread min partials + barrier + serial combine (Fig. 7),
+  // differentiated as-is through memory primitives. f = min_i(c * x_i).
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto nt = b.numThreads();
+    auto partial = b.alloc(nt, Type::F64);
+    auto result = b.alloc(b.constI(1), Type::F64);
+    b.emitFork(b.constI(0), [&](Value tid) {
+      b.store(partial, tid, b.constF(1e30));
+      b.emitWorkshare(b.constI(0), n, [&](Value i) {
+        auto v = b.fmul(b.load(x, i), b.constF(2.5));
+        auto cur = b.load(partial, tid);
+        b.store(partial, tid, b.fmin_(cur, v));
+      });
+      b.barrier();
+      b.emitIf(b.ieq(tid, b.constI(0)), [&] {
+        auto accp = b.alloc(b.constI(1), Type::F64);
+        b.store(accp, b.constI(0), b.constF(1e30));
+        b.emitFor(b.constI(0), b.numThreads(), [&](Value t) {
+          auto cur = b.load(accp, b.constI(0));
+          b.store(accp, b.constI(0), b.fmin_(cur, b.load(partial, t)));
+        });
+        b.store(result, b.constI(0), b.load(accp, b.constI(0)));
+      });
+    });
+    b.ret(b.load(result, b.constI(0)));
+  });
+  auto x = testInput(23, 0.5, 3.0);
+  std::size_t argmin = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i] < x[argmin]) argmin = i;
+  auto g = adGradScalarFn(mod, "f", x, {}, 4);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(g[i], i == argmin ? 2.5 : 0.0, 1e-12) << "component " << i;
+}
+
+TEST(AdParallel, FirstPrivateSemanticsFig6) {
+  // The explicit lowering of Fig. 6: in_local is a thread-local slot
+  // initialized to `in`; the first iteration of each thread writes `in`, the
+  // rest write 0. d(in) must equal the number of threads that executed at
+  // least one iteration.
+  const int kThreads = 4;
+  const i64 kN = 40;
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "fp", {Type::PtrF64, Type::PtrF64}, Type::F64);
+  auto out = b.param(0);
+  auto inp = b.param(1);  // in[0] is the scalar "in"
+  b.emitFork(b.constI(kThreads), [&](Value) {
+    auto slot = b.alloc(b.constI(1), Type::F64);  // in_local
+    b.store(slot, b.constI(0), b.load(inp, b.constI(0)));
+    b.emitWorkshare(b.constI(0), b.constI(kN), [&](Value i) {
+      b.store(out, i, b.load(slot, b.constI(0)));
+      b.store(slot, b.constI(0), b.constF(0));
+    });
+  });
+  // f = sum(out)
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), b.constI(kN), [&](Value i) {
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, b.load(out, i)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+
+  core::GradConfig cfg;
+  cfg.activeArg = {true, true};
+  auto gi = core::generateGradient(mod, "fp", cfg);
+  psim::Machine m;
+  auto outp = makeF64(m, std::vector<double>(kN, 0));
+  auto inpp = makeF64(m, {7.5});
+  auto doutp = makeF64(m, std::vector<double>(kN, 0));
+  auto dinp = makeF64(m, {0.0});
+  runSerial(mod, mod.get(gi.name), m,
+            {interp::RtVal::P(outp), interp::RtVal::P(inpp),
+             interp::RtVal::P(doutp), interp::RtVal::P(dinp),
+             interp::RtVal::F(1.0)},
+            kThreads);
+  // Each of the 4 threads handles a 10-iteration chunk; its first iteration
+  // reads `in`, so df/d(in) = 4.
+  EXPECT_NEAR(m.mem().atF(dinp, 0), 4.0, 1e-12);
+}
+
+TEST(AdParallel, ReductionSlotsForBroadcastLoads) {
+  // A scalar parameter read by every iteration of a parallel loop: reverse
+  // accumulation to its shadow should go through per-thread reduction slots,
+  // giving #atomics ~ #threads, not #iterations.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto scale = b.load(x, b.constI(0));  // broadcast load
+      auto v = b.load(x, i);
+      b.store(u, i, b.fmul(scale, b.fmul(v, v)));
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  const int kThreads = 8;
+  const std::size_t kN = 64;
+  auto x = testInput(kN);
+
+  auto atomicsWith = [&](bool slots, std::vector<double>* grad) {
+    core::GradConfig cfg;
+    cfg.activeArg = {true, false};
+    cfg.enableReductionSlots = slots;
+    cfg.nameSuffix = slots ? "_slots" : "_noslots";
+    auto gi = core::generateGradient(mod, "f", cfg);
+    psim::Machine m;
+    auto p = makeF64(m, x);
+    auto dp = makeF64(m, std::vector<double>(x.size(), 0));
+    runSerial(mod, mod.get(gi.name), m,
+              {interp::RtVal::P(p), interp::RtVal::I((i64)x.size()),
+               interp::RtVal::P(dp), interp::RtVal::F(1.0)},
+              kThreads);
+    if (grad) *grad = readF64(m, dp, (i64)x.size());
+    return m.stats().atomicOps;
+  };
+  std::vector<double> gSlots, gNoSlots;
+  auto withSlots = atomicsWith(true, &gSlots);
+  auto noSlots = atomicsWith(false, &gNoSlots);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(gSlots[i], gNoSlots[i], 1e-9);
+  // Without slots, every iteration's broadcast-load adjoint is an atomic
+  // (kN of them, on top of the per-element scatter atomics). With slots the
+  // broadcast adjoints collapse to ~one atomic per thread.
+  EXPECT_GE(noSlots, 2 * kN);
+  EXPECT_LE(withSlots, noSlots - (kN * 3) / 4);
+  // And the gradient itself matches finite differences.
+  auto fd = fdGradScalarFn(mod, "f", x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(gSlots[i], fd[i], 1e-5 * std::max(1.0, std::abs(fd[i])));
+}
+
+TEST(AdParallel, AllAtomicFallbackIsCorrect) {
+  ir::Module mod = parallelSumModule();
+  auto x = testInput(12);
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  cfg.allAtomic = true;
+  auto gAtomic = adGradScalarFn(mod, "f", x, cfg, 8);
+  auto gAuto = adGradScalarFn(mod, "f", x, {}, 8);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(gAtomic[i], gAuto[i], 1e-12);
+}
+
+TEST(AdParallel, SpawnSyncTaskDagReversal) {
+  // Two tasks compute partial sums over halves; sync; combine. The reverse
+  // must spawn adjoint tasks at the mirrored sync position.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto part = b.alloc(b.constI(2), Type::F64);
+    b.memset0(part, b.constI(2));
+    auto half = b.idiv(n, b.constI(2));
+    auto t0 = b.spawn([&] {
+      b.emitFor(b.constI(0), half, [&](Value i) {
+        auto v = b.load(x, i);
+        auto cur = b.load(part, b.constI(0));
+        b.store(part, b.constI(0), b.fadd(cur, b.fmul(v, v)));
+      });
+    });
+    auto t1 = b.spawn([&] {
+      b.emitFor(half, n, [&](Value i) {
+        auto v = b.load(x, i);
+        auto cur = b.load(part, b.constI(1));
+        b.store(part, b.constI(1), b.fadd(cur, b.sin_(v)));
+      });
+    });
+    b.sync(t0);
+    b.sync(t1);
+    b.ret(b.fadd(b.load(part, b.constI(0)), b.load(part, b.constI(1))));
+  });
+  expectGradMatchesFD(mod, "f", testInput(14), 1e-6, {}, 4);
+}
+
+TEST(AdParallel, GradientIsThreadCountInvariant) {
+  ir::Module mod = parallelSumModule();
+  auto x = testInput(32);
+  auto g2 = adGradScalarFn(mod, "f", x, {}, 2);
+  auto g16 = adGradScalarFn(mod, "f", x, {}, 16);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(g2[i], g16[i]);
+}
+
+TEST(AdParallel, ReverseParallelScalesLikeForward) {
+  // The makespan of the gradient should shrink with threads similarly to the
+  // primal (§VIII "the differentiated code scales similarly").
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto t = v;
+      for (int k = 0; k < 6; ++k) t = b.sin_(b.fmul(t, t));
+      b.store(u, i, t);
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  auto gi = core::generateGradient(mod, "f", cfg);
+  auto x = testInput(8192);
+
+  auto timeGrad = [&](int threads) {
+    psim::Machine m;
+    auto p = makeF64(m, x);
+    auto dp = makeF64(m, std::vector<double>(x.size(), 0));
+    return m.run({1, threads}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get(gi.name),
+             {interp::RtVal::P(p), interp::RtVal::I((i64)x.size()),
+              interp::RtVal::P(dp), interp::RtVal::F(1.0)},
+             env);
+    });
+  };
+  double t1 = timeGrad(1), t16 = timeGrad(16);
+  EXPECT_GT(t1 / t16, 6.0);  // decent strong scaling of the adjoint
+}

@@ -1,0 +1,378 @@
+// Reverse-mode AD on serial IR: adjoint rules, caching strategies, control
+// flow reversal, and the finite-difference verification protocol of §VII.
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// All functions here use the canonical signature f(x: ptr<f64>, n: i64) -> f64.
+using BodyFn = std::function<void(ir::FunctionBuilder&, Value, Value)>;
+
+ir::Module buildFn(const std::string& name, const BodyFn& body) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, name, {Type::PtrF64, Type::I64}, Type::F64);
+  body(b, b.param(0), b.param(1));
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+std::vector<double> testInput(std::size_t n, double lo = 0.2, double hi = 1.8) {
+  Rng rng(42);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(lo, hi);
+  return x;
+}
+
+}  // namespace
+
+TEST(AdSerial, SumOfSquares) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fmul(v, v)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  auto x = testInput(8);
+  auto g = adGradScalarFn(mod, "f", x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(g[i], 2 * x[i], 1e-12);
+}
+
+TEST(AdSerial, SeedScalesGradient) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto v = b.load(x, b.constI(0));
+    b.ret(b.fmul(v, v));
+  });
+  std::vector<double> x{3.0};
+  auto g1 = adGradScalarFn(mod, "f", x, {}, 4, 1.0);
+  auto g2 = adGradScalarFn(mod, "f", x, {}, 4, 2.5);
+  EXPECT_NEAR(g1[0], 6.0, 1e-12);
+  EXPECT_NEAR(g2[0], 15.0, 1e-12);
+}
+
+TEST(AdSerial, GradientReturnsPrimalValue) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    b.ret(b.exp_(b.load(x, b.constI(0))));
+  });
+  std::vector<double> x{0.7};
+  double primal = 0;
+  adGradScalarFn(mod, "f", x, {}, 4, 1.0, &primal);
+  EXPECT_NEAR(primal, std::exp(0.7), 1e-14);
+}
+
+TEST(AdSerial, SpecialFunctions) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto t = b.fadd(b.sin_(v), b.fmul(b.cos_(v), b.exp_(v)));
+      t = b.fadd(t, b.fadd(b.sqrt_(v), b.log_(v)));
+      t = b.fadd(t, b.cbrt_(v));
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, t));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(6, 0.3, 2.0), 1e-6);
+}
+
+TEST(AdSerial, PowBothArguments) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto a = b.load(x, b.constI(0));
+    auto e = b.load(x, b.constI(1));
+    b.ret(b.pow_(a, e));
+  });
+  expectGradMatchesFD(mod, "f", {1.4, 2.3}, 1e-6);
+}
+
+TEST(AdSerial, DivisionChain) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto a = b.load(x, b.constI(0));
+    auto c = b.load(x, b.constI(1));
+    auto d = b.load(x, b.constI(2));
+    b.ret(b.fdiv(b.fdiv(a, c), b.fadd(d, b.constF(0.5))));
+  });
+  expectGradMatchesFD(mod, "f", {1.1, 2.2, 0.9}, 1e-6);
+}
+
+TEST(AdSerial, MinMaxAbsSelect) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto a = b.load(x, b.constI(0));
+    auto c = b.load(x, b.constI(1));
+    auto mn = b.fmin_(a, c);
+    auto mx = b.fmax_(b.fmul(a, a), c);
+    auto ab = b.fabs_(b.fsub(a, c));
+    auto sel = b.select(b.fgt(a, b.constF(1.0)), b.fmul(a, c), b.fadd(a, c));
+    b.ret(b.fadd(b.fadd(mn, mx), b.fadd(ab, sel)));
+  });
+  // Pick points away from the kinks.
+  expectGradMatchesFD(mod, "f", {1.7, 0.4}, 1e-6);
+  expectGradMatchesFD(mod, "f", {0.3, 1.2}, 1e-6);
+}
+
+TEST(AdSerial, OverwriteRequiresCaching) {
+  // u <- x; repeat T: u[i] = u[i]*u[i]*0.5 + u[(i+1)%n]*0.25 — values are
+  // overwritten each step, so the reverse pass must rely on per-iteration
+  // caches (strategy 2).
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitFor(b.constI(0), n, [&](Value i) { b.store(u, i, b.load(x, i)); });
+    auto unew = b.alloc(n, Type::F64);
+    b.emitFor(b.constI(0), b.constI(5), [&](Value) {
+      b.emitFor(b.constI(0), n, [&](Value i) {
+        auto v = b.load(u, i);
+        auto w = b.load(u, b.irem(b.iadd(i, b.constI(1)), n));
+        auto nv = b.fadd(b.fmul(b.fmul(v, v), b.constF(0.5)),
+                         b.fmul(w, b.constF(0.25)));
+        b.store(unew, i, nv);
+      });
+      b.emitFor(b.constI(0), n, [&](Value i) { b.store(u, i, b.load(unew, i)); });
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(6, 0.1, 0.9), 1e-5);
+}
+
+TEST(AdSerial, IfBranchesReverseConditionally) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      b.emitIf(
+          b.flt(v, b.constF(1.0)),
+          [&] {
+            auto cur = b.load(acc, b.constI(0));
+            b.store(acc, b.constI(0), b.fadd(cur, b.fmul(v, v)));
+          },
+          [&] {
+            auto cur = b.load(acc, b.constI(0));
+            b.store(acc, b.constI(0), b.fadd(cur, b.sin_(v)));
+          });
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(9, 0.2, 1.9), 1e-6);
+}
+
+TEST(AdSerial, WhileLoopDynamicTripCount) {
+  // y = x[0]; while (y > 0.1) y = y * 0.5; f = y * x[1].
+  // The reverse pass replays the recorded trip count (strategy 3 counting).
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto yp = b.alloc(b.constI(1), Type::F64);
+    b.store(yp, b.constI(0), b.load(x, b.constI(0)));
+    b.emitWhile([&](Value) -> Value {
+      auto y = b.load(yp, b.constI(0));
+      auto ny = b.fmul(y, b.constF(0.5));
+      b.store(yp, b.constI(0), ny);
+      return b.fgt(ny, b.constF(0.1));
+    });
+    b.ret(b.fmul(b.load(yp, b.constI(0)), b.load(x, b.constI(1))));
+  });
+  // x0 = 1.3: 1.3 -> .65 -> .325 -> .1625 -> .08125 (4 iterations), so the
+  // derivative wrt x0 is 0.5^4 * x1 in a neighbourhood.
+  auto g = adGradScalarFn(mod, "f", {1.3, 2.0});
+  EXPECT_NEAR(g[0], 0.0625 * 2.0, 1e-12);
+  EXPECT_NEAR(g[1], 1.3 * 0.0625, 1e-12);
+}
+
+TEST(AdSerial, SlotModeAdjointAcrossRegions) {
+  // s is computed once at top level and used inside a loop: its adjoint must
+  // accumulate across iterations through a memory slot.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto s = b.fmul(b.load(x, b.constI(0)), b.load(x, b.constI(1)));
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(2), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fmul(s, b.load(x, i))));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(7), 1e-6);
+}
+
+TEST(AdSerial, AtomicAddAdjoint) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      b.atomicAddF(acc, b.constI(0), b.fmul(v, b.sin_(v)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  expectGradMatchesFD(mod, "f", testInput(5), 1e-6);
+}
+
+TEST(AdSerial, Memset0KillsDerivatives) {
+  // The first half of a scratch array is zeroed before use; derivatives
+  // through the zeroed region must vanish.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitFor(b.constI(0), n, [&](Value i) { b.store(u, i, b.load(x, i)); });
+    auto half = b.idiv(n, b.constI(2));
+    b.memset0(u, half);
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fmul(b.load(u, i), b.load(u, i))));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  auto x = testInput(6);
+  auto g = adGradScalarFn(mod, "f", x);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(g[(std::size_t)i], 0.0);
+  for (int i = 3; i < 6; ++i)
+    EXPECT_NEAR(g[(std::size_t)i], 2 * x[(std::size_t)i], 1e-12);
+}
+
+TEST(AdSerial, FreeIsDeferredPastReverse) {
+  // The primal frees a differentiable scratch buffer; the gradient must keep
+  // it alive until the reverse pass has consumed it.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto u = b.alloc(n, Type::F64);
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      b.store(u, i, b.fmul(v, v));
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    auto r = b.load(acc, b.constI(0));
+    b.free_(u);
+    b.ret(r);
+  });
+  auto x = testInput(5);
+  auto g = adGradScalarFn(mod, "f", x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(g[i], 2 * x[i], 1e-12);
+}
+
+TEST(AdSerial, InactiveArgumentGetsNoShadow) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64, Type::PtrF64},
+                        Type::F64);
+  auto x = b.param(0);
+  auto coeff = b.param(2);  // constant parameter memory
+  auto v = b.load(x, b.constI(0));
+  auto c = b.load(coeff, b.constI(0));
+  b.ret(b.fmul(v, c));
+  b.finish();
+  ir::verify(mod);
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false, false};
+  auto gi = core::generateGradient(mod, "f", cfg);
+  // Signature: x, n, coeff, shadow(x), seed.
+  EXPECT_EQ(mod.get(gi.name).paramTypes.size(), 5u);
+  psim::Machine m;
+  auto xp = makeF64(m, {2.0});
+  auto cp = makeF64(m, {3.5});
+  auto dxp = makeF64(m, {0.0});
+  runSerial(mod, mod.get(gi.name), m,
+            {interp::RtVal::P(xp), interp::RtVal::I(1), interp::RtVal::P(cp),
+             interp::RtVal::P(dxp), interp::RtVal::F(1.0)});
+  EXPECT_NEAR(m.mem().atF(dxp, 0), 3.5, 1e-14);
+}
+
+TEST(AdSerial, ConstantLoadsAreReplayedNotCached) {
+  // x is never written, so loads of x required in the reverse pass should be
+  // replayed rather than cached: numCachedValues stays small.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fmul(v, b.fmul(v, v))));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  auto gi = core::generateGradient(mod, "f", cfg);
+  EXPECT_EQ(gi.numCachedValues, 0);
+  expectGradMatchesFD(mod, "f", testInput(4), 1e-6);
+}
+
+TEST(AdSerial, GeneratedGradientPrintsAndVerifies) {
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value) {
+    auto v = b.load(x, b.constI(0));
+    b.ret(b.fmul(v, b.sin_(v)));
+  });
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  auto gi = core::generateGradient(mod, "f", cfg);
+  std::string text = ir::print(mod.get(gi.name));
+  EXPECT_NE(text.find("grad_f"), std::string::npos);
+  ir::verify(mod);
+}
+
+TEST(AdSerial, SecondOrderViaNestedIsRejectedGracefully) {
+  // Differentiating a function with calls requires inlining; check the error
+  // message is actionable rather than a crash.
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "inner", {Type::F64}, Type::F64);
+    b.ret(b.fmul(b.param(0), b.param(0)));
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+    auto v = b.load(b.param(0), b.constI(0));
+    b.ret(b.call("inner", {v}));
+    b.finish();
+  }
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  EXPECT_THROW(core::generateGradient(mod, "f", cfg), parad::Error);
+}
+
+TEST(AdSerial, FastModeProjectionMatchesFD) {
+  // The paper's §VII protocol: seed all shadows with 1 and sum, compare with
+  // perturbing all inputs at once under finite differences.
+  ir::Module mod = buildFn("f", [](ir::FunctionBuilder& b, Value x, Value n) {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fmul(b.sin_(v), b.exp_(v))));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+  });
+  auto x = testInput(10);
+  auto g = adGradScalarFn(mod, "f", x);
+  double projection = 0;
+  for (double v : g) projection += v;
+  const double h = 1e-6;
+  std::vector<double> xp = x, xm = x;
+  for (auto& v : xp) v += h;
+  for (auto& v : xm) v -= h;
+  double fd = (evalScalarFn(mod, "f", xp) - evalScalarFn(mod, "f", xm)) / (2 * h);
+  EXPECT_NEAR(projection, fd, 1e-5 * std::max(1.0, std::abs(fd)));
+}

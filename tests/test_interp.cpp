@@ -1,0 +1,335 @@
+// Interpreter semantics: serial ops, control flow, memory, and virtual time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+
+namespace {
+
+ir::Module buildScalarMath() {
+  ir::Module mod;
+  // f(x, y) = sin(x)*y + exp(x/y) - sqrt(x) + pow(x, y) + cbrt(y) + log(x)
+  ir::FunctionBuilder b(mod, "scalar", {Type::F64, Type::F64}, Type::F64);
+  auto x = b.param(0), y = b.param(1);
+  auto t1 = b.fmul(b.sin_(x), y);
+  auto t2 = b.exp_(b.fdiv(x, y));
+  auto t3 = b.sqrt_(x);
+  auto t4 = b.pow_(x, y);
+  auto t5 = b.cbrt_(y);
+  auto t6 = b.log_(x);
+  auto r = b.fadd(b.fsub(b.fadd(t1, t2), t3), b.fadd(t4, b.fadd(t5, t6)));
+  b.ret(r);
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+}  // namespace
+
+TEST(Interp, ScalarMath) {
+  ir::Module mod = buildScalarMath();
+  psim::Machine m;
+  double x = 1.7, y = 2.3;
+  auto out = runSerial(mod, mod.get("scalar"), m,
+                       {interp::RtVal::F(x), interp::RtVal::F(y)});
+  double expect = std::sin(x) * y + std::exp(x / y) - std::sqrt(x) +
+                  std::pow(x, y) + std::cbrt(y) + std::log(x);
+  EXPECT_DOUBLE_EQ(out.u.f, expect);
+}
+
+TEST(Interp, IntegerOpsAndSelect) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "g", {Type::I64, Type::I64}, Type::I64);
+  auto a = b.param(0), c = b.param(1);
+  auto q = b.idiv(a, c);
+  auto r = b.irem(a, c);
+  auto mx = b.imax_(q, r);
+  auto mn = b.imin_(q, r);
+  auto sel = b.select(b.ilt(mx, b.constI(100)), b.iadd(mx, mn), b.constI(-1));
+  b.ret(sel);
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto out = runSerial(mod, mod.get("g"), m,
+                       {interp::RtVal::I(17), interp::RtVal::I(5)});
+  EXPECT_EQ(out.u.i, 3 + 2);
+}
+
+TEST(Interp, ForLoopSum) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "sum", {Type::PtrF64, Type::I64}, Type::F64);
+  auto p = b.param(0), n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), n, [&](ir::Value i) {
+    auto v = b.load(p, i);
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, v));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, {1, 2, 3, 4, 5.5});
+  auto out = runSerial(mod, mod.get("sum"), m,
+                       {interp::RtVal::P(buf), interp::RtVal::I(5)});
+  EXPECT_DOUBLE_EQ(out.u.f, 15.5);
+}
+
+TEST(Interp, WhileLoop) {
+  // Collatz-ish iteration count: while (x > 1) x = x/2 (integer), count iters.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "halves", {Type::I64}, Type::I64);
+  auto x0 = b.param(0);
+  auto xp = b.alloc(b.constI(1), Type::I64);
+  b.store(xp, b.constI(0), x0);
+  auto cnt = b.alloc(b.constI(1), Type::I64);
+  b.store(cnt, b.constI(0), b.constI(0));
+  b.emitWhile([&](ir::Value) {
+    auto x = b.load(xp, b.constI(0));
+    auto nx = b.idiv(x, b.constI(2));
+    b.store(xp, b.constI(0), nx);
+    auto c = b.load(cnt, b.constI(0));
+    b.store(cnt, b.constI(0), b.iadd(c, b.constI(1)));
+    return b.igt(nx, b.constI(1));
+  });
+  b.ret(b.load(cnt, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto out = runSerial(mod, mod.get("halves"), m, {interp::RtVal::I(64)});
+  EXPECT_EQ(out.u.i, 6);  // 64->32->16->8->4->2->1
+}
+
+TEST(Interp, IfElse) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "abs", {Type::F64}, Type::F64);
+  auto x = b.param(0);
+  auto out = b.alloc(b.constI(1), Type::F64);
+  b.emitIf(
+      b.flt(x, b.constF(0)),
+      [&] { b.store(out, b.constI(0), b.fneg(x)); },
+      [&] { b.store(out, b.constI(0), x); });
+  b.ret(b.load(out, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  EXPECT_DOUBLE_EQ(
+      runSerial(mod, mod.get("abs"), m, {interp::RtVal::F(-3.5)}).u.f, 3.5);
+  EXPECT_DOUBLE_EQ(
+      runSerial(mod, mod.get("abs"), m, {interp::RtVal::F(2.5)}).u.f, 2.5);
+}
+
+TEST(Interp, CallAndReturn) {
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "sq", {Type::F64}, Type::F64);
+    b.ret(b.fmul(b.param(0), b.param(0)));
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "caller", {Type::F64}, Type::F64);
+    auto s = b.call("sq", {b.param(0)});
+    auto s2 = b.call("sq", {s});
+    b.ret(s2);
+    b.finish();
+  }
+  ir::verify(mod);
+  psim::Machine m;
+  auto out = runSerial(mod, mod.get("caller"), m, {interp::RtVal::F(2.0)});
+  EXPECT_DOUBLE_EQ(out.u.f, 16.0);
+}
+
+TEST(Interp, ParallelForWritesAllElements) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "fill", {Type::PtrF64, Type::I64});
+  auto p = b.param(0), n = b.param(1);
+  b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+    b.store(p, i, b.fmul(b.itof(i), b.itof(i)));
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, std::vector<double>(100, -1));
+  runSerial(mod, mod.get("fill"), m,
+            {interp::RtVal::P(buf), interp::RtVal::I(100)}, 8);
+  auto data = readF64(m, buf, 100);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(data[(std::size_t)i], double(i) * i);
+}
+
+TEST(Interp, ForkWorkshareBarrierMinReduction) {
+  // The Fig. 7 pattern: per-thread min partials, barrier, serial combine.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "minred", {Type::PtrF64, Type::I64}, Type::F64);
+  auto data = b.param(0), n = b.param(1);
+  auto big = b.constF(1e30);
+  auto nt = b.constI(6);
+  auto partial = b.alloc(nt, Type::F64);
+  auto result = b.alloc(b.constI(1), Type::F64);
+  b.emitFork(nt, [&](ir::Value tid) {
+    b.store(partial, tid, big);
+    b.emitWorkshare(b.constI(0), n, [&](ir::Value i) {
+      auto v = b.load(data, i);
+      auto cur = b.load(partial, tid);
+      b.store(partial, tid, b.fmin_(cur, v));
+    });
+    b.barrier();
+    b.emitIf(b.ieq(tid, b.constI(0)), [&] {
+      auto accp = b.alloc(b.constI(1), Type::F64);
+      b.store(accp, b.constI(0), big);
+      b.emitFor(b.constI(0), nt, [&](ir::Value t) {
+        auto cur = b.load(accp, b.constI(0));
+        b.store(accp, b.constI(0), b.fmin_(cur, b.load(partial, t)));
+      });
+      b.store(result, b.constI(0), b.load(accp, b.constI(0)));
+    });
+  });
+  b.ret(b.load(result, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  std::vector<double> vals(57);
+  Rng rng(7);
+  for (auto& v : vals) v = rng.uniform(-10, 10);
+  vals[33] = -55.5;
+  auto buf = makeF64(m, vals);
+  auto out = runSerial(mod, mod.get("minred"), m,
+                       {interp::RtVal::P(buf), interp::RtVal::I(57)}, 6);
+  EXPECT_DOUBLE_EQ(out.u.f, -55.5);
+}
+
+TEST(Interp, ForkThreadPrivateValuesCrossBarriers) {
+  // Each thread computes tid*10 before the barrier and must see its own value
+  // after the barrier (per-thread SSA storage across segments).
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "seg", {Type::PtrF64});
+  auto out = b.param(0);
+  b.emitFork(b.constI(4), [&](ir::Value tid) {
+    auto mine = b.imul(tid, b.constI(10));
+    b.barrier();
+    b.store(out, tid, b.itof(mine));
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, std::vector<double>(4, 0));
+  runSerial(mod, mod.get("seg"), m, {interp::RtVal::P(buf)}, 4);
+  auto data = readF64(m, buf, 4);
+  for (int t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(data[(std::size_t)t], 10.0 * t);
+}
+
+TEST(Interp, AtomicAddAccumulates) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "acc", {Type::PtrF64, Type::I64});
+  auto p = b.param(0), n = b.param(1);
+  b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+    b.atomicAddF(p, b.constI(0), b.itof(i));
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, {0});
+  runSerial(mod, mod.get("acc"), m,
+            {interp::RtVal::P(buf), interp::RtVal::I(100)}, 8);
+  EXPECT_DOUBLE_EQ(readF64(m, buf, 1)[0], 99.0 * 100 / 2);
+  EXPECT_EQ(m.stats().atomicOps, 100u);
+}
+
+TEST(Interp, SpawnSyncTasks) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "tasks", {Type::PtrF64});
+  auto p = b.param(0);
+  auto t0 = b.spawn([&] { b.store(p, b.constI(0), b.constF(1)); });
+  auto t1 = b.spawn([&] { b.store(p, b.constI(1), b.constF(2)); });
+  b.sync(t0);
+  b.sync(t1);
+  auto s = b.fadd(b.load(p, b.constI(0)), b.load(p, b.constI(1)));
+  b.store(p, b.constI(2), s);
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, {0, 0, 0});
+  runSerial(mod, mod.get("tasks"), m, {interp::RtVal::P(buf)}, 4);
+  EXPECT_DOUBLE_EQ(readF64(m, buf, 3)[2], 3.0);
+}
+
+TEST(Interp, VirtualTimeScalesWithThreads) {
+  // A compute-heavy parallel loop should have smaller makespan with more
+  // virtual threads.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "work", {Type::PtrF64, Type::I64});
+  auto p = b.param(0), n = b.param(1);
+  b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+    auto x = b.load(p, i);
+    auto acc = b.sin_(b.fmul(x, x));
+    for (int k = 0; k < 8; ++k) acc = b.sin_(b.fmul(acc, acc));
+    b.store(p, i, acc);
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+
+  auto timeWith = [&](int threads) {
+    psim::Machine m;
+    auto buf = makeF64(m, std::vector<double>(4096, 0.5));
+    double t = m.run({1, threads}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("work"), {interp::RtVal::P(buf), interp::RtVal::I(4096)},
+             env);
+    });
+    return t;
+  };
+  double t1 = timeWith(1), t8 = timeWith(8), t32 = timeWith(32);
+  EXPECT_GT(t1 / t8, 5.0);   // decent speedup at 8 threads
+  EXPECT_GT(t8, t32);        // still improving at 32
+}
+
+TEST(Interp, DeterministicResultsAndTiming) {
+  ir::Module mod = buildScalarMath();
+  psim::Machine m1, m2;
+  auto r1 = runSerial(mod, mod.get("scalar"), m1,
+                      {interp::RtVal::F(0.3), interp::RtVal::F(1.1)});
+  auto r2 = runSerial(mod, mod.get("scalar"), m2,
+                      {interp::RtVal::F(0.3), interp::RtVal::F(1.1)});
+  EXPECT_EQ(r1.u.f, r2.u.f);
+}
+
+TEST(Interp, BoundsCheckTraps) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "oob", {Type::PtrF64});
+  b.store(b.param(0), b.constI(99), b.constF(1));
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto buf = makeF64(m, {0, 0});
+  EXPECT_THROW(runSerial(mod, mod.get("oob"), m, {interp::RtVal::P(buf)}),
+               parad::Error);
+}
+
+TEST(Interp, JlAllocArrayBoxedAccess) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "jl", {}, Type::F64);
+  auto desc = b.jlAllocArray(b.constI(8));
+  auto data = b.load(desc, b.constI(0));
+  b.store(data, b.constI(3), b.constF(42));
+  auto data2 = b.load(desc, b.constI(0));
+  auto tok = b.gcPreserveBegin({desc});
+  auto v = b.load(data2, b.constI(3));
+  b.gcPreserveEnd(tok);
+  b.ret(v);
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  EXPECT_DOUBLE_EQ(runSerial(mod, mod.get("jl"), m, {}).u.f, 42.0);
+}

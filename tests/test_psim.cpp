@@ -1,0 +1,192 @@
+// Virtual machine tests: message fabric, scheduler, NUMA/time model.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+
+namespace {
+
+// Ring shift: each rank sends its buffer to (rank+1)%size with Isend/Irecv.
+ir::Module buildRing(i64 n) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "ring", {Type::PtrF64, Type::PtrF64});
+  auto sendbuf = b.param(0), recvbuf = b.param(1);
+  auto rank = b.mpRank();
+  auto size = b.mpSize();
+  auto right = b.irem(b.iadd(rank, b.constI(1)), size);
+  auto left = b.irem(b.iadd(b.isub(rank, b.constI(1)), size), size);
+  auto nn = b.constI(n);
+  auto tag = b.constI(7);
+  auto r0 = b.mpIrecv(recvbuf, nn, left, tag);
+  auto s0 = b.mpIsend(sendbuf, nn, right, tag);
+  b.mpWait(r0);
+  b.mpWait(s0);
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+}  // namespace
+
+TEST(Psim, RingExchange) {
+  const int R = 8;
+  const i64 N = 16;
+  ir::Module mod = buildRing(N);
+  psim::Machine m;
+  std::vector<psim::RtPtr> sendb(R), recvb(R);
+  for (int r = 0; r < R; ++r) {
+    sendb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    recvb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    for (i64 k = 0; k < N; ++k)
+      m.mem().atF(sendb[(std::size_t)r], k) = 100.0 * r + static_cast<double>(k);
+  }
+  m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ring"),
+           {interp::RtVal::P(sendb[(std::size_t)env.rank]),
+            interp::RtVal::P(recvb[(std::size_t)env.rank])},
+           env);
+  });
+  for (int r = 0; r < R; ++r) {
+    int left = (r + R - 1) % R;
+    for (i64 k = 0; k < N; ++k)
+      EXPECT_DOUBLE_EQ(m.mem().atF(recvb[(std::size_t)r], k),
+                       100.0 * left + static_cast<double>(k));
+  }
+  EXPECT_EQ(m.stats().messages, static_cast<std::uint64_t>(R));
+}
+
+TEST(Psim, BlockingSendRecvPair) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "pair", {Type::PtrF64});
+  auto buf = b.param(0);
+  auto rank = b.mpRank();
+  b.emitIf(
+      b.ieq(rank, b.constI(0)),
+      [&] { b.mpSend(buf, b.constI(4), b.constI(1), b.constI(3)); },
+      [&] { b.mpRecv(buf, b.constI(4), b.constI(0), b.constI(3)); });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto b0 = makeF64(m, {1, 2, 3, 4});
+  auto b1 = makeF64(m, {0, 0, 0, 0});
+  psim::RtPtr bufs[2] = {b0, b1};
+  m.run({2, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("pair"), {interp::RtVal::P(bufs[env.rank])}, env);
+  });
+  EXPECT_DOUBLE_EQ(m.mem().atF(b1, 3), 4.0);
+}
+
+TEST(Psim, AllreduceSumMinWithWinners) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "ar", {Type::PtrF64, Type::PtrF64, Type::PtrI64});
+  auto send = b.param(0), recv = b.param(1), win = b.param(2);
+  b.mpAllreduce(send, recv, b.constI(2), ir::ReduceKind::Min, win);
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  const int R = 4;
+  std::vector<psim::RtPtr> sp(R), rp(R), wp(R);
+  for (int r = 0; r < R; ++r) {
+    sp[(std::size_t)r] = makeF64(m, {10.0 - r, 5.0 + r});
+    rp[(std::size_t)r] = makeF64(m, {0, 0});
+    wp[(std::size_t)r] = m.mem().alloc(Type::I64, 2, 0);
+  }
+  m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ar"),
+           {interp::RtVal::P(sp[(std::size_t)env.rank]),
+            interp::RtVal::P(rp[(std::size_t)env.rank]),
+            interp::RtVal::P(wp[(std::size_t)env.rank])},
+           env);
+  });
+  for (int r = 0; r < R; ++r) {
+    EXPECT_DOUBLE_EQ(m.mem().atF(rp[(std::size_t)r], 0), 10.0 - (R - 1));
+    EXPECT_DOUBLE_EQ(m.mem().atF(rp[(std::size_t)r], 1), 5.0);
+    EXPECT_EQ(m.mem().atI(wp[(std::size_t)r], 0), R - 1);
+    EXPECT_EQ(m.mem().atI(wp[(std::size_t)r], 1), 0);
+  }
+}
+
+TEST(Psim, DeadlockDetected) {
+  // Both ranks recv first: classic deadlock; must throw, not hang.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "dl", {Type::PtrF64});
+  auto buf = b.param(0);
+  b.mpRecv(buf, b.constI(1), b.irem(b.iadd(b.mpRank(), b.constI(1)), b.mpSize()),
+           b.constI(0));
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto b0 = makeF64(m, {0});
+  auto b1 = makeF64(m, {0});
+  psim::RtPtr bufs[2] = {b0, b1};
+  EXPECT_THROW(m.run({2, 1},
+                     [&](psim::RankEnv& env) {
+                       interp::Interpreter it(mod, m);
+                       it.run(mod.get("dl"), {interp::RtVal::P(bufs[env.rank])},
+                              env);
+                     }),
+               parad::Error);
+}
+
+TEST(Psim, MpBarrierAlignsClocks) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "bar", {});
+  // Rank 0 does extra work before the barrier.
+  b.emitIf(b.ieq(b.mpRank(), b.constI(0)), [&] {
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(1));
+    b.emitFor(b.constI(0), b.constI(5000), [&](ir::Value) {
+      auto v = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.sin_(v));
+    });
+  });
+  b.mpBarrier();
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  std::vector<double> ends(2, 0);
+  m.run({2, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("bar"), {}, env);
+    ends[(std::size_t)env.rank] = env.main.clock;
+  });
+  EXPECT_NEAR(ends[0], ends[1], 1.0);
+  EXPECT_GT(ends[1], 5000 * 12.0);  // rank 1 waited for rank 0's work
+}
+
+TEST(Psim, RemoteMessagesCostMore) {
+  // Same-socket vs cross-socket pair latency via placement: with 1 thread per
+  // rank, ranks 0 and 1 share socket 0; ranks 0 and 32+ would cross. We check
+  // the model directly through Machine placement.
+  psim::Machine m;
+  EXPECT_EQ(m.socketOfCore(0), 0);
+  EXPECT_EQ(m.socketOfCore(31), 0);
+  EXPECT_EQ(m.socketOfCore(32), 1);
+  EXPECT_EQ(m.socketOfCore(63), 1);
+}
+
+TEST(Psim, MemoryStatsTracksCacheAllocs) {
+  psim::Machine m;
+  psim::RtPtr p = m.mem().alloc(Type::F64, 100, 0, /*isCache=*/true);
+  (void)p;
+  EXPECT_EQ(m.stats().cacheBytes, 800u);
+  EXPECT_EQ(m.stats().allocBytes, 800u);
+}
+
+TEST(Psim, FreedObjectTraps) {
+  psim::Machine m;
+  psim::RtPtr p = m.mem().alloc(Type::F64, 4, 0);
+  m.mem().free(p);
+  EXPECT_THROW(m.mem().atF(p, 0), parad::Error);
+}

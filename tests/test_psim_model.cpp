@@ -1,0 +1,192 @@
+// Properties of the virtual machine's performance model — the mechanisms
+// behind the scaling shapes the benches reproduce (DESIGN.md §2):
+// NUMA locality, bandwidth contention, atomic ping-pong, message cost
+// linearity, oversubscription dilation.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// A memory-bound kernel touching `p` heavily.
+ir::Module streamKernel() {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "stream", {Type::PtrF64, Type::I64});
+  auto p = b.param(0);
+  auto n = b.param(1);
+  b.emitParallelFor(b.constI(0), n, [&](Value i) {
+    auto v = b.load(p, i);
+    b.store(p, i, b.fadd(v, b.constF(1)));
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+double streamTime(psim::Machine& m, const ir::Module& mod, psim::RtPtr p,
+                  i64 n, int threads) {
+  return m.run({1, threads}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("stream"), {interp::RtVal::P(p), interp::RtVal::I(n)}, env);
+  });
+}
+
+}  // namespace
+
+TEST(PsimModel, RemoteMemoryCostsMoreThanLocal) {
+  ir::Module mod = streamKernel();
+  const i64 N = 4096;
+  // Home the data on socket 0; run the single worker on socket 0 vs 1 by
+  // constructing single-socket machines with flipped placement.
+  psim::MachineConfig local;
+  psim::Machine mLocal(local);
+  auto pLocal = mLocal.mem().alloc(Type::F64, N, /*homeSocket=*/0);
+  double tLocal = streamTime(mLocal, mod, pLocal, N, 1);
+
+  psim::Machine mRemote(local);
+  auto pRemote = mRemote.mem().alloc(Type::F64, N, /*homeSocket=*/1);
+  double tRemote = streamTime(mRemote, mod, pRemote, N, 1);
+  EXPECT_GT(tRemote, tLocal * 1.1);
+}
+
+TEST(PsimModel, BandwidthContentionSaturatesSpeedup) {
+  // A memory-bound kernel must scale sub-linearly once the per-socket
+  // bandwidth is shared by many workers.
+  ir::Module mod = streamKernel();
+  const i64 N = 1 << 15;
+  auto at = [&](int threads) {
+    psim::Machine m;
+    auto p = m.mem().alloc(Type::F64, N, 0);
+    return streamTime(m, mod, p, N, threads);
+  };
+  double t1 = at(1), t8 = at(8), t32 = at(32);
+  double s8 = t1 / t8, s32 = t1 / t32;
+  EXPECT_GT(s8, 4.0);                 // early scaling fine
+  EXPECT_LT(s32 / s8, 3.0);           // far from another 4x at 32
+}
+
+TEST(PsimModel, AtomicPingPongChargesCrossCoreLines) {
+  // Every atomic comes from a different core than the previous one (one
+  // atomic per thread per fork), so the line bounces on each access.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "acc", {Type::PtrF64, Type::I64});
+  auto p = b.param(0);
+  auto reps = b.param(1);
+  b.emitFor(b.constI(0), reps, [&](Value) {
+    b.emitFork(b.constI(8), [&](Value) {
+      b.atomicAddF(p, b.constI(0), b.constF(1));
+    });
+  });
+  b.ret();
+  b.finish();
+  auto timeWith = [&](bool contention) {
+    psim::MachineConfig mc;
+    mc.chargeAtomicContention = contention;
+    psim::Machine m(mc);
+    auto p0 = m.mem().alloc(Type::F64, 1, 0);
+    return m.run({1, 8}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("acc"), {interp::RtVal::P(p0), interp::RtVal::I(200)},
+             env);
+    });
+  };
+  EXPECT_GT(timeWith(true), timeWith(false) * 1.02);
+  // And the final value is exact regardless of the cost model.
+  psim::Machine m;
+  auto p0 = m.mem().alloc(Type::F64, 1, 0);
+  m.run({1, 8}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("acc"), {interp::RtVal::P(p0), interp::RtVal::I(200)}, env);
+  });
+  EXPECT_DOUBLE_EQ(m.mem().atF(p0, 0), 1600.0);
+}
+
+TEST(PsimModel, MessageCostIsAffineInSize) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "pp", {Type::PtrF64, Type::I64});
+  auto buf = b.param(0);
+  auto n = b.param(1);
+  b.emitIf(
+      b.ieq(b.mpRank(), b.constI(0)),
+      [&] { b.mpSend(buf, n, b.constI(1), b.constI(0)); },
+      [&] { b.mpRecv(buf, n, b.constI(0), b.constI(0)); });
+  b.ret();
+  b.finish();
+  auto pingTime = [&](i64 n) {
+    psim::Machine m;
+    auto b0 = m.mem().alloc(Type::F64, n, 0);
+    auto b1 = m.mem().alloc(Type::F64, n, 0);
+    psim::RtPtr bufs[2] = {b0, b1};
+    return m.run({2, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("pp"),
+             {interp::RtVal::P(bufs[env.rank]), interp::RtVal::I(n)}, env);
+    });
+  };
+  double t1k = pingTime(1024), t2k = pingTime(2048), t4k = pingTime(4096);
+  // Affine: equal increments for equal size deltas, superlinear overall.
+  EXPECT_NEAR((t4k - t2k) / (t2k - t1k), 2.0, 0.3);
+  EXPECT_GT(t2k, t1k);
+}
+
+TEST(PsimModel, OversubscriptionDilatesClocks) {
+  // More virtual workers than modeled cores cannot speed things up.
+  ir::Module mod = streamKernel();
+  const i64 N = 1 << 14;
+  auto at = [&](int threads) {
+    psim::Machine m;
+    auto p = m.mem().alloc(Type::F64, N, 0);
+    return streamTime(m, mod, p, N, threads);
+  };
+  double t64 = at(64), t256 = at(256);
+  EXPECT_GE(t256, t64 * 0.9);
+}
+
+TEST(PsimModel, MakespanIsMaxOverRanks) {
+  // One rank does 4x the work; the makespan must track the slow rank.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "skew", {Type::PtrF64});
+  auto p = b.param(0);
+  auto reps = b.select(b.ieq(b.mpRank(), b.constI(0)), b.constI(20000),
+                       b.constI(5000));
+  b.emitFor(b.constI(0), reps, [&](Value) {
+    auto v = b.load(p, b.constI(0));
+    b.store(p, b.constI(0), b.sin_(v));
+  });
+  b.ret();
+  b.finish();
+  psim::Machine m;
+  auto b0 = m.mem().alloc(Type::F64, 1, 0);
+  auto b1 = m.mem().alloc(Type::F64, 1, 0);
+  psim::RtPtr bufs[2] = {b0, b1};
+  std::vector<double> ends(2, 0);
+  double makespan = m.run({2, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("skew"), {interp::RtVal::P(bufs[env.rank])}, env);
+    ends[(std::size_t)env.rank] = env.main.clock;
+  });
+  EXPECT_DOUBLE_EQ(makespan, std::max(ends[0], ends[1]));
+  EXPECT_GT(ends[0], ends[1] * 2.5);
+}
+
+TEST(PsimModel, ForkOverheadGrowsWithThreads) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "empty", {});
+  b.emitFork(b.constI(0), [&](Value) {});
+  b.ret();
+  b.finish();
+  auto at = [&](int threads) {
+    psim::Machine m;
+    return m.run({1, threads}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("empty"), {}, env);
+    });
+  };
+  EXPECT_GT(at(64), at(2));
+}

@@ -1,0 +1,17 @@
+// Build smoke test; real suites live in the sibling test files.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+TEST(Smoke, BuildsAndVerifiesTrivialFunction) {
+  parad::ir::Module mod;
+  parad::ir::FunctionBuilder b(mod, "f", {parad::ir::Type::F64},
+                               parad::ir::Type::F64);
+  auto x = b.param(0);
+  b.ret(b.fmul(x, x));
+  b.finish();
+  parad::ir::verify(mod);
+  EXPECT_NE(parad::ir::print(mod.get("f")).find("fmul"), std::string::npos);
+}
