@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accum.dir/ablation_accum.cpp.o"
+  "CMakeFiles/ablation_accum.dir/ablation_accum.cpp.o.d"
+  "ablation_accum"
+  "ablation_accum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

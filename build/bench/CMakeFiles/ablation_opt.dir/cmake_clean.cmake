@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opt.dir/ablation_opt.cpp.o"
+  "CMakeFiles/ablation_opt.dir/ablation_opt.cpp.o.d"
+  "ablation_opt"
+  "ablation_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

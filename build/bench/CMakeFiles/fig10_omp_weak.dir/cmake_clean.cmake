@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_omp_weak.dir/fig10_omp_weak.cpp.o"
+  "CMakeFiles/fig10_omp_weak.dir/fig10_omp_weak.cpp.o.d"
+  "fig10_omp_weak"
+  "fig10_omp_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_omp_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

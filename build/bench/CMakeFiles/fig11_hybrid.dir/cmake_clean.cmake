@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hybrid.dir/fig11_hybrid.cpp.o"
+  "CMakeFiles/fig11_hybrid.dir/fig11_hybrid.cpp.o.d"
+  "fig11_hybrid"
+  "fig11_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mpi_lulesh.dir/fig8_mpi_lulesh.cpp.o"
+  "CMakeFiles/fig8_mpi_lulesh.dir/fig8_mpi_lulesh.cpp.o.d"
+  "fig8_mpi_lulesh"
+  "fig8_mpi_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mpi_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_threads_bude.dir/fig9_threads_bude.cpp.o"
+  "CMakeFiles/fig9_threads_bude.dir/fig9_threads_bude.cpp.o.d"
+  "fig9_threads_bude"
+  "fig9_threads_bude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_threads_bude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

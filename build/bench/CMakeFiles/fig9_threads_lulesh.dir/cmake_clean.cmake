@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_threads_lulesh.dir/fig9_threads_lulesh.cpp.o"
+  "CMakeFiles/fig9_threads_lulesh.dir/fig9_threads_lulesh.cpp.o.d"
+  "fig9_threads_lulesh"
+  "fig9_threads_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_threads_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

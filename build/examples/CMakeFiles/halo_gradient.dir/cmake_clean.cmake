@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_gradient.dir/halo_gradient.cpp.o"
+  "CMakeFiles/halo_gradient.dir/halo_gradient.cpp.o.d"
+  "halo_gradient"
+  "halo_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_inverse.dir/heat_inverse.cpp.o"
+  "CMakeFiles/heat_inverse.dir/heat_inverse.cpp.o.d"
+  "heat_inverse"
+  "heat_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

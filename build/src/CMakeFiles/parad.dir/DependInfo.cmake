@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/fninfo.cpp" "src/CMakeFiles/parad.dir/analysis/fninfo.cpp.o" "gcc" "src/CMakeFiles/parad.dir/analysis/fninfo.cpp.o.d"
+  "/root/repo/src/apps/lulesh/lulesh.cpp" "src/CMakeFiles/parad.dir/apps/lulesh/lulesh.cpp.o" "gcc" "src/CMakeFiles/parad.dir/apps/lulesh/lulesh.cpp.o.d"
+  "/root/repo/src/apps/minibude/minibude.cpp" "src/CMakeFiles/parad.dir/apps/minibude/minibude.cpp.o" "gcc" "src/CMakeFiles/parad.dir/apps/minibude/minibude.cpp.o.d"
+  "/root/repo/src/core/forward.cpp" "src/CMakeFiles/parad.dir/core/forward.cpp.o" "gcc" "src/CMakeFiles/parad.dir/core/forward.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/CMakeFiles/parad.dir/core/gradient.cpp.o" "gcc" "src/CMakeFiles/parad.dir/core/gradient.cpp.o.d"
+  "/root/repo/src/cotape/cotape.cpp" "src/CMakeFiles/parad.dir/cotape/cotape.cpp.o" "gcc" "src/CMakeFiles/parad.dir/cotape/cotape.cpp.o.d"
+  "/root/repo/src/frontends/jlite/jlite.cpp" "src/CMakeFiles/parad.dir/frontends/jlite/jlite.cpp.o" "gcc" "src/CMakeFiles/parad.dir/frontends/jlite/jlite.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/parad.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/parad.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/CMakeFiles/parad.dir/ir/ir.cpp.o" "gcc" "src/CMakeFiles/parad.dir/ir/ir.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/parad.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/parad.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/parad.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/parad.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/passes/passes.cpp" "src/CMakeFiles/parad.dir/passes/passes.cpp.o" "gcc" "src/CMakeFiles/parad.dir/passes/passes.cpp.o.d"
+  "/root/repo/src/psim/fabric.cpp" "src/CMakeFiles/parad.dir/psim/fabric.cpp.o" "gcc" "src/CMakeFiles/parad.dir/psim/fabric.cpp.o.d"
+  "/root/repo/src/psim/sched.cpp" "src/CMakeFiles/parad.dir/psim/sched.cpp.o" "gcc" "src/CMakeFiles/parad.dir/psim/sched.cpp.o.d"
+  "/root/repo/src/psim/sim.cpp" "src/CMakeFiles/parad.dir/psim/sim.cpp.o" "gcc" "src/CMakeFiles/parad.dir/psim/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

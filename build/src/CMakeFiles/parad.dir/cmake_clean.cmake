@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parad.dir/analysis/fninfo.cpp.o"
+  "CMakeFiles/parad.dir/analysis/fninfo.cpp.o.d"
+  "CMakeFiles/parad.dir/apps/lulesh/lulesh.cpp.o"
+  "CMakeFiles/parad.dir/apps/lulesh/lulesh.cpp.o.d"
+  "CMakeFiles/parad.dir/apps/minibude/minibude.cpp.o"
+  "CMakeFiles/parad.dir/apps/minibude/minibude.cpp.o.d"
+  "CMakeFiles/parad.dir/core/forward.cpp.o"
+  "CMakeFiles/parad.dir/core/forward.cpp.o.d"
+  "CMakeFiles/parad.dir/core/gradient.cpp.o"
+  "CMakeFiles/parad.dir/core/gradient.cpp.o.d"
+  "CMakeFiles/parad.dir/cotape/cotape.cpp.o"
+  "CMakeFiles/parad.dir/cotape/cotape.cpp.o.d"
+  "CMakeFiles/parad.dir/frontends/jlite/jlite.cpp.o"
+  "CMakeFiles/parad.dir/frontends/jlite/jlite.cpp.o.d"
+  "CMakeFiles/parad.dir/interp/interp.cpp.o"
+  "CMakeFiles/parad.dir/interp/interp.cpp.o.d"
+  "CMakeFiles/parad.dir/ir/ir.cpp.o"
+  "CMakeFiles/parad.dir/ir/ir.cpp.o.d"
+  "CMakeFiles/parad.dir/ir/printer.cpp.o"
+  "CMakeFiles/parad.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/parad.dir/ir/verifier.cpp.o"
+  "CMakeFiles/parad.dir/ir/verifier.cpp.o.d"
+  "CMakeFiles/parad.dir/passes/passes.cpp.o"
+  "CMakeFiles/parad.dir/passes/passes.cpp.o.d"
+  "CMakeFiles/parad.dir/psim/fabric.cpp.o"
+  "CMakeFiles/parad.dir/psim/fabric.cpp.o.d"
+  "CMakeFiles/parad.dir/psim/sched.cpp.o"
+  "CMakeFiles/parad.dir/psim/sched.cpp.o.d"
+  "CMakeFiles/parad.dir/psim/sim.cpp.o"
+  "CMakeFiles/parad.dir/psim/sim.cpp.o.d"
+  "libparad.a"
+  "libparad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

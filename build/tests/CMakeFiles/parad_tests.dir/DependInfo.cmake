@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ad_errors.cpp" "tests/CMakeFiles/parad_tests.dir/test_ad_errors.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ad_errors.cpp.o.d"
+  "/root/repo/tests/test_ad_forward.cpp" "tests/CMakeFiles/parad_tests.dir/test_ad_forward.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ad_forward.cpp.o.d"
+  "/root/repo/tests/test_ad_mp.cpp" "tests/CMakeFiles/parad_tests.dir/test_ad_mp.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ad_mp.cpp.o.d"
+  "/root/repo/tests/test_ad_parallel.cpp" "tests/CMakeFiles/parad_tests.dir/test_ad_parallel.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ad_parallel.cpp.o.d"
+  "/root/repo/tests/test_ad_serial.cpp" "tests/CMakeFiles/parad_tests.dir/test_ad_serial.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ad_serial.cpp.o.d"
+  "/root/repo/tests/test_cotape.cpp" "tests/CMakeFiles/parad_tests.dir/test_cotape.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_cotape.cpp.o.d"
+  "/root/repo/tests/test_frontends.cpp" "tests/CMakeFiles/parad_tests.dir/test_frontends.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_frontends.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/parad_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/parad_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_lulesh.cpp" "tests/CMakeFiles/parad_tests.dir/test_lulesh.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_lulesh.cpp.o.d"
+  "/root/repo/tests/test_minibude.cpp" "tests/CMakeFiles/parad_tests.dir/test_minibude.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_minibude.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "tests/CMakeFiles/parad_tests.dir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_passes.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/parad_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_psim.cpp" "tests/CMakeFiles/parad_tests.dir/test_psim.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_psim.cpp.o.d"
+  "/root/repo/tests/test_psim_model.cpp" "tests/CMakeFiles/parad_tests.dir/test_psim_model.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_psim_model.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/parad_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/parad_tests.dir/test_smoke.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
