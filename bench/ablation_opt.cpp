@@ -1,6 +1,8 @@
 // Ablation (paper §V-E, §VIII): optimization around differentiation.
 //   (a) OpenMPOpt-style invariant/load hoisting *before* AD: fewer cached
-//       values, less cache memory, faster gradients.
+//       values, less cache memory, faster gradients. The plan remark streams
+//       of the two variants are diffed to show exactly which values moved
+//       from trip-indexed cache arrays to recompute.
 //   (b) Fork merging *after* AD (the Fig. 4 optimization): fewer parallel
 //       region launches in the gradient.
 #include "bench/bench_common.h"
@@ -15,24 +17,43 @@ int main() {
          "hoisting shrinks reverse-pass caches and gradient time (§VIII); "
          "merging the adjacent aug/reverse forks trims fork overhead");
 
+  BenchJson json("ablation_opt");
+
   // ---- (a) hoisting, LULESH OpenMP + miniBUDE OpenMP ----
-  Table a({"app", "ompopt", "cached vals", "cacheMB", "grad(ns)", "overhead"});
+  Table a({"app", "ompopt", "cached vals", "recompute", "cacheMB", "grad(ns)",
+           "overhead"});
   {
     apps::lulesh::Config cfg;
     cfg.par = apps::lulesh::Config::Par::Omp;
     cfg.s = 10;
     cfg.nsteps = 8;
+    core::RemarkStream unopt;
     for (bool opt : {false, true}) {
       ir::Module mod = apps::lulesh::build(cfg);
       apps::lulesh::prepare(mod, opt);
-      core::GradInfo gi = apps::lulesh::buildGradient(mod);
+      core::RemarkStream remarks;
+      core::GradConfig gc;
+      gc.activeArg = {true, true, true, false, false, false};
+      gc.remarks = &remarks;
+      core::GradInfo gi = core::generateGradient(mod, "lulesh", gc);
+      passes::optimizeGradient(mod, gi.name);
       double fwd = apps::lulesh::runPrimal(mod, cfg, 16).makespan;
       auto gr = apps::lulesh::runGradient(mod, gi, cfg, 16);
+      applyPlanCounts(gr.stats, gi.plan);
       a.addRow({"LULESH omp", opt ? "on" : "off",
                 std::to_string(gi.numCachedValues),
+                std::to_string(gi.plan.cacheRecompute),
                 Table::num(double(gr.stats.cacheBytes) / 1e6, 2),
                 Table::num(gr.makespan, 0),
                 Table::num(gr.makespan / fwd, 2)});
+      json.row(std::string("lulesh_omp ompopt_") + (opt ? "on" : "off"));
+      json.str("app", "lulesh_omp");
+      json.str("ompopt", opt ? "on" : "off");
+      json.stats(gr.makespan, gr.stats);
+      if (!opt)
+        unopt = remarks;
+      else
+        reportDecisionFlips(unopt, remarks, "ompopt on");
     }
   }
   {
@@ -47,11 +68,17 @@ int main() {
       core::GradInfo gi = apps::minibude::buildGradient(mod);
       double fwd = apps::minibude::runPrimal(mod, cfg, 16).makespan;
       auto gr = apps::minibude::runGradient(mod, gi, cfg, 16);
+      applyPlanCounts(gr.stats, gi.plan);
       a.addRow({"miniBUDE omp", opt ? "on" : "off",
                 std::to_string(gi.numCachedValues),
+                std::to_string(gi.plan.cacheRecompute),
                 Table::num(double(gr.stats.cacheBytes) / 1e6, 2),
                 Table::num(gr.makespan, 0),
                 Table::num(gr.makespan / fwd, 2)});
+      json.row(std::string("minibude_omp ompopt_") + (opt ? "on" : "off"));
+      json.str("app", "minibude_omp");
+      json.str("ompopt", opt ? "on" : "off");
+      json.stats(gr.makespan, gr.stats);
     }
   }
   a.print();
@@ -74,10 +101,18 @@ int main() {
       int merged = 0;
       if (merge) merged = passes::mergeAdjacentForks(mod, gi.name);
       auto gr = apps::minibude::runGradient(mod, gi, cfg, 16);
+      applyPlanCounts(gr.stats, gi.plan);
       bT.addRow({"miniBUDE omp", merge ? "on" : "off", std::to_string(merged),
                  Table::num(gr.makespan, 0)});
+      json.row(std::string("minibude_omp fork_merge_") +
+               (merge ? "on" : "off"));
+      json.str("app", "minibude_omp");
+      json.str("fork_merge", merge ? "on" : "off");
+      json.num("merged_forks", merged);
+      json.stats(gr.makespan, gr.stats);
     }
   }
   bT.print();
+  json.write();
   return 0;
 }

@@ -19,6 +19,7 @@ int main() {
          "gradient scaling matches the primal; the OmpOpt series shows the "
          "paper's 1-thread anomaly (hoisting helps less without parallel "
          "contention)");
+  BenchJson json("fig10_omp_weak");
   Table t({"impl", "threads", "block", "fwd(ns)", "grad(ns)", "overhead",
            "fwd efficiency", "grad efficiency"});
   for (const S& s : series) {
@@ -34,6 +35,7 @@ int main() {
       PreparedLulesh pl = prepareLulesh(v);
       auto fr = apps::lulesh::runPrimal(pl.mod, cfg, th);
       auto gr = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, th);
+      applyPlanCounts(gr.stats, pl.gi.plan);
       if (th == 1) {
         fwd1 = fr.makespan;
         grad1 = gr.makespan;
@@ -47,8 +49,15 @@ int main() {
                 Table::num(gr.makespan / fr.makespan, 2),
                 Table::num(fwd1 / fr.makespan * work / work1, 2),
                 Table::num(grad1 / gr.makespan * work / work1, 2)});
+      json.row(std::string(s.name) + " t" + std::to_string(th));
+      json.str("impl", s.name);
+      json.num("threads", th);
+      json.num("block", block);
+      json.num("forward_ns", fr.makespan);
+      json.stats(gr.makespan, gr.stats);
     }
   }
   t.print();
+  json.write();
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
   header("Fig. 11", "hybrid MPI-rank x OpenMP-thread LULESH scaling",
          "the gradient scales with total workers like the primal across the "
          "rank/thread grid");
+  BenchJson json("fig11_hybrid");
   Table t({"ranks", "threads", "workers", "fwd(ns)", "grad(ns)", "overhead",
            "fwd speedup", "grad speedup"});
   Config base;
@@ -32,6 +33,7 @@ int main() {
     PreparedLulesh pl = prepareLulesh(v);
     auto fr = apps::lulesh::runPrimal(pl.mod, cfg, c.threads);
     auto gr = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, c.threads);
+    applyPlanCounts(gr.stats, pl.gi.plan);
     int workers = cfg.ranks() * c.threads;
     // Normalize speedups by total work (weak in ranks, strong in threads).
     double work = double(cfg.ranks());
@@ -45,7 +47,15 @@ int main() {
               Table::num(gr.makespan / fr.makespan, 2),
               Table::num(fwd1 / fr.makespan * work, 2),
               Table::num(grad1 / gr.makespan * work, 2)});
+    json.row("r" + std::to_string(cfg.ranks()) + " t" +
+             std::to_string(c.threads));
+    json.num("ranks", cfg.ranks());
+    json.num("threads", c.threads);
+    json.num("workers", workers);
+    json.num("forward_ns", fr.makespan);
+    json.stats(gr.makespan, gr.stats);
   }
   t.print();
+  json.write();
   return 0;
 }

@@ -42,6 +42,7 @@ Config mkCfg(const Series& s, int rside, int blockS, int nsteps) {
 
 struct Point {
   double fwd = 0, grad = 0;
+  psim::RunStats stats;  // gradient-run stats + static plan counts
 };
 
 Point measure(const Series& s, int rside, int blockS, int nsteps) {
@@ -52,10 +53,16 @@ Point measure(const Series& s, int rside, int blockS, int nsteps) {
   // Forward time: the plain interpreter primal (the baseline both tools are
   // measured against, as in the paper).
   pt.fwd = apps::lulesh::runPrimal(pl.mod, cfg, 1).makespan;
-  if (s.cotape)
-    pt.grad = apps::lulesh::runCotapeGradient(pl.mod, cfg).makespan;
-  else
-    pt.grad = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, 1).makespan;
+  if (s.cotape) {
+    auto gr = apps::lulesh::runCotapeGradient(pl.mod, cfg);
+    pt.grad = gr.makespan;
+    pt.stats = gr.stats;
+  } else {
+    auto gr = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, 1);
+    pt.grad = gr.makespan;
+    pt.stats = gr.stats;
+    applyPlanCounts(pt.stats, pl.gi.plan);
+  }
   return pt;
 }
 
@@ -70,6 +77,7 @@ int main() {
   const int kRsides[] = {1, 2, 3, 4};
   const int kBlocks[] = {24, 12, 8, 6};
 
+  BenchJson json("fig8_mpi_lulesh");
   header("Fig. 8 (top)", "LULESH message passing: runtime, 10 iterations",
          "gradient tracks primal; CoTape gradient is far slower at 1 rank");
   Table top({"impl", "ranks", "block", "forward(ns)", "gradient(ns)",
@@ -89,6 +97,14 @@ int main() {
       top.addRow({kSeries[si].name, std::to_string(kRanks[ri]),
                   std::to_string(kBlocks[ri]), Table::num(pt.fwd, 0),
                   Table::num(pt.grad, 0), Table::num(pt.grad / pt.fwd, 2)});
+      json.row(std::string(kSeries[si].name) + " strong r" +
+               std::to_string(kRanks[ri]));
+      json.str("impl", kSeries[si].name);
+      json.str("scaling", "strong");
+      json.num("ranks", kRanks[ri]);
+      json.num("block", kBlocks[ri]);
+      json.num("forward_ns", pt.fwd);
+      json.stats(pt.grad, pt.stats);
     }
   }
   top.print();
@@ -114,8 +130,16 @@ int main() {
       Point pt = measure(s, kRsides[ri], 6, kSteps);
       bot.addRow({s.name, std::to_string(kRanks[ri]), Table::num(pt.fwd, 0),
                   Table::num(pt.grad, 0), Table::num(pt.grad / pt.fwd, 2)});
+      json.row(std::string(s.name) + " weak r" + std::to_string(kRanks[ri]));
+      json.str("impl", s.name);
+      json.str("scaling", "weak");
+      json.num("ranks", kRanks[ri]);
+      json.num("block", 6);
+      json.num("forward_ns", pt.fwd);
+      json.stats(pt.grad, pt.stats);
     }
   }
   bot.print();
+  json.write();
   return 0;
 }

@@ -25,6 +25,7 @@ int main() {
          "plain-OpenMP gradient overhead grows with threads, OmpOpt keeps it "
          "flat (no caching at all once loads are hoisted); jlite overhead is "
          "higher (boxed-array indirection) but still scales");
+  BenchJson json("fig9_threads_bude");
   Table t({"impl", "threads", "fwd(ns)", "grad(ns)", "overhead",
            "grad speedup", "cacheKB"});
   for (const S& s : series) {
@@ -54,14 +55,21 @@ int main() {
       }
       auto fr = apps::minibude::runPrimal(*m, c, th);
       auto gr = apps::minibude::runGradient(*m, gi2, c, th);
+      applyPlanCounts(gr.stats, gi2.plan);
       if (th == 1) grad1 = gr.makespan;
       t.addRow({s.name, std::to_string(th), Table::num(fr.makespan, 0),
                 Table::num(gr.makespan, 0),
                 Table::num(gr.makespan / fr.makespan, 2),
                 Table::num(grad1 / gr.makespan, 2),
                 Table::num(double(gr.stats.cacheBytes) / 1e3, 1)});
+      json.row(std::string(s.name) + " t" + std::to_string(th));
+      json.str("impl", s.name);
+      json.num("threads", th);
+      json.num("forward_ns", fr.makespan);
+      json.stats(gr.makespan, gr.stats);
     }
   }
   t.print();
+  json.write();
   return 0;
 }

@@ -30,6 +30,7 @@ int main() {
          "flat gradient overhead; OmpOpt lowers overhead by hoisting loads "
          "(less reverse-pass caching); socket knee at 32 threads; gradient "
          "scaling matches the primal");
+  BenchJson json("fig9_threads_lulesh");
   Table t({"impl", "threads", "fwd(ns)", "grad(ns)", "overhead",
            "fwd speedup", "grad speedup", "cacheMB"});
   for (const S& s : series) {
@@ -41,6 +42,7 @@ int main() {
     for (int th : kThreads) {
       auto fr = apps::lulesh::runPrimal(pl.mod, c, th);
       auto gr = apps::lulesh::runGradient(pl.mod, pl.gi, c, th);
+      applyPlanCounts(gr.stats, pl.gi.plan);
       if (th == 1) {
         fwd1 = fr.makespan;
         grad1 = gr.makespan;
@@ -51,8 +53,14 @@ int main() {
                 Table::num(fwd1 / fr.makespan, 2),
                 Table::num(grad1 / gr.makespan, 2),
                 Table::num(double(gr.stats.cacheBytes) / 1e6, 2)});
+      json.row(std::string(s.name) + " t" + std::to_string(th));
+      json.str("impl", s.name);
+      json.num("threads", th);
+      json.num("forward_ns", fr.makespan);
+      json.stats(gr.makespan, gr.stats);
     }
   }
   t.print();
+  json.write();
   return 0;
 }

@@ -3,7 +3,11 @@
 // These complement the figure harnesses (which report virtual time).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_common.h"
 #include "src/core/gradient.h"
+#include "src/core/plan.h"
 #include "src/interp/interp.h"
 #include "src/ir/builder.h"
 #include "src/passes/passes.h"
@@ -70,4 +74,39 @@ BENCHMARK(BM_PreparePipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Machine-readable record: wall time of one gradient generation per chain
+  // length plus the static plan-decision counts behind it.
+  parad::bench::BenchJson json("micro_ad_ops");
+  for (int n : {4, 16, 64}) {
+    ir::Module mod = chainModule(n);
+    core::GradConfig cfg;
+    cfg.activeArg = {true, false};
+    core::GradPlan plan = core::planGradient(mod, "f", cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    ir::Module m = mod;
+    core::GradInfo gi = core::generateGradient(m, "f", cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    json.row("chain n" + std::to_string(n));
+    json.num("chain_len", n);
+    json.num("gradgen_wall_ns",
+             double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t1 - t0)
+                        .count()));
+    json.num("cached_values", gi.numCachedValues);
+    json.num("plan_accum_serial", gi.plan.accumSerial);
+    json.num("plan_accum_reduction_slot", gi.plan.accumReductionSlot);
+    json.num("plan_accum_atomic", gi.plan.accumAtomic);
+    json.num("plan_cache_recompute", gi.plan.cacheRecompute);
+    json.num("plan_cache_fn_slots", gi.plan.cacheFnSlots);
+    json.num("plan_cache_trip_arrays", gi.plan.cacheTripArrays);
+    json.num("plan_cache_decisions",
+             double(plan.counts.cacheRecompute + plan.counts.cacheFnSlots +
+                    plan.counts.cacheTripArrays + plan.counts.cacheDynArrays));
+  }
+  json.write();
+  return 0;
+}

@@ -12,6 +12,7 @@ int main() {
          "gradient/forward overhead at 64 threads or 64 ranks",
          "C++ variants in a low band, jlite (Julia) variants in a clearly "
          "higher band (boxed-array caching)");
+  BenchJson json("table_overhead");
   Table t({"benchmark", "variant", "parallelism", "fwd(ns)", "grad(ns)",
            "overhead"});
 
@@ -39,12 +40,19 @@ int main() {
     LuleshVariant v{r.name, cfg, true, false};
     PreparedLulesh pl = prepareLulesh(v);
     double fwd = apps::lulesh::runPrimal(pl.mod, cfg, r.threads).makespan;
-    double grad =
-        apps::lulesh::runGradient(pl.mod, pl.gi, cfg, r.threads).makespan;
+    auto gr = apps::lulesh::runGradient(pl.mod, pl.gi, cfg, r.threads);
+    applyPlanCounts(gr.stats, pl.gi.plan);
     t.addRow({r.name, r.jlite ? "jlite" : "C++",
               std::to_string(cfg.ranks()) + "x" + std::to_string(r.threads),
-              Table::num(fwd, 0), Table::num(grad, 0),
-              Table::num(grad / fwd, 2)});
+              Table::num(fwd, 0), Table::num(gr.makespan, 0),
+              Table::num(gr.makespan / fwd, 2)});
+    json.row(r.name);
+    json.str("benchmark", r.name);
+    json.str("variant", r.jlite ? "jlite" : "cpp");
+    json.num("ranks", cfg.ranks());
+    json.num("threads", r.threads);
+    json.num("forward_ns", fwd);
+    json.stats(gr.makespan, gr.stats);
   }
 
   using BCfg = apps::minibude::Config;
@@ -69,13 +77,21 @@ int main() {
     apps::minibude::prepare(mod, true);
     core::GradInfo gi = apps::minibude::buildGradient(mod);
     double fwd = apps::minibude::runPrimal(mod, cfg, r.threads).makespan;
-    double grad =
-        apps::minibude::runGradient(mod, gi, cfg, r.threads).makespan;
+    auto gr = apps::minibude::runGradient(mod, gi, cfg, r.threads);
+    applyPlanCounts(gr.stats, gi.plan);
     t.addRow({r.name, r.jlite ? "jlite" : "C++",
               "1x" + std::to_string(r.threads), Table::num(fwd, 0),
-              Table::num(grad, 0), Table::num(grad / fwd, 2)});
+              Table::num(gr.makespan, 0), Table::num(gr.makespan / fwd, 2)});
+    json.row(r.name);
+    json.str("benchmark", r.name);
+    json.str("variant", r.jlite ? "jlite" : "cpp");
+    json.num("ranks", 1);
+    json.num("threads", r.threads);
+    json.num("forward_ns", fwd);
+    json.stats(gr.makespan, gr.stats);
   }
   t.print();
   std::printf("\npaper bands: C++ 0.8-3.4x, Julia 5.4-12.5x\n");
+  json.write();
   return 0;
 }

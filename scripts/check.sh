@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-stop verification: configure, build (the parad library is
+# warnings-as-errors, see src/CMakeLists.txt) and run the full test suite —
+# including the gradient-plan API tests and the golden remark-dump test.
+# CI (.github/workflows/ci.yml) runs exactly this script.
+#
+#   BUILD_DIR=out ./scripts/check.sh   # override the build directory
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

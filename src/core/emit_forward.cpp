@@ -1,0 +1,282 @@
+// Augmented forward pass: re-emits the primal, interleaving the plan's cache
+// stores (CacheDecision sites), shadow allocation/mirroring for
+// differentiable pointers, and while-loop trip recording. Which values are
+// cached — and into what shape of array — was decided by the planner; this
+// TU only materializes those decisions.
+#include "src/core/grad_internal.h"
+
+namespace parad::core::detail {
+
+Value GradGen::topEmit(int v) {
+  if (info_.depth(v) == 0) return aug(v);
+  const ir::Inst* d = info_.defInst(v);
+  PARAD_CHECK(d && isTopMaterializable(info_, v),
+              "internal: bound not top-emittable");
+  std::vector<Value> ops;
+  for (int o : d->operands) ops.push_back(topEmit(o));
+  return b_->emitCloned(*d, ops, p_.typeOf(v));
+}
+
+void GradGen::allocCache(CacheState& st) {
+  if (st.array.valid()) return;
+  const CacheDecision& dec = *st.dec;
+  Value total = dec.extraCountValue >= 0 ? topEmit(dec.extraCountValue)
+                                         : b_->constI(1);
+  for (const ir::Inst* dim : dec.dims) {
+    Value sz;
+    if (dim->op == Op::Fork) {
+      Value n = topEmit(dim->operands[0]);
+      Value defN = b_->emitCloned(ir::Inst(Op::NumThreadsOp), {}, Type::I64);
+      sz = b_->select(b_->igt(n, b_->constI(0)), n, defN);
+    } else {
+      Value lo = topEmit(dim->operands[0]);
+      Value hi = topEmit(dim->operands[1]);
+      sz = b_->imax_(b_->isub(hi, lo), b_->constI(0));
+    }
+    st.sizes.push_back(sz);
+    total = b_->imul(total, sz);
+  }
+  st.array = b_->alloc(total, dec.storeTy, ir::kFlagCacheAlloc);
+}
+
+void GradGen::allocCachesAnchoredAt(const ir::Inst& in) {
+  for (auto& [v, st] : caches_)
+    if (st.dec->anchor == &in) allocCache(st);
+  for (auto& [v, st] : shadowCaches_)
+    if (st.dec->anchor == &in) allocCache(st);
+  for (auto& [inp, st] : winnerCaches_)
+    if (st.dec->anchor == &in) allocCache(st);
+}
+
+Value GradGen::cacheIndexAug(const CacheState& st) {
+  Value lin = b_->constI(0);
+  const auto& dims = st.dec->dims;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    const ir::Inst* dim = dims[k];
+    Value di;
+    if (dim->op == Op::Fork) {
+      di = aug(dim->regions[0].args[0]);  // tid
+    } else {
+      Value iv = aug(dim->regions[0].args[0]);
+      Value lo = aug(dim->operands[0]);
+      di = b_->isub(iv, lo);
+    }
+    lin = b_->iadd(b_->imul(lin, st.sizes[k]), di);
+  }
+  return lin;
+}
+
+void GradGen::storeCache(CacheState& st, Value val) {
+  PARAD_CHECK(st.array.valid(), "internal: cache not allocated");
+  Value idx = cacheIndexAug(st);
+  if (st.dec->fromI1) val = b_->select(val, b_->constI(1), b_->constI(0));
+  b_->store(st.array, idx, val);
+}
+
+void GradGen::emitAug(const ir::Region& r, int depth) {
+  for (const ir::Inst& in : r.insts) {
+    if (depth == 0) allocCachesAnchoredAt(in);
+    emitAugInst(in, depth);
+  }
+}
+
+void GradGen::emitAugInst(const ir::Inst& in, int depth) {
+  auto A = [&](std::size_t i) { return aug(in.operands[i]); };
+  auto mapAug = [&](int primal, Value v) {
+    augMap_[(std::size_t)primal] = v;
+  };
+
+  switch (in.op) {
+    case Op::Return:
+      return;  // emitted in the epilogue
+    case Op::Free: {
+      int ptr = in.operands[0];
+      if (variedPtr(ptr)) {
+        // Defer: the reverse pass still needs the memory and its shadow.
+        PARAD_CHECK(info_.depth(ptr) == 0,
+                    "AD: free of a differentiable loop-local allocation is "
+                    "unsupported; hoist the allocation");
+        deferredFree_.push_back(ptr);
+        return;
+      }
+      b_->free_(A(0));
+      return;
+    }
+    case Op::Alloc: {
+      Value count = A(0);
+      Value pv = b_->emitCloned(in, {count}, p_.typeOf(in.result));
+      mapAug(in.result, pv);
+      if (info_.classVaried(PtrClass::allocClass(&in))) {
+        Value sh = b_->alloc(count, static_cast<Type>(in.iconst),
+                             ir::kFlagShadowAlloc);
+        shadowMap_[(std::size_t)in.result] = sh;
+        // Fresh allocations are zero-initialized by the memory manager, but
+        // be explicit: the shadow must start at zero.
+        b_->memset0(sh, count);
+      }
+      if (auto it = caches_.find(in.result); it != caches_.end())
+        storeCache(it->second, pv);
+      if (auto it = shadowCaches_.find(in.result); it != shadowCaches_.end())
+        storeCache(it->second, shadowMap_[(std::size_t)in.result]);
+      return;
+    }
+    case Op::JlAllocArray: {
+      Value count = A(0);
+      Value pv = b_->jlAllocArray(count);
+      mapAug(in.result, pv);
+      // Boxed-array data pointers are may-alias (Unknown class), so the GC
+      // allocation handler always builds the shadow array (conservative,
+      // like Enzyme's allocation handler for Julia, paper §VI-C2).
+      shadowMap_[(std::size_t)in.result] = b_->jlAllocArray(count);
+      return;
+    }
+    case Op::PtrOffset: {
+      Value pv = b_->ptrOffset(A(0), A(1));
+      mapAug(in.result, pv);
+      if (shadowMap_[(std::size_t)in.operands[0]].valid())
+        shadowMap_[(std::size_t)in.result] =
+            b_->ptrOffset(shadowAug(in.operands[0]), A(1));
+      return;
+    }
+    case Op::Load: {
+      Value v = b_->load(A(0), A(1));
+      mapAug(in.result, v);
+      if (ir::isPtr(p_.typeOf(in.result)) &&
+          shadowMap_[(std::size_t)in.operands[0]].valid())
+        shadowMap_[(std::size_t)in.result] =
+            b_->load(shadowAug(in.operands[0]), A(1));
+      if (auto it = caches_.find(in.result); it != caches_.end())
+        storeCache(it->second, v);
+      return;
+    }
+    case Op::Store: {
+      b_->store(A(0), A(1), A(2));
+      // Mirror pointer stores into the shadow descriptor.
+      if (ir::isPtr(p_.typeOf(in.operands[2])) &&
+          shadowMap_[(std::size_t)in.operands[0]].valid() &&
+          shadowMap_[(std::size_t)in.operands[2]].valid())
+        b_->store(shadowAug(in.operands[0]), A(1), shadowAug(in.operands[2]));
+      return;
+    }
+    case Op::Select: {
+      Value v = b_->select(A(0), A(1), A(2));
+      mapAug(in.result, v);
+      if (ir::isPtr(p_.typeOf(in.result)) &&
+          shadowMap_[(std::size_t)in.operands[1]].valid() &&
+          shadowMap_[(std::size_t)in.operands[2]].valid())
+        shadowMap_[(std::size_t)in.result] = b_->select(
+            A(0), shadowAug(in.operands[1]), shadowAug(in.operands[2]));
+      if (auto it = caches_.find(in.result); it != caches_.end())
+        storeCache(it->second, v);
+      return;
+    }
+    case Op::GcPreserveBegin: {
+      std::vector<Value> ops;
+      for (std::size_t i = 0; i < in.operands.size(); ++i) {
+        ops.push_back(A(i));
+        if (shadowMap_[(std::size_t)in.operands[i]].valid())
+          ops.push_back(shadowAug(in.operands[i]));
+      }
+      mapAug(in.result, b_->gcPreserveBegin(ops));
+      return;
+    }
+    case Op::MpAllreduce: {
+      std::vector<Value> ops{A(0), A(1), A(2)};
+      auto it = winnerCaches_.find(&in);
+      if (it != winnerCaches_.end()) {
+        CacheState& st = it->second;
+        // A top-level allreduce has no loop anchor; allocate its winners
+        // cache right here, where the count operand is in scope.
+        if (!st.array.valid()) {
+          PARAD_CHECK(st.dec->anchor == nullptr,
+                      "internal: winners cache not allocated");
+          allocCache(st);
+        }
+        Value lin = cacheIndexAug(st);
+        ops.push_back(b_->ptrOffset(st.array, b_->imul(lin, A(2))));
+      } else if (in.operands.size() == 4) {
+        ops.push_back(A(3));
+      }
+      ir::Inst proto(Op::MpAllreduce);
+      proto.iconst = in.iconst;
+      b_->emitCloned(proto, ops, Type::Void);
+      return;
+    }
+    case Op::For: {
+      b_->emitFor(A(0), A(1), [&](Value iv) {
+        mapAug(in.regions[0].args[0], iv);
+        emitAug(in.regions[0], depth + 1);
+      });
+      return;
+    }
+    case Op::While: {
+      Value trip = b_->alloc(b_->constI(1), Type::I64, ir::kFlagCacheAlloc);
+      b_->store(trip, b_->constI(0), b_->constI(0));
+      whileTrip_[&in] = trip;
+      b_->emitWhile([&](Value iter) -> Value {
+        mapAug(in.regions[0].args[0], iter);
+        const auto& insts = in.regions[0].insts;
+        for (std::size_t k = 0; k + 1 < insts.size(); ++k) {
+          if (depth == 0) allocCachesAnchoredAt(insts[k]);
+          emitAugInst(insts[k], depth + 1);
+        }
+        b_->store(trip, b_->constI(0), b_->iadd(iter, b_->constI(1)));
+        PARAD_CHECK(insts.back().op == Op::Yield, "while body must yield");
+        return aug(insts.back().operands[0]);
+      });
+      return;
+    }
+    case Op::Yield:
+      PARAD_UNREACHABLE("yield outside while body");
+    case Op::If: {
+      b_->emitIf(
+          A(0), [&] { emitAug(in.regions[0], depth + 1); },
+          [&] { emitAug(in.regions[1], depth + 1); });
+      return;
+    }
+    case Op::ParallelFor: {
+      b_->emitParallelFor(A(0), A(1), [&](Value iv) {
+        mapAug(in.regions[0].args[0], iv);
+        emitAug(in.regions[0], depth + 1);
+      });
+      return;
+    }
+    case Op::Fork: {
+      b_->emitFork(A(0), [&](Value tid) {
+        mapAug(in.regions[0].args[0], tid);
+        emitAug(in.regions[0], depth + 1);
+      });
+      return;
+    }
+    case Op::Workshare: {
+      b_->emitWorkshare(A(0), A(1), [&](Value iv) {
+        mapAug(in.regions[0].args[0], iv);
+        emitAug(in.regions[0], depth + 1);
+      });
+      return;
+    }
+    case Op::BarrierOp:
+      b_->barrier();
+      return;
+    case Op::Spawn: {
+      Value t = b_->spawn([&] { emitAug(in.regions[0], depth + 1); });
+      mapAug(in.result, t);
+      return;
+    }
+    default: {
+      std::vector<Value> ops;
+      ops.reserve(in.operands.size());
+      for (std::size_t i = 0; i < in.operands.size(); ++i) ops.push_back(A(i));
+      Type rt = in.result >= 0 ? p_.typeOf(in.result) : Type::Void;
+      Value v = b_->emitCloned(in, ops, rt);
+      if (in.result >= 0) {
+        mapAug(in.result, v);
+        if (auto it = caches_.find(in.result); it != caches_.end())
+          storeCache(it->second, v);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace parad::core::detail

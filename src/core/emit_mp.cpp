@@ -1,0 +1,131 @@
+// Reverse-pass emission for message passing and foreign-runtime intrinsics.
+// Implements the Fig. 5 shadow-request discipline: the mirrored wait issues
+// the adjoint communication (isend -> irecv into a temporary, irecv ->
+// isend of the shadow), the mirrored isend/irecv consumes it; adjoint
+// traffic is tag-shifted away from any primal communication. Allreduce
+// reverses as an allreduce(sum) of output shadows, with min/max adjoints
+// routed to the cached winning rank.
+#include "src/core/grad_internal.h"
+
+namespace parad::core::detail {
+
+void GradGen::emitReverseMp(const ir::Inst& in, RevScope& scope) {
+  auto R = [&](std::size_t i) { return resolve(in.operands[i], scope); };
+
+  switch (in.op) {
+    case Op::MpWaitOp: {
+      const ir::Inst* d = info_.defInst(in.operands[0]);
+      if (!variedPtr(d->operands[0])) return;
+      RevScope& s = scope;
+      Value count = resolve(d->operands[1], s);
+      Value peer = resolve(d->operands[2], s);
+      Value tag = b_->iadd(resolve(d->operands[3], s), b_->constI(kTagShift));
+      MpRev rec;
+      if (d->op == Op::MpIsend) {
+        rec.tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
+        rec.dreq = b_->mpIrecv(rec.tmp, count, peer, tag);
+      } else {
+        rec.dreq =
+            b_->mpIsend(resolveShadow(d->operands[0], s), count, peer, tag);
+      }
+      mpRev_[d] = rec;
+      return;
+    }
+    case Op::MpIsend: {
+      if (!variedPtr(in.operands[0])) return;
+      const MpRev& rec = mpRev_.at(&in);
+      b_->mpWait(rec.dreq);
+      Value count = R(1);
+      Value sp = resolveShadow(in.operands[0], scope);
+      b_->emitFor(b_->constI(0), count, [&](Value k) {
+        Value g = b_->load(rec.tmp, k);
+        accumShadow(sp, k, g, scope, &in, /*isLoadSite=*/false);
+      });
+      b_->free_(rec.tmp);
+      return;
+    }
+    case Op::MpIrecv: {
+      if (!variedPtr(in.operands[0])) return;
+      const MpRev& rec = mpRev_.at(&in);
+      b_->mpWait(rec.dreq);
+      b_->memset0(resolveShadow(in.operands[0], scope), R(1));
+      return;
+    }
+    case Op::MpSend: {
+      if (!variedPtr(in.operands[0])) return;
+      Value count = R(1);
+      Value tag = b_->iadd(R(3), b_->constI(kTagShift));
+      Value tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
+      b_->mpRecv(tmp, count, R(2), tag);
+      Value sp = resolveShadow(in.operands[0], scope);
+      b_->emitFor(b_->constI(0), count, [&](Value k) {
+        accumShadow(sp, k, b_->load(tmp, k), scope, &in, /*isLoadSite=*/false);
+      });
+      b_->free_(tmp);
+      return;
+    }
+    case Op::MpRecv: {
+      if (!variedPtr(in.operands[0])) return;
+      Value count = R(1);
+      Value tag = b_->iadd(R(3), b_->constI(kTagShift));
+      Value sp = resolveShadow(in.operands[0], scope);
+      b_->mpSend(sp, count, R(2), tag);
+      b_->memset0(sp, count);
+      return;
+    }
+    case Op::MpAllreduce: {
+      if (!variedPtr(in.operands[1])) return;
+      Value count = R(2);
+      Value shRecv = resolveShadow(in.operands[1], scope);
+      Value tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
+      b_->mpAllreduce(shRecv, tmp, count, ir::ReduceKind::Sum);
+      if (variedPtr(in.operands[0])) {
+        Value shSend = resolveShadow(in.operands[0], scope);
+        auto kind = static_cast<ir::ReduceKind>(in.iconst);
+        if (kind == ir::ReduceKind::Sum) {
+          b_->emitFor(b_->constI(0), count, [&](Value k) {
+            accumShadow(shSend, k, b_->load(tmp, k), scope, &in,
+                        /*isLoadSite=*/false);
+          });
+        } else {
+          CacheState& st = winnerCaches_.at(&in);
+          Value base = b_->imul(cacheIndexRev(st, scope), count);
+          Value myRank = b_->mpRank();
+          b_->emitFor(b_->constI(0), count, [&](Value k) {
+            Value w = b_->load(st.array, b_->iadd(base, k));
+            b_->emitIf(b_->ieq(w, myRank), [&] {
+              accumShadow(shSend, k, b_->load(tmp, k), scope, &in,
+                          /*isLoadSite=*/false);
+            });
+          });
+        }
+      }
+      b_->memset0(shRecv, count);
+      b_->free_(tmp);
+      return;
+    }
+    case Op::MpBarrier:
+      b_->mpBarrier();
+      return;
+
+    // ---- GC intrinsics (Julia frontend, §VI-C2) ----
+    case Op::GcPreserveBegin:
+      b_->gcPreserveEnd(gcTokenRev_.at(in.result));
+      return;
+    case Op::GcPreserveEnd: {
+      const ir::Inst* beg = info_.defInst(in.operands[0]);
+      std::vector<Value> ops;
+      for (int o : beg->operands) {
+        ops.push_back(resolve(o, scope));
+        if (variedPtr(o)) ops.push_back(resolveShadow(o, scope));
+      }
+      gcTokenRev_[in.operands[0]] = b_->gcPreserveBegin(ops);
+      return;
+    }
+
+    default:
+      PARAD_UNREACHABLE("non-mp instruction dispatched to emitReverseMp");
+  }
+}
+
+}  // namespace parad::core::detail

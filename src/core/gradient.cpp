@@ -1,581 +1,29 @@
+// Driver of the gradient pipeline: plan (src/core/plan.cpp) -> emit
+// (emit_forward.cpp, emit_reverse.cpp, emit_mp.cpp). This TU owns the
+// generated function's signature, the prologue/epilogue, and the ordering of
+// the two passes; all decision-making lives in the plan and all per-op
+// emission in the emit_* TUs.
 #include "src/core/gradient.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "src/analysis/fninfo.h"
-#include "src/ir/builder.h"
-#include "src/ir/printer.h"
+#include "src/core/grad_internal.h"
 #include "src/ir/verifier.h"
 
-namespace parad::core {
+namespace parad::core::detail {
 
-using analysis::FnInfo;
-using analysis::PtrClass;
-using ir::Op;
-using ir::Type;
-using ir::Value;
-
-namespace {
-
-// Tag offset separating adjoint communication from primal communication.
-constexpr i64 kTagShift = i64(1) << 20;
-
-struct CacheRec {
-  Type storeTy = Type::F64;  // F64, I64 (also holds i1), PtrF64
-  bool fromI1 = false;
-  std::vector<const ir::Inst*> dims;  // outermost -> innermost loop insts
-  const ir::Inst* anchor = nullptr;   // top-level inst to allocate before
-  Value array;                        // set when allocated (aug pass)
-  std::vector<Value> sizes;           // per-dim extents (top-level values)
-  int extraCountValue = -1;           // per-execution payload count (primal
-                                      // value id; used by allreduce winners)
-};
-
-class GradGen {
- public:
-  GradGen(ir::Module& mod, const ir::Function& primal, const GradConfig& cfg)
-      : mod_(mod), p_(primal), cfg_(cfg), info_(primal, cfg.activeArg) {}
-
-  GradInfo run();
-
- private:
-  // ===================== planning =====================
-  void planRegion(const ir::Region& r);
-  void planInst(const ir::Inst& in);
-  void ensureAvailable(int v);
-  void ensureShadowAvailable(int v);
-  bool canReEmit(const ir::Inst* d) const;
-  CacheRec& markCache(int v, std::unordered_map<int, CacheRec>& table);
-  bool isTopEmittable(int v) const;
-  bool hasReverseWork(const ir::Inst& in);
-  bool regionHasReverseWork(const ir::Region& r);
-
-  bool varied(int v) const { return info_.varied(v); }
-  bool variedPtr(int v) const {
-    return info_.classVaried(info_.ptrClass(v));
-  }
-
-  // ===================== augmented forward =====================
-  void emitAug(const ir::Region& r, int depth);
-  void emitAugInst(const ir::Inst& in, int depth);
-  void allocCachesAnchoredAt(const ir::Inst& in);
-  void allocCache(CacheRec& rec);
-  Value topEmit(int v);  // value usable at top level (depth-0 aug or const)
-  Value cacheIndexAug(const CacheRec& rec);
-  void storeCache(CacheRec& rec, Value val);
-  Value aug(int v) const {
-    Value x = augMap_[(std::size_t)v];
-    PARAD_CHECK(x.valid(), "internal: missing aug value %", v);
-    return x;
-  }
-  Value shadowAug(int v) const {
-    Value x = shadowMap_[(std::size_t)v];
-    PARAD_CHECK(x.valid(), "internal: missing shadow for %", v);
-    return x;
-  }
-
-  // ===================== reverse =====================
-  struct RevScope {
-    RevScope* parent = nullptr;
-    const ir::Inst* inst = nullptr;  // primal structured inst (dims lookup)
-    Value primalIter;                // reverse-side value of the region arg
-    Value dimIndex;                  // cache index along this dim
-    const ir::Inst* parallel = nullptr;  // innermost parallel construct
-    std::unordered_map<int, Value> memo;
-    std::unordered_map<int, Value> shadowMemo;
-    // Per-thread reduction slots (populated at reverse fork entry).
-    std::unordered_map<const ir::Inst*, Value>* loadSlots = nullptr;
-    std::unordered_map<int, Value>* ssaSlots = nullptr;
-  };
-
-  void emitReverse(const ir::Region& r, RevScope& scope);
-  void emitReverseInst(const ir::Inst& in, RevScope& scope);
-  void emitReverseParallel(const ir::Inst& in, RevScope& scope);
-  Value resolve(int v, RevScope& scope);
-  Value resolveShadow(int v, RevScope& scope);
-  Value cacheIndexRev(const CacheRec& rec, RevScope& scope);
-
-  void adjointAdd(int v, Value contrib, RevScope& scope);
-  Value consumeAdjoint(int v, RevScope& scope);  // invalid => zero, skip
-  void accumShadow(int ptrId, Value sp, Value idx, Value g, RevScope& scope,
-                   const ir::Inst* loadSite);
-  void serialAdd(Value p, Value idx, Value g) {
-    b_->store(p, idx, b_->fadd(b_->load(p, idx), g));
-  }
-
-  struct RedPlanEntry {
-    const ir::Inst* load = nullptr;  // load-site entry
-    int ssaValue = -1;               // or SSA slot-mode entry
-  };
-  std::vector<RedPlanEntry> scanReductions(const ir::Inst& par);
-  void collectWrittenInside(const ir::Region& r,
-                            std::unordered_set<std::size_t>& out);
-  void collectReductions(const ir::Region& r, const ir::Inst& par,
-                         std::vector<RedPlanEntry>& out,
-                         std::unordered_set<const void*>& seenLoads,
-                         std::unordered_set<int>& seenSsa,
-                         const std::unordered_set<std::size_t>& writtenInside);
-  bool definedOutside(int v, const ir::Inst& par) const {
-    return !info_.definedInside(v, &par) &&
-           !isRegionArgOf(v, &par);
-  }
-  /// Value is the same for every thread/iteration of `par`: defined outside,
-  /// or a pure thread-independent expression of invariant values.
-  bool isInvariantIn(int v, const ir::Inst& par) const {
-    if (definedOutside(v, par)) return true;
-    const ir::Inst* d = info_.defInst(v);
-    if (!d) return false;  // region arg of par or something inside it
-    switch (d->op) {
-      case Op::ThreadIdOp:
-        return false;
-      case Op::Load:
-        if (info_.classWritten(info_.ptrClass(d->operands[0]))) return false;
-        break;
-      default:
-        if (!canReEmit(d)) return false;
-        break;
-    }
-    for (int o : d->operands)
-      if (!isInvariantIn(o, par)) return false;
-    return true;
-  }
-  bool isRegionArgOf(int v, const ir::Inst* in) const {
-    return info_.regionArgOwner(v) == in;
-  }
-
-  // ===================== state =====================
-  ir::Module& mod_;
-  const ir::Function& p_;
-  GradConfig cfg_;
-  FnInfo info_;
-  std::unique_ptr<ir::FunctionBuilder> b_;
-  GradInfo out_;
-
-  std::vector<Value> augMap_;
-  std::vector<Value> shadowMap_;
-  std::unordered_map<int, CacheRec> caches_;        // primal value caches
-  std::unordered_map<int, CacheRec> shadowCaches_;  // shadow-pointer caches
-  std::unordered_map<const ir::Inst*, CacheRec> winnerCaches_;
-  std::unordered_map<const ir::Inst*, Value> whileTrip_;
-  std::unordered_set<int> available_;
-  std::unordered_set<int> shadowAvailable_;
-  std::unordered_map<const ir::Inst*, char> reverseWork_;
-
-  std::unordered_map<int, Value> adjReg_;
-  std::unordered_set<int> slotMode_;
-  std::unordered_map<int, i64> slotIdx_;
-  Value slotArray_;
-
-  std::vector<int> deferredFree_;  // primal ptr value ids (top level)
-  struct MpRev {
-    Value tmp;   // temp receive buffer (isend adjoints)
-    Value dreq;  // shadow request
-  };
-  std::unordered_map<const ir::Inst*, MpRev> mpRev_;
-  std::unordered_map<int, Value> shadowTask_;
-  std::unordered_map<int, Value> gcTokenRev_;
-};
-
-// ---------------------------------------------------------------------------
-// Planning
-// ---------------------------------------------------------------------------
-
-bool GradGen::canReEmit(const ir::Inst* d) const {
-  if (!d) return false;
-  switch (d->op) {
-    case Op::ConstF: case Op::ConstI: case Op::ConstB:
-    case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FDiv: case Op::FNeg:
-    case Op::Sqrt: case Op::Sin: case Op::Cos: case Op::Exp: case Op::Log:
-    case Op::Pow: case Op::FAbs: case Op::FMin: case Op::FMax: case Op::Cbrt:
-    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv: case Op::IRem:
-    case Op::IMinOp: case Op::IMaxOp:
-    case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpLt: case Op::ICmpLe:
-    case Op::ICmpGt: case Op::ICmpGe:
-    case Op::FCmpLt: case Op::FCmpLe: case Op::FCmpGt: case Op::FCmpGe:
-    case Op::FCmpEq:
-    case Op::BAnd: case Op::BOr: case Op::BNot:
-    case Op::Select: case Op::IToF: case Op::FToI: case Op::PtrOffset:
-    case Op::ThreadIdOp: case Op::NumThreadsOp:
-    case Op::MpRank: case Op::MpSize:
-      return true;
-    case Op::Load:
-      // A load may be replayed in the reverse pass iff nothing may have
-      // overwritten the location (its class is never written).
-      return !info_.classWritten(info_.ptrClass(d->operands[0]));
-    default:
-      return false;
-  }
+void GradGen::initCacheStates() {
+  for (const auto& [v, dec] : plan_.caches)
+    if (dec.needsArray()) caches_.emplace(v, CacheState{&dec, {}, {}});
+  for (const auto& [v, dec] : plan_.shadowCaches)
+    if (dec.needsArray()) shadowCaches_.emplace(v, CacheState{&dec, {}, {}});
+  for (const auto& [inp, dec] : plan_.winnerCaches)
+    winnerCaches_.emplace(inp, CacheState{&dec, {}, {}});
 }
-
-CacheRec& GradGen::markCache(int v, std::unordered_map<int, CacheRec>& table) {
-  auto it = table.find(v);
-  if (it != table.end()) return it->second;
-  CacheRec rec;
-  Type t = p_.typeOf(v);
-  switch (t) {
-    case Type::F64: rec.storeTy = Type::F64; break;
-    case Type::I64: rec.storeTy = Type::I64; break;
-    case Type::I1: rec.storeTy = Type::I64; rec.fromI1 = true; break;
-    case Type::PtrF64: rec.storeTy = Type::PtrF64; break;
-    default:
-      fail("AD: value %", v, " of type ", ir::typeName(t),
-           " must be preserved for the reverse pass but is not cacheable");
-  }
-  const ir::Region* r = info_.defRegion(v);
-  rec.dims = info_.cacheDims(r);
-  for (const ir::Inst* dim : rec.dims)
-    PARAD_CHECK(dim->op != Op::While,
-                "AD: caching a value under a while loop (dynamic trip count) "
-                "is unsupported; restructure as a counted loop");
-  auto chain = info_.enclosingChain(r);
-  PARAD_CHECK(!chain.empty(), "internal: cache at top level");
-  rec.anchor = chain.front();
-  // Dim bounds must be materializable at the top level.
-  auto checkTop = [&](int bv) {
-    PARAD_CHECK(isTopEmittable(bv),
-                "AD: loop bound of a cached region is not available at "
-                "function scope (non-rectangular loop nest)");
-  };
-  for (const ir::Inst* dim : rec.dims) {
-    if (dim->op == Op::Fork) {
-      checkTop(dim->operands[0]);
-    } else {
-      checkTop(dim->operands[0]);
-      checkTop(dim->operands[1]);
-    }
-  }
-  out_.numCachedValues++;
-  return table.emplace(v, std::move(rec)).first->second;
-}
-
-void GradGen::ensureAvailable(int v) {
-  if (available_.count(v)) return;
-  available_.insert(v);
-  if (info_.isRegionArg(v)) {
-    const ir::Inst* owner = info_.regionArgOwner(v);
-    if (!owner) return;  // function parameter
-    switch (owner->op) {
-      case Op::For: case Op::While: case Op::ParallelFor:
-      case Op::Workshare: case Op::Fork:
-        return;  // mapped by the reverse scope chain
-      default:
-        fail("AD: region argument of unsupported construct needed in reverse");
-    }
-  }
-  if (info_.depth(v) == 0) return;  // aug value stays in scope
-  const ir::Inst* d = info_.defInst(v);
-  if (canReEmit(d)) {
-    for (int o : d->operands) ensureAvailable(o);
-    return;
-  }
-  markCache(v, caches_);
-}
-
-void GradGen::ensureShadowAvailable(int v) {
-  if (shadowAvailable_.count(v)) return;
-  shadowAvailable_.insert(v);
-  const ir::Inst* d = info_.defInst(v);
-  if (d == nullptr) {
-    // Function parameter (covered by a shadow parameter) — pointer-typed
-    // region arguments cannot occur after omp lowering.
-    PARAD_CHECK(info_.regionArgOwner(v) == nullptr,
-                "AD: pointer region arguments are unsupported (lower omp "
-                "first)");
-    return;
-  }
-  if (info_.depth(v) == 0) {
-    // Shadow emitted at top level during aug; still recurse so the aug pass
-    // knows to build shadows for the whole pointer chain.
-    switch (d->op) {
-      case Op::PtrOffset:
-        ensureShadowAvailable(d->operands[0]);
-        break;
-      case Op::Load:
-        ensureShadowAvailable(d->operands[0]);
-        break;
-      case Op::Select:
-        ensureShadowAvailable(d->operands[1]);
-        ensureShadowAvailable(d->operands[2]);
-        break;
-      default:
-        break;
-    }
-    return;
-  }
-  switch (d->op) {
-    case Op::PtrOffset:
-      ensureShadowAvailable(d->operands[0]);
-      ensureAvailable(d->operands[1]);
-      return;
-    case Op::Load:  // boxed-array data pointer
-      ensureShadowAvailable(d->operands[0]);
-      ensureAvailable(d->operands[1]);
-      return;
-    case Op::Select:
-      ensureAvailable(d->operands[0]);
-      ensureShadowAvailable(d->operands[1]);
-      ensureShadowAvailable(d->operands[2]);
-      return;
-    case Op::Alloc:
-      PARAD_CHECK(static_cast<Type>(d->iconst) == Type::F64,
-                  "AD: differentiable non-f64 allocation inside a loop");
-      markCache(v, shadowCaches_);
-      markCache(v, caches_);
-      return;
-    default:
-      fail("AD: cannot provide shadow for pointer defined by ",
-           ir::traits(d->op).name, " inside a loop");
-  }
-}
-
-bool GradGen::regionHasReverseWork(const ir::Region& r) {
-  for (const ir::Inst& in : r.insts)
-    if (hasReverseWork(in)) return true;
-  return false;
-}
-
-bool GradGen::hasReverseWork(const ir::Inst& in) {
-  auto it = reverseWork_.find(&in);
-  if (it != reverseWork_.end()) return it->second != 0;
-  bool w = false;
-  switch (in.op) {
-    case Op::Store:
-    case Op::AtomicAddF:
-    case Op::Memset0:
-      w = variedPtr(in.operands[0]);
-      break;
-    case Op::MpIsend: case Op::MpSend:
-      w = variedPtr(in.operands[0]);
-      break;
-    case Op::MpIrecv: case Op::MpRecv:
-      w = variedPtr(in.operands[0]);
-      break;
-    case Op::MpWaitOp: {
-      const ir::Inst* d = info_.defInst(in.operands[0]);
-      w = d && variedPtr(d->operands[0]);
-      break;
-    }
-    case Op::MpAllreduce:
-      w = variedPtr(in.operands[1]) || variedPtr(in.operands[0]);
-      break;
-    case Op::MpBarrier:
-    case Op::BarrierOp:
-      w = true;  // barriers are mirrored to order the reversed segments
-      break;
-    case Op::SyncOp: {
-      // The reverse of sync spawns the adjoint task; needed iff the spawned
-      // body has reverse work.
-      const ir::Inst* d = info_.defInst(in.operands[0]);
-      w = d != nullptr && hasReverseWork(*d);
-      break;
-    }
-    case Op::GcPreserveBegin:
-    case Op::GcPreserveEnd:
-      w = true;
-      break;
-    case Op::Return:
-      w = !in.operands.empty() && varied(in.operands[0]);
-      break;
-    default:
-      if (in.result >= 0 && p_.typeOf(in.result) == Type::F64 &&
-          varied(in.result))
-        w = true;
-      break;
-  }
-  if (!w)
-    for (const ir::Region& r : in.regions)
-      if (regionHasReverseWork(r)) {
-        w = true;
-        break;
-      }
-  reverseWork_[&in] = w ? 1 : 0;
-  return w;
-}
-
-void GradGen::planRegion(const ir::Region& r) {
-  for (const ir::Inst& in : r.insts) planInst(in);
-}
-
-void GradGen::planInst(const ir::Inst& in) {
-  auto req = [&](int v) { ensureAvailable(v); };
-  auto reqShadow = [&](int v) { ensureShadowAvailable(v); };
-  bool resVaried = in.result >= 0 && p_.typeOf(in.result) == Type::F64 &&
-                   varied(in.result);
-  switch (in.op) {
-    case Op::Call:
-    case Op::CallIndirect:
-      fail("AD: calls must be inlined before differentiation (@", in.sym, ")");
-    case Op::OmpParallelFor:
-      fail("AD: lower the omp dialect before differentiation");
-    case Op::FMul:
-      // da += g*b needs b only when a is active, and vice versa.
-      if (resVaried) {
-        if (varied(in.operands[0])) req(in.operands[1]);
-        if (varied(in.operands[1])) req(in.operands[0]);
-      }
-      break;
-    case Op::FDiv:
-      if (resVaried) {
-        if (varied(in.operands[0])) req(in.operands[1]);
-        if (varied(in.operands[1])) { req(in.operands[0]); req(in.operands[1]); }
-      }
-      break;
-    case Op::Sqrt:
-    case Op::Exp:
-    case Op::Cbrt:
-      if (resVaried) req(in.result);
-      break;
-    case Op::Sin: case Op::Cos: case Op::Log:
-      if (resVaried) req(in.operands[0]);
-      break;
-    case Op::Pow:
-      if (resVaried) {
-        if (varied(in.operands[0])) { req(in.operands[0]); req(in.operands[1]); }
-        if (varied(in.operands[1])) { req(in.operands[0]); req(in.result); }
-      }
-      break;
-    case Op::FAbs:
-      if (resVaried) req(in.operands[0]);
-      break;
-    case Op::FMin: case Op::FMax:
-      if (resVaried) { req(in.operands[0]); req(in.operands[1]); }
-      break;
-    case Op::Select:
-      if (resVaried) req(in.operands[0]);
-      break;
-    case Op::Load:
-      if (resVaried) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]);
-      }
-      break;
-    case Op::Store:
-      if (variedPtr(in.operands[0])) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]);
-        // Pointer stores must mirror into the shadow descriptor during aug.
-        if (ir::isPtr(p_.typeOf(in.operands[2])))
-          reqShadow(in.operands[2]);
-      }
-      break;
-    case Op::AtomicAddF:
-      if (variedPtr(in.operands[0])) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]);
-      }
-      break;
-    case Op::Memset0:
-      if (variedPtr(in.operands[0])) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]);
-      }
-      break;
-    case Op::Alloc:
-      if (info_.classVaried(PtrClass::allocClass(&in))) {
-        PARAD_CHECK(static_cast<Type>(in.iconst) != Type::PtrF64,
-                    "AD: differentiable pointer-holding allocation "
-                    "unsupported (use jl.alloc.array)");
-      }
-      break;
-    case Op::JlAllocArray:
-      PARAD_CHECK(info_.depth(in.result) == 0,
-                  "AD: boxed-array allocation inside a loop is unsupported");
-      break;
-    case Op::For:
-    case Op::ParallelFor:
-    case Op::Workshare:
-      if (hasReverseWork(in)) { req(in.operands[0]); req(in.operands[1]); }
-      break;
-    case Op::Fork:
-      if (hasReverseWork(in)) req(in.operands[0]);
-      break;
-    case Op::If:
-      if (hasReverseWork(in)) req(in.operands[0]);
-      break;
-    case Op::While:
-      break;  // trip count recorded in a dedicated slot during aug
-    case Op::MpIsend:
-    case Op::MpSend:
-      if (variedPtr(in.operands[0])) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]); req(in.operands[2]); req(in.operands[3]);
-      }
-      break;
-    case Op::MpIrecv:
-    case Op::MpRecv:
-      if (variedPtr(in.operands[0])) {
-        reqShadow(in.operands[0]);
-        req(in.operands[1]); req(in.operands[2]); req(in.operands[3]);
-      }
-      break;
-    case Op::MpWaitOp: {
-      const ir::Inst* d = info_.defInst(in.operands[0]);
-      PARAD_CHECK(d && (d->op == Op::MpIsend || d->op == Op::MpIrecv),
-                  "AD: wait request must be defined by isend/irecv in the "
-                  "same function");
-      PARAD_CHECK(info_.instRegion(d) == info_.instRegion(&in),
-                  "AD: wait must be in the same region as its isend/irecv");
-      break;
-    }
-    case Op::MpAllreduce: {
-      bool recvVaried = variedPtr(in.operands[1]);
-      if (recvVaried) {
-        reqShadow(in.operands[1]);
-        req(in.operands[2]);
-        if (variedPtr(in.operands[0])) reqShadow(in.operands[0]);
-        auto kind = static_cast<ir::ReduceKind>(in.iconst);
-        if (kind != ir::ReduceKind::Sum) {
-          // Winner-rank cache: one i64 per element per execution.
-          CacheRec rec;
-          rec.storeTy = Type::I64;
-          rec.dims = info_.cacheDims(info_.instRegion(&in));
-          rec.extraCountValue = in.operands[2];
-          auto chain = info_.enclosingChain(info_.instRegion(&in));
-          rec.anchor = chain.empty() ? nullptr : chain.front();
-          winnerCaches_.emplace(&in, std::move(rec));
-          req(in.operands[2]);
-        }
-      }
-      break;
-    }
-    case Op::SyncOp: {
-      const ir::Inst* d = info_.defInst(in.operands[0]);
-      PARAD_CHECK(d && d->op == Op::Spawn,
-                  "AD: sync operand must be a spawn in the same function");
-      PARAD_CHECK(info_.instRegion(d) == info_.instRegion(&in),
-                  "AD: sync must be in the same region as its spawn");
-      break;
-    }
-    case Op::GcPreserveBegin:
-      for (int o : in.operands)
-        if (variedPtr(o)) reqShadow(o);
-      break;
-    case Op::Return:
-      break;  // the seed is applied through the adjoint register/slot
-
-    default:
-      break;
-  }
-  for (const ir::Region& r : in.regions) planRegion(r);
-}
-
-// ---------------------------------------------------------------------------
-// run(): signature, planning, aug, reverse, epilogue
-// ---------------------------------------------------------------------------
 
 GradInfo GradGen::run() {
-  // Slot-mode SSA adjoints: varied f64 values used across regions.
-  for (int v = 0; v < p_.numValues(); ++v)
-    if (p_.typeOf(v) == Type::F64 && varied(v) && info_.usedAcrossRegions(v)) {
-      slotMode_.insert(v);
-      slotIdx_[v] = static_cast<i64>(slotIdx_.size());
-    }
-
-  planRegion(p_.body);
+  // Strategy limitations are classified (not thrown) by the planner so the
+  // plan API can still describe them; emission refuses to start on one.
+  if (!plan_.firstError.empty()) fail(plan_.firstError);
+  initCacheStates();
 
   // ---- signature ----
   std::string name = "grad_" + p_.name + cfg_.nameSuffix;
@@ -592,6 +40,8 @@ GradInfo GradGen::run() {
     params.push_back(Type::F64);
   }
   out_.name = name;
+  out_.numCachedValues = plan_.numCachedValues;
+  out_.plan = plan_.counts;
   b_ = std::make_unique<ir::FunctionBuilder>(mod_, name, params, p_.retType);
 
   augMap_.assign((std::size_t)p_.numValues(), Value{});
@@ -603,10 +53,11 @@ GradInfo GradGen::run() {
   }
 
   // ---- prologue: adjoint slot array ----
-  if (!slotIdx_.empty()) {
-    slotArray_ = b_->alloc(b_->constI(static_cast<i64>(slotIdx_.size())),
-                           Type::F64, ir::kFlagCacheAlloc);
-    b_->memset0(slotArray_, b_->constI(static_cast<i64>(slotIdx_.size())));
+  if (!plan_.slotIdx.empty()) {
+    slotArray_ =
+        b_->alloc(b_->constI(static_cast<i64>(plan_.slotIdx.size())),
+                  Type::F64, ir::kFlagCacheAlloc);
+    b_->memset0(slotArray_, b_->constI(static_cast<i64>(plan_.slotIdx.size())));
   }
 
   // ---- augmented forward ----
@@ -619,12 +70,12 @@ GradInfo GradGen::run() {
 
   // ---- epilogue ----
   if (cfg_.freeCaches) {
-    for (auto& [v, rec] : caches_)
-      if (rec.array.valid()) b_->free_(rec.array);
-    for (auto& [v, rec] : shadowCaches_)
-      if (rec.array.valid()) b_->free_(rec.array);
-    for (auto& [inp, rec] : winnerCaches_)
-      if (rec.array.valid()) b_->free_(rec.array);
+    for (auto& [v, st] : caches_)
+      if (st.array.valid()) b_->free_(st.array);
+    for (auto& [v, st] : shadowCaches_)
+      if (st.array.valid()) b_->free_(st.array);
+    for (auto& [inp, st] : winnerCaches_)
+      if (st.array.valid()) b_->free_(st.array);
     if (slotArray_.valid()) b_->free_(slotArray_);
   }
   for (int ptr : deferredFree_) {
@@ -644,1031 +95,14 @@ GradInfo GradGen::run() {
   return out_;
 }
 
-// ---------------------------------------------------------------------------
-// Augmented forward pass
-// ---------------------------------------------------------------------------
+}  // namespace parad::core::detail
 
-bool GradGen::isTopEmittable(int v) const {
-  if (info_.depth(v) == 0) return true;
-  const ir::Inst* d = info_.defInst(v);
-  if (!d) return false;  // region argument
-  switch (d->op) {
-    case Op::ConstI:
-    case Op::ConstF:
-    case Op::ConstB:
-      return true;
-    case Op::NumThreadsOp:
-      // Equals the default team size; sound for default-sized forks (the
-      // only forks our frontends emit). See DESIGN.md known deviations.
-      return true;
-    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
-    case Op::IRem: case Op::IMinOp: case Op::IMaxOp: case Op::Select:
-    case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpLt: case Op::ICmpLe:
-    case Op::ICmpGt: case Op::ICmpGe:
-      for (int o : d->operands)
-        if (!isTopEmittable(o)) return false;
-      return true;
-    default:
-      return false;
-  }
-}
-
-Value GradGen::topEmit(int v) {
-  if (info_.depth(v) == 0) return aug(v);
-  const ir::Inst* d = info_.defInst(v);
-  PARAD_CHECK(d && isTopEmittable(v), "internal: bound not top-emittable");
-  std::vector<Value> ops;
-  for (int o : d->operands) ops.push_back(topEmit(o));
-  return b_->emitCloned(*d, ops, p_.typeOf(v));
-}
-
-void GradGen::allocCache(CacheRec& rec) {
-  if (rec.array.valid()) return;
-  Value total = rec.extraCountValue >= 0 ? topEmit(rec.extraCountValue)
-                                         : b_->constI(1);
-  for (const ir::Inst* dim : rec.dims) {
-    Value sz;
-    if (dim->op == Op::Fork) {
-      Value n = topEmit(dim->operands[0]);
-      Value defN = b_->emitCloned(ir::Inst(Op::NumThreadsOp), {}, Type::I64);
-      sz = b_->select(b_->igt(n, b_->constI(0)), n, defN);
-    } else {
-      Value lo = topEmit(dim->operands[0]);
-      Value hi = topEmit(dim->operands[1]);
-      sz = b_->imax_(b_->isub(hi, lo), b_->constI(0));
-    }
-    rec.sizes.push_back(sz);
-    total = b_->imul(total, sz);
-  }
-  rec.array = b_->alloc(total, rec.storeTy, ir::kFlagCacheAlloc);
-}
-
-void GradGen::allocCachesAnchoredAt(const ir::Inst& in) {
-  for (auto& [v, rec] : caches_)
-    if (rec.anchor == &in) allocCache(rec);
-  for (auto& [v, rec] : shadowCaches_)
-    if (rec.anchor == &in) allocCache(rec);
-  for (auto& [inp, rec] : winnerCaches_)
-    if (rec.anchor == &in) allocCache(rec);
-}
-
-Value GradGen::cacheIndexAug(const CacheRec& rec) {
-  Value lin = b_->constI(0);
-  for (std::size_t k = 0; k < rec.dims.size(); ++k) {
-    const ir::Inst* dim = rec.dims[k];
-    Value di;
-    if (dim->op == Op::Fork) {
-      di = aug(dim->regions[0].args[0]);  // tid
-    } else {
-      Value iv = aug(dim->regions[0].args[0]);
-      Value lo = aug(dim->operands[0]);
-      di = b_->isub(iv, lo);
-    }
-    lin = b_->iadd(b_->imul(lin, rec.sizes[k]), di);
-  }
-  return lin;
-}
-
-void GradGen::storeCache(CacheRec& rec, Value val) {
-  PARAD_CHECK(rec.array.valid(), "internal: cache not allocated");
-  Value idx = cacheIndexAug(rec);
-  if (rec.fromI1) val = b_->select(val, b_->constI(1), b_->constI(0));
-  b_->store(rec.array, idx, val);
-}
-
-void GradGen::emitAug(const ir::Region& r, int depth) {
-  for (const ir::Inst& in : r.insts) {
-    if (depth == 0) allocCachesAnchoredAt(in);
-    emitAugInst(in, depth);
-  }
-}
-
-void GradGen::emitAugInst(const ir::Inst& in, int depth) {
-  auto A = [&](std::size_t i) { return aug(in.operands[i]); };
-  auto mapAug = [&](int primal, Value v) {
-    augMap_[(std::size_t)primal] = v;
-  };
-
-  switch (in.op) {
-    case Op::Return:
-      return;  // emitted in the epilogue
-    case Op::Free: {
-      int ptr = in.operands[0];
-      if (variedPtr(ptr)) {
-        // Defer: the reverse pass still needs the memory and its shadow.
-        PARAD_CHECK(info_.depth(ptr) == 0,
-                    "AD: free of a differentiable loop-local allocation is "
-                    "unsupported; hoist the allocation");
-        deferredFree_.push_back(ptr);
-        return;
-      }
-      b_->free_(A(0));
-      return;
-    }
-    case Op::Alloc: {
-      Value count = A(0);
-      Value pv = b_->emitCloned(in, {count}, p_.typeOf(in.result));
-      mapAug(in.result, pv);
-      if (info_.classVaried(PtrClass::allocClass(&in))) {
-        Value sh = b_->alloc(count, static_cast<Type>(in.iconst),
-                             ir::kFlagShadowAlloc);
-        shadowMap_[(std::size_t)in.result] = sh;
-        // Fresh allocations are zero-initialized by the memory manager, but
-        // be explicit: the shadow must start at zero.
-        b_->memset0(sh, count);
-      }
-      if (auto it = caches_.find(in.result); it != caches_.end())
-        storeCache(it->second, pv);
-      if (auto it = shadowCaches_.find(in.result); it != shadowCaches_.end())
-        storeCache(it->second, shadowMap_[(std::size_t)in.result]);
-      return;
-    }
-    case Op::JlAllocArray: {
-      Value count = A(0);
-      Value pv = b_->jlAllocArray(count);
-      mapAug(in.result, pv);
-      // Boxed-array data pointers are may-alias (Unknown class), so the GC
-      // allocation handler always builds the shadow array (conservative,
-      // like Enzyme's allocation handler for Julia, paper §VI-C2).
-      shadowMap_[(std::size_t)in.result] = b_->jlAllocArray(count);
-      return;
-    }
-    case Op::PtrOffset: {
-      Value pv = b_->ptrOffset(A(0), A(1));
-      mapAug(in.result, pv);
-      if (shadowMap_[(std::size_t)in.operands[0]].valid())
-        shadowMap_[(std::size_t)in.result] =
-            b_->ptrOffset(shadowAug(in.operands[0]), A(1));
-      return;
-    }
-    case Op::Load: {
-      Value v = b_->load(A(0), A(1));
-      mapAug(in.result, v);
-      if (ir::isPtr(p_.typeOf(in.result)) &&
-          shadowMap_[(std::size_t)in.operands[0]].valid())
-        shadowMap_[(std::size_t)in.result] =
-            b_->load(shadowAug(in.operands[0]), A(1));
-      if (auto it = caches_.find(in.result); it != caches_.end())
-        storeCache(it->second, v);
-      return;
-    }
-    case Op::Store: {
-      b_->store(A(0), A(1), A(2));
-      // Mirror pointer stores into the shadow descriptor.
-      if (ir::isPtr(p_.typeOf(in.operands[2])) &&
-          shadowMap_[(std::size_t)in.operands[0]].valid() &&
-          shadowMap_[(std::size_t)in.operands[2]].valid())
-        b_->store(shadowAug(in.operands[0]), A(1), shadowAug(in.operands[2]));
-      return;
-    }
-    case Op::Select: {
-      Value v = b_->select(A(0), A(1), A(2));
-      mapAug(in.result, v);
-      if (ir::isPtr(p_.typeOf(in.result)) &&
-          shadowMap_[(std::size_t)in.operands[1]].valid() &&
-          shadowMap_[(std::size_t)in.operands[2]].valid())
-        shadowMap_[(std::size_t)in.result] = b_->select(
-            A(0), shadowAug(in.operands[1]), shadowAug(in.operands[2]));
-      if (auto it = caches_.find(in.result); it != caches_.end())
-        storeCache(it->second, v);
-      return;
-    }
-    case Op::GcPreserveBegin: {
-      std::vector<Value> ops;
-      for (std::size_t i = 0; i < in.operands.size(); ++i) {
-        ops.push_back(A(i));
-        if (shadowMap_[(std::size_t)in.operands[i]].valid())
-          ops.push_back(shadowAug(in.operands[i]));
-      }
-      mapAug(in.result, b_->gcPreserveBegin(ops));
-      return;
-    }
-    case Op::MpAllreduce: {
-      std::vector<Value> ops{A(0), A(1), A(2)};
-      auto it = winnerCaches_.find(&in);
-      if (it != winnerCaches_.end()) {
-        CacheRec& rec = it->second;
-        // A top-level allreduce has no loop anchor; allocate its winners
-        // cache right here, where the count operand is in scope.
-        if (!rec.array.valid()) {
-          PARAD_CHECK(rec.anchor == nullptr,
-                      "internal: winners cache not allocated");
-          allocCache(rec);
-        }
-        Value lin = cacheIndexAug(rec);
-        ops.push_back(b_->ptrOffset(rec.array, b_->imul(lin, A(2))));
-      } else if (in.operands.size() == 4) {
-        ops.push_back(A(3));
-      }
-      ir::Inst proto(Op::MpAllreduce);
-      proto.iconst = in.iconst;
-      b_->emitCloned(proto, ops, Type::Void);
-      return;
-    }
-    case Op::For: {
-      b_->emitFor(A(0), A(1), [&](Value iv) {
-        mapAug(in.regions[0].args[0], iv);
-        emitAug(in.regions[0], depth + 1);
-      });
-      return;
-    }
-    case Op::While: {
-      Value trip = b_->alloc(b_->constI(1), Type::I64, ir::kFlagCacheAlloc);
-      b_->store(trip, b_->constI(0), b_->constI(0));
-      whileTrip_[&in] = trip;
-      b_->emitWhile([&](Value iter) -> Value {
-        mapAug(in.regions[0].args[0], iter);
-        const auto& insts = in.regions[0].insts;
-        for (std::size_t k = 0; k + 1 < insts.size(); ++k) {
-          if (depth == 0) allocCachesAnchoredAt(insts[k]);
-          emitAugInst(insts[k], depth + 1);
-        }
-        b_->store(trip, b_->constI(0), b_->iadd(iter, b_->constI(1)));
-        PARAD_CHECK(insts.back().op == Op::Yield, "while body must yield");
-        return aug(insts.back().operands[0]);
-      });
-      return;
-    }
-    case Op::Yield:
-      PARAD_UNREACHABLE("yield outside while body");
-    case Op::If: {
-      b_->emitIf(
-          A(0), [&] { emitAug(in.regions[0], depth + 1); },
-          [&] { emitAug(in.regions[1], depth + 1); });
-      return;
-    }
-    case Op::ParallelFor: {
-      b_->emitParallelFor(A(0), A(1), [&](Value iv) {
-        mapAug(in.regions[0].args[0], iv);
-        emitAug(in.regions[0], depth + 1);
-      });
-      return;
-    }
-    case Op::Fork: {
-      b_->emitFork(A(0), [&](Value tid) {
-        mapAug(in.regions[0].args[0], tid);
-        emitAug(in.regions[0], depth + 1);
-      });
-      return;
-    }
-    case Op::Workshare: {
-      b_->emitWorkshare(A(0), A(1), [&](Value iv) {
-        mapAug(in.regions[0].args[0], iv);
-        emitAug(in.regions[0], depth + 1);
-      });
-      return;
-    }
-    case Op::BarrierOp:
-      b_->barrier();
-      return;
-    case Op::Spawn: {
-      Value t = b_->spawn([&] { emitAug(in.regions[0], depth + 1); });
-      mapAug(in.result, t);
-      return;
-    }
-    default: {
-      std::vector<Value> ops;
-      ops.reserve(in.operands.size());
-      for (std::size_t i = 0; i < in.operands.size(); ++i) ops.push_back(A(i));
-      Type rt = in.result >= 0 ? p_.typeOf(in.result) : Type::Void;
-      Value v = b_->emitCloned(in, ops, rt);
-      if (in.result >= 0) {
-        mapAug(in.result, v);
-        if (auto it = caches_.find(in.result); it != caches_.end())
-          storeCache(it->second, v);
-      }
-      return;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Reverse pass
-// ---------------------------------------------------------------------------
-
-Value GradGen::cacheIndexRev(const CacheRec& rec, RevScope& scope) {
-  Value lin = b_->constI(0);
-  for (std::size_t k = 0; k < rec.dims.size(); ++k) {
-    const ir::Inst* dim = rec.dims[k];
-    Value di;
-    for (RevScope* sc = &scope; sc; sc = sc->parent)
-      if (sc->inst == dim) {
-        di = sc->dimIndex;
-        break;
-      }
-    PARAD_CHECK(di.valid(), "internal: cache dim not in reverse scope");
-    lin = b_->iadd(b_->imul(lin, rec.sizes[k]), di);
-  }
-  return lin;
-}
-
-Value GradGen::resolve(int v, RevScope& scope) {
-  for (RevScope* sc = &scope; sc; sc = sc->parent) {
-    auto it = sc->memo.find(v);
-    if (it != sc->memo.end()) return it->second;
-  }
-  if (info_.isRegionArg(v)) {
-    const ir::Inst* owner = info_.regionArgOwner(v);
-    if (!owner) return aug(v);  // function parameter
-    for (RevScope* sc = &scope; sc; sc = sc->parent)
-      if (sc->inst == owner) return sc->primalIter;
-    fail("internal: region arg %", v, " not mapped in reverse scope");
-  }
-  if (info_.depth(v) == 0) return aug(v);
-  if (auto it = caches_.find(v); it != caches_.end()) {
-    CacheRec& rec = it->second;
-    Value raw = b_->load(rec.array, cacheIndexRev(rec, scope));
-    Value out = rec.fromI1 ? b_->ine(raw, b_->constI(0)) : raw;
-    scope.memo.emplace(v, out);
-    return out;
-  }
-  const ir::Inst* d = info_.defInst(v);
-  PARAD_CHECK(d && canReEmit(d), "internal: value %", v,
-              " neither cached nor re-emittable");
-  Value out;
-  if (d->op == Op::ThreadIdOp) {
-    const ir::Inst* fork = nullptr;
-    for (RevScope* sc = &scope; sc; sc = sc->parent)
-      if (sc->inst && sc->inst->op == Op::Fork) {
-        out = sc->primalIter;
-        fork = sc->inst;
-        break;
-      }
-    PARAD_CHECK(fork, "thread.id outside fork in reverse");
-  } else {
-    std::vector<Value> ops;
-    ops.reserve(d->operands.size());
-    for (int o : d->operands) ops.push_back(resolve(o, scope));
-    out = b_->emitCloned(*d, ops, p_.typeOf(v));
-  }
-  scope.memo.emplace(v, out);
-  return out;
-}
-
-Value GradGen::resolveShadow(int v, RevScope& scope) {
-  for (RevScope* sc = &scope; sc; sc = sc->parent) {
-    auto it = sc->shadowMemo.find(v);
-    if (it != sc->shadowMemo.end()) return it->second;
-  }
-  if (info_.isRegionArg(v)) return shadowAug(v);  // shadow parameter
-  if (info_.depth(v) == 0) return shadowAug(v);
-  if (auto it = shadowCaches_.find(v); it != shadowCaches_.end()) {
-    CacheRec& rec = it->second;
-    Value out = b_->load(rec.array, cacheIndexRev(rec, scope));
-    scope.shadowMemo.emplace(v, out);
-    return out;
-  }
-  const ir::Inst* d = info_.defInst(v);
-  PARAD_CHECK(d, "internal: no def for shadow request");
-  Value out;
-  switch (d->op) {
-    case Op::PtrOffset:
-      out = b_->ptrOffset(resolveShadow(d->operands[0], scope),
-                          resolve(d->operands[1], scope));
-      break;
-    case Op::Load:
-      out = b_->load(resolveShadow(d->operands[0], scope),
-                     resolve(d->operands[1], scope));
-      break;
-    case Op::Select:
-      out = b_->select(resolve(d->operands[0], scope),
-                       resolveShadow(d->operands[1], scope),
-                       resolveShadow(d->operands[2], scope));
-      break;
-    default:
-      fail("internal: cannot resolve shadow of ", ir::traits(d->op).name);
-  }
-  scope.shadowMemo.emplace(v, out);
-  return out;
-}
-
-void GradGen::adjointAdd(int v, Value contrib, RevScope& scope) {
-  if (!varied(v)) return;
-  if (slotMode_.count(v)) {
-    // Per-thread reduction slot available?
-    for (RevScope* sc = &scope; sc; sc = sc->parent)
-      if (sc->ssaSlots) {
-        auto it = sc->ssaSlots->find(v);
-        if (it != sc->ssaSlots->end()) {
-          serialAdd(it->second, b_->constI(0), contrib);
-          return;
-        }
-      }
-    Value idx = b_->constI(slotIdx_.at(v));
-    const ir::Inst* par = scope.parallel;
-    bool atomic = cfg_.allAtomic ||
-                  (par != nullptr && !info_.definedInside(v, par) &&
-                   !isRegionArgOf(v, par));
-    if (atomic) {
-      if (getenv("PARAD_DEBUG_SLOTS"))
-        fprintf(stderr, "atomic slot add for value %%%d (def op %s)\n", v,
-                info_.defInst(v) ? ir::traits(info_.defInst(v)->op).name
-                                 : "<arg>");
-      b_->atomicAddF(slotArray_, idx, contrib);
-    } else {
-      serialAdd(slotArray_, idx, contrib);
-    }
-    return;
-  }
-  auto it = adjReg_.find(v);
-  if (it == adjReg_.end())
-    adjReg_.emplace(v, contrib);
-  else
-    it->second = b_->fadd(it->second, contrib);
-}
-
-Value GradGen::consumeAdjoint(int v, RevScope& scope) {
-  (void)scope;
-  if (slotMode_.count(v)) {
-    Value idx = b_->constI(slotIdx_.at(v));
-    Value g = b_->load(slotArray_, idx);
-    b_->store(slotArray_, idx, b_->constF(0));
-    return g;
-  }
-  auto it = adjReg_.find(v);
-  if (it == adjReg_.end()) return {};
-  Value g = it->second;
-  adjReg_.erase(it);
-  return g;
-}
-
-void GradGen::accumShadow(int ptrId, Value sp, Value idx, Value g,
-                          RevScope& scope, const ir::Inst* loadSite) {
-  if (!cfg_.allAtomic && loadSite) {
-    for (RevScope* sc = &scope; sc; sc = sc->parent)
-      if (sc->loadSlots) {
-        auto it = sc->loadSlots->find(loadSite);
-        if (it != sc->loadSlots->end()) {
-          serialAdd(it->second, b_->constI(0), g);
-          return;
-        }
-      }
-  }
-  bool atomic;
-  if (cfg_.allAtomic) {
-    atomic = true;
-  } else {
-    const ir::Inst* par = scope.parallel;
-    PtrClass cls = info_.ptrClass(ptrId);
-    if (par) {
-      bool threadLocal =
-          (cls.kind == PtrClass::Kind::AllocSite ||
-           cls.kind == PtrClass::Kind::JlData) &&
-          cls.site && cls.site->result >= 0 &&
-          info_.definedInside(cls.site->result, par);
-      atomic = !threadLocal;
-    } else {
-      atomic = cfg_.parallelCaller && cls.kind == PtrClass::Kind::Arg;
-    }
-  }
-  if (atomic)
-    b_->atomicAddF(sp, idx, g);
-  else
-    serialAdd(sp, idx, g);
-}
-
-void GradGen::collectWrittenInside(const ir::Region& r,
-                                   std::unordered_set<std::size_t>& out) {
-  for (const ir::Inst& in : r.insts) {
-    switch (in.op) {
-      case Op::Store:
-      case Op::AtomicAddF:
-      case Op::Memset0:
-      case Op::MpIrecv:
-      case Op::MpRecv:
-        out.insert(info_.ptrClass(in.operands[0]).key());
-        break;
-      case Op::MpAllreduce:
-        out.insert(info_.ptrClass(in.operands[1]).key());
-        break;
-      default:
-        break;
-    }
-    for (const ir::Region& sub : in.regions) collectWrittenInside(sub, out);
-  }
-}
-
-void GradGen::collectReductions(const ir::Region& r, const ir::Inst& par,
-                                std::vector<RedPlanEntry>& out,
-                                std::unordered_set<const void*>& seenLoads,
-                                std::unordered_set<int>& seenSsa,
-                                const std::unordered_set<std::size_t>& writtenInside) {
-  for (const ir::Inst& in : r.insts) {
-    // Per-thread reduction slots are only sound for locations the construct
-    // never writes: a written location's shadow participates in a
-    // read-zero-restore chain that must stay in place.
-    if (in.op == Op::Load && in.result >= 0 &&
-        p_.typeOf(in.result) == Type::F64 && varied(in.result) &&
-        !writtenInside.count(info_.ptrClass(in.operands[0]).key()) &&
-        info_.ptrClass(in.operands[0]).kind !=
-            analysis::PtrClass::Kind::Unknown &&
-        isInvariantIn(in.operands[0], par) &&
-        isInvariantIn(in.operands[1], par)) {
-      if (seenLoads.insert(&in).second) {
-        RedPlanEntry e;
-        e.load = &in;
-        out.push_back(e);
-      }
-    }
-    // SSA slot-mode values defined outside the construct but used inside.
-    for (int o : in.operands)
-      if (p_.typeOf(o) == Type::F64 && varied(o) && slotMode_.count(o) &&
-          definedOutside(o, par) && seenSsa.insert(o).second) {
-        RedPlanEntry e;
-        e.ssaValue = o;
-        out.push_back(e);
-      }
-    for (const ir::Region& sub : in.regions)
-      collectReductions(sub, par, out, seenLoads, seenSsa, writtenInside);
-  }
-}
-
-std::vector<GradGen::RedPlanEntry> GradGen::scanReductions(
-    const ir::Inst& par) {
-  std::vector<RedPlanEntry> out;
-  if (!cfg_.enableReductionSlots || cfg_.allAtomic) return out;
-  std::unordered_set<const void*> seenLoads;
-  std::unordered_set<int> seenSsa;
-  std::unordered_set<std::size_t> writtenInside;
-  for (const ir::Region& r : par.regions) collectWrittenInside(r, writtenInside);
-  for (const ir::Region& r : par.regions)
-    collectReductions(r, par, out, seenLoads, seenSsa, writtenInside);
-  return out;
-}
-
-void GradGen::emitReverseParallel(const ir::Inst& in, RevScope& scope) {
-  // Reverse of Fork: fork with the body's barrier-segments reversed.
-  // Reverse of ParallelFor: fork + workshare over the same range, so that
-  // per-thread reduction slots have a thread-scoped region to live in.
-  auto entries = scanReductions(in);
-  Value nThreads = in.op == Op::Fork ? resolve(in.operands[0], scope)
-                                     : b_->constI(0);  // default team
-
-  std::unordered_map<const ir::Inst*, Value> loadSlots;
-  std::unordered_map<int, Value> ssaSlots;
-
-  b_->emitFork(nThreads, [&](Value tid) {
-    RevScope fs;
-    fs.parent = &scope;
-    fs.parallel = &in;
-    fs.loadSlots = &loadSlots;
-    fs.ssaSlots = &ssaSlots;
-    if (in.op == Op::Fork) {
-      fs.inst = &in;
-      fs.primalIter = tid;
-      fs.dimIndex = tid;
-    }
-    // Reduction prologue: one zeroed thread-local partial per entry.
-    for (const RedPlanEntry& e : entries) {
-      Value slot = b_->alloc(b_->constI(1), Type::F64, ir::kFlagCacheAlloc);
-      b_->store(slot, b_->constI(0), b_->constF(0));
-      if (e.load)
-        loadSlots.emplace(e.load, slot);
-      else
-        ssaSlots.emplace(e.ssaValue, slot);
-    }
-
-    if (in.op == Op::Fork) {
-      emitReverse(in.regions[0], fs);
-    } else {
-      Value lo = resolve(in.operands[0], scope);
-      Value hi = resolve(in.operands[1], scope);
-      b_->emitWorkshare(
-          lo, hi,
-          [&](Value iv) {
-            RevScope ws;
-            ws.parent = &fs;
-            ws.parallel = &in;
-            ws.inst = &in;
-            ws.primalIter = iv;
-            ws.dimIndex = b_->isub(iv, lo);
-            emitReverse(in.regions[0], ws);
-          },
-          /*reversedChunks=*/true);
-    }
-
-    // Reduction epilogue: one atomic per thread per entry.
-    for (const RedPlanEntry& e : entries) {
-      Value slot = e.load ? loadSlots.at(e.load) : ssaSlots.at(e.ssaValue);
-      // Detach the slot so the recursive accumulation goes to the target.
-      if (e.load)
-        loadSlots.erase(e.load);
-      else
-        ssaSlots.erase(e.ssaValue);
-      Value g = b_->load(slot, b_->constI(0));
-      if (e.load) {
-        Value sp = resolveShadow(e.load->operands[0], fs);
-        Value idx = resolve(e.load->operands[1], fs);
-        b_->atomicAddF(sp, idx, g);
-      } else {
-        b_->atomicAddF(slotArray_, b_->constI(slotIdx_.at(e.ssaValue)), g);
-      }
-      b_->free_(slot);
-    }
-  });
-}
-
-void GradGen::emitReverse(const ir::Region& r, RevScope& scope) {
-  for (auto it = r.insts.rbegin(); it != r.insts.rend(); ++it)
-    emitReverseInst(*it, scope);
-}
-
-void GradGen::emitReverseInst(const ir::Inst& in, RevScope& scope) {
-  if (!hasReverseWork(in)) return;
-  auto consumed = [&]() -> Value { return consumeAdjoint(in.result, scope); };
-  auto R = [&](std::size_t i) { return resolve(in.operands[i], scope); };
-
-  switch (in.op) {
-    // ---- f64 arithmetic adjoints ----
-    case Op::FAdd: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], g, scope);
-      adjointAdd(in.operands[1], g, scope);
-      return;
-    }
-    case Op::FSub: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], g, scope);
-      adjointAdd(in.operands[1], b_->fneg(g), scope);
-      return;
-    }
-    case Op::FMul: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      if (varied(in.operands[0]))
-        adjointAdd(in.operands[0], b_->fmul(g, R(1)), scope);
-      if (varied(in.operands[1]))
-        adjointAdd(in.operands[1], b_->fmul(g, R(0)), scope);
-      return;
-    }
-    case Op::FDiv: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      if (varied(in.operands[0]))
-        adjointAdd(in.operands[0], b_->fdiv(g, R(1)), scope);
-      if (varied(in.operands[1])) {
-        Value bb = R(1);
-        adjointAdd(in.operands[1],
-                   b_->fneg(b_->fdiv(b_->fmul(b_->fdiv(g, bb), R(0)), bb)),
-                   scope);
-      }
-      return;
-    }
-    case Op::FNeg: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], b_->fneg(g), scope);
-      return;
-    }
-    case Op::Sqrt: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value res = resolve(in.result, scope);
-      adjointAdd(in.operands[0],
-                 b_->fdiv(b_->fmul(g, b_->constF(0.5)), res), scope);
-      return;
-    }
-    case Op::Sin: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], b_->fmul(g, b_->cos_(R(0))), scope);
-      return;
-    }
-    case Op::Cos: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], b_->fneg(b_->fmul(g, b_->sin_(R(0)))), scope);
-      return;
-    }
-    case Op::Exp: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], b_->fmul(g, resolve(in.result, scope)),
-                 scope);
-      return;
-    }
-    case Op::Log: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      adjointAdd(in.operands[0], b_->fdiv(g, R(0)), scope);
-      return;
-    }
-    case Op::Cbrt: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value res = resolve(in.result, scope);
-      // d cbrt(x)/dx = 1 / (3 cbrt(x)^2)
-      adjointAdd(in.operands[0],
-                 b_->fdiv(g, b_->fmul(b_->constF(3), b_->fmul(res, res))),
-                 scope);
-      return;
-    }
-    case Op::Pow: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      if (varied(in.operands[0])) {
-        Value a = R(0), e = R(1);
-        // da: g * e * a^(e-1)
-        adjointAdd(
-            in.operands[0],
-            b_->fmul(g, b_->fmul(e, b_->pow_(a, b_->fsub(e, b_->constF(1))))),
-            scope);
-      }
-      if (varied(in.operands[1])) {
-        Value a = R(0), res = resolve(in.result, scope);
-        // de: g * res * log(a)
-        adjointAdd(in.operands[1], b_->fmul(g, b_->fmul(res, b_->log_(a))),
-                   scope);
-      }
-      return;
-    }
-    case Op::FAbs: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value x = R(0);
-      adjointAdd(in.operands[0],
-                 b_->select(b_->flt(x, b_->constF(0)), b_->fneg(g), g), scope);
-      return;
-    }
-    case Op::FMin:
-    case Op::FMax: {
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value a = R(0), bb = R(1);
-      Value takeA = in.op == Op::FMin ? b_->fle(a, bb) : b_->fge(a, bb);
-      Value zero = b_->constF(0);
-      adjointAdd(in.operands[0], b_->select(takeA, g, zero), scope);
-      adjointAdd(in.operands[1], b_->select(takeA, zero, g), scope);
-      return;
-    }
-    case Op::Select: {
-      if (in.result < 0 || p_.typeOf(in.result) != Type::F64) return;
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value c = R(0);
-      Value zero = b_->constF(0);
-      adjointAdd(in.operands[1], b_->select(c, g, zero), scope);
-      adjointAdd(in.operands[2], b_->select(c, zero, g), scope);
-      return;
-    }
-
-    // ---- memory ----
-    case Op::Load: {
-      if (!varied(in.result)) return;
-      Value g = consumed();
-      if (!g.valid()) return;
-      Value sp = resolveShadow(in.operands[0], scope);
-      Value idx = R(1);
-      accumShadow(in.operands[0], sp, idx, g, scope, &in);
-      return;
-    }
-    case Op::Store: {
-      if (!variedPtr(in.operands[0])) return;
-      if (ir::isPtr(p_.typeOf(in.operands[2]))) return;  // ptr store: aug only
-      Value sp = resolveShadow(in.operands[0], scope);
-      Value idx = R(1);
-      Value g = b_->load(sp, idx);
-      b_->store(sp, idx, b_->constF(0));
-      adjointAdd(in.operands[2], g, scope);
-      return;
-    }
-    case Op::AtomicAddF: {
-      if (!variedPtr(in.operands[0]) || !varied(in.operands[2])) return;
-      Value sp = resolveShadow(in.operands[0], scope);
-      Value g = b_->load(sp, R(1));
-      adjointAdd(in.operands[2], g, scope);
-      return;
-    }
-    case Op::Memset0: {
-      if (!variedPtr(in.operands[0])) return;
-      b_->memset0(resolveShadow(in.operands[0], scope), R(1));
-      return;
-    }
-
-    // ---- control flow ----
-    case Op::For: {
-      Value lo = R(0), hi = R(1);
-      Value n = b_->isub(hi, lo);
-      Value nm1 = b_->isub(n, b_->constI(1));
-      b_->emitFor(b_->constI(0), n, [&](Value j) {
-        RevScope s;
-        s.parent = &scope;
-        s.inst = &in;
-        s.parallel = scope.parallel;
-        s.dimIndex = b_->isub(nm1, j);
-        s.primalIter = b_->iadd(lo, s.dimIndex);
-        emitReverse(in.regions[0], s);
-      });
-      return;
-    }
-    case Op::While: {
-      Value trip = b_->load(whileTrip_.at(&in), b_->constI(0));
-      Value tm1 = b_->isub(trip, b_->constI(1));
-      b_->emitFor(b_->constI(0), trip, [&](Value j) {
-        RevScope s;
-        s.parent = &scope;
-        s.inst = &in;
-        s.parallel = scope.parallel;
-        s.dimIndex = b_->isub(tm1, j);
-        s.primalIter = s.dimIndex;
-        emitReverse(in.regions[0], s);
-      });
-      return;
-    }
-    case Op::Yield:
-      return;
-    case Op::If: {
-      Value c = R(0);
-      b_->emitIf(
-          c,
-          [&] {
-            RevScope s;
-            s.parent = &scope;
-            s.parallel = scope.parallel;
-            emitReverse(in.regions[0], s);
-          },
-          [&] {
-            RevScope s;
-            s.parent = &scope;
-            s.parallel = scope.parallel;
-            emitReverse(in.regions[1], s);
-          });
-      return;
-    }
-    case Op::ParallelFor:
-    case Op::Fork:
-      emitReverseParallel(in, scope);
-      return;
-    case Op::Workshare: {
-      Value lo = R(0), hi = R(1);
-      b_->emitWorkshare(
-          lo, hi,
-          [&](Value iv) {
-            RevScope s;
-            s.parent = &scope;
-            s.inst = &in;
-            s.parallel = scope.parallel;
-            s.primalIter = iv;
-            s.dimIndex = b_->isub(iv, lo);
-            emitReverse(in.regions[0], s);
-          },
-          /*reversedChunks=*/true);
-      return;
-    }
-    case Op::BarrierOp:
-      b_->barrier();
-      return;
-
-    // ---- task DAG reversal: spawn <-> sync ----
-    case Op::Spawn:
-      b_->sync(shadowTask_.at(in.result));
-      return;
-    case Op::SyncOp: {
-      const ir::Inst* sp = info_.defInst(in.operands[0]);
-      Value t = b_->spawn([&] {
-        RevScope s;
-        s.parent = &scope;
-        s.parallel = sp;
-        emitReverse(sp->regions[0], s);
-      });
-      shadowTask_[in.operands[0]] = t;
-      return;
-    }
-
-    // ---- message passing (Fig. 5 discipline) ----
-    case Op::MpWaitOp: {
-      const ir::Inst* d = info_.defInst(in.operands[0]);
-      if (!variedPtr(d->operands[0])) return;
-      RevScope& s = scope;
-      Value count = resolve(d->operands[1], s);
-      Value peer = resolve(d->operands[2], s);
-      Value tag = b_->iadd(resolve(d->operands[3], s), b_->constI(kTagShift));
-      MpRev rec;
-      if (d->op == Op::MpIsend) {
-        rec.tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
-        rec.dreq = b_->mpIrecv(rec.tmp, count, peer, tag);
-      } else {
-        rec.dreq =
-            b_->mpIsend(resolveShadow(d->operands[0], s), count, peer, tag);
-      }
-      mpRev_[d] = rec;
-      return;
-    }
-    case Op::MpIsend: {
-      if (!variedPtr(in.operands[0])) return;
-      const MpRev& rec = mpRev_.at(&in);
-      b_->mpWait(rec.dreq);
-      Value count = R(1);
-      Value sp = resolveShadow(in.operands[0], scope);
-      b_->emitFor(b_->constI(0), count, [&](Value k) {
-        Value g = b_->load(rec.tmp, k);
-        accumShadow(in.operands[0], sp, k, g, scope, nullptr);
-      });
-      b_->free_(rec.tmp);
-      return;
-    }
-    case Op::MpIrecv: {
-      if (!variedPtr(in.operands[0])) return;
-      const MpRev& rec = mpRev_.at(&in);
-      b_->mpWait(rec.dreq);
-      b_->memset0(resolveShadow(in.operands[0], scope), R(1));
-      return;
-    }
-    case Op::MpSend: {
-      if (!variedPtr(in.operands[0])) return;
-      Value count = R(1);
-      Value tag = b_->iadd(R(3), b_->constI(kTagShift));
-      Value tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
-      b_->mpRecv(tmp, count, R(2), tag);
-      Value sp = resolveShadow(in.operands[0], scope);
-      b_->emitFor(b_->constI(0), count, [&](Value k) {
-        accumShadow(in.operands[0], sp, k, b_->load(tmp, k), scope, nullptr);
-      });
-      b_->free_(tmp);
-      return;
-    }
-    case Op::MpRecv: {
-      if (!variedPtr(in.operands[0])) return;
-      Value count = R(1);
-      Value tag = b_->iadd(R(3), b_->constI(kTagShift));
-      Value sp = resolveShadow(in.operands[0], scope);
-      b_->mpSend(sp, count, R(2), tag);
-      b_->memset0(sp, count);
-      return;
-    }
-    case Op::MpAllreduce: {
-      if (!variedPtr(in.operands[1])) return;
-      Value count = R(2);
-      Value shRecv = resolveShadow(in.operands[1], scope);
-      Value tmp = b_->alloc(count, Type::F64, ir::kFlagShadowAlloc);
-      b_->mpAllreduce(shRecv, tmp, count, ir::ReduceKind::Sum);
-      if (variedPtr(in.operands[0])) {
-        Value shSend = resolveShadow(in.operands[0], scope);
-        auto kind = static_cast<ir::ReduceKind>(in.iconst);
-        if (kind == ir::ReduceKind::Sum) {
-          b_->emitFor(b_->constI(0), count, [&](Value k) {
-            accumShadow(in.operands[0], shSend, k, b_->load(tmp, k), scope,
-                        nullptr);
-          });
-        } else {
-          CacheRec& rec = winnerCaches_.at(&in);
-          Value base = b_->imul(cacheIndexRev(rec, scope), count);
-          Value myRank = b_->mpRank();
-          b_->emitFor(b_->constI(0), count, [&](Value k) {
-            Value w = b_->load(rec.array, b_->iadd(base, k));
-            b_->emitIf(b_->ieq(w, myRank), [&] {
-              accumShadow(in.operands[0], shSend, k, b_->load(tmp, k), scope,
-                          nullptr);
-            });
-          });
-        }
-      }
-      b_->memset0(shRecv, count);
-      b_->free_(tmp);
-      return;
-    }
-    case Op::MpBarrier:
-      b_->mpBarrier();
-      return;
-
-    // ---- GC intrinsics ----
-    case Op::GcPreserveBegin:
-      b_->gcPreserveEnd(gcTokenRev_.at(in.result));
-      return;
-    case Op::GcPreserveEnd: {
-      const ir::Inst* beg = info_.defInst(in.operands[0]);
-      std::vector<Value> ops;
-      for (int o : beg->operands) {
-        ops.push_back(resolve(o, scope));
-        if (variedPtr(o)) ops.push_back(resolveShadow(o, scope));
-      }
-      gcTokenRev_[in.operands[0]] = b_->gcPreserveBegin(ops);
-      return;
-    }
-
-    case Op::Return: {
-      if (in.operands.empty() || !varied(in.operands[0])) return;
-      PARAD_CHECK(out_.seedParam >= 0, "internal: seed param missing");
-      adjointAdd(in.operands[0], b_->param(out_.seedParam), scope);
-      return;
-    }
-
-    default:
-      // Integer ops, conversions, constants, allocations, pointer ops,
-      // thread queries: no adjoint. Consume any stray register.
-      if (in.result >= 0) adjReg_.erase(in.result);
-      return;
-  }
-}
-
-}  // namespace
+namespace parad::core {
 
 GradInfo generateGradient(ir::Module& mod, const std::string& fnName,
                           const GradConfig& cfg) {
   const ir::Function& fn = mod.get(fnName);
-  GradGen gen(mod, fn, cfg);
+  detail::GradGen gen(mod, fn, cfg);
   return gen.run();
 }
 

@@ -2,20 +2,20 @@
 // contribution, reproduced as an IR->IR transformation (Enzyme's position in
 // the LLVM pipeline).
 //
-// Given a primal function (inlined, omp-lowered), generateGradient emits a
-// new function
-//     grad_<f>(primal args..., shadow args for active ptr args..., [seed])
-// that runs an augmented forward pass (primal + cache stores + shadow
-// bookkeeping) followed by a reverse pass over the mirrored region tree:
-//   * parallel-for / fork bodies are reversed into parallel adjoint regions
-//     at the mirrored DAG position (spawn<->sync, Fig. 2);
-//   * shadow-memory increments pick serial / per-thread-reduction / atomic
-//     accumulation from the thread-locality analysis (§VI-A1);
-//   * intermediate values needed by adjoints are recomputed when legal and
-//     cached otherwise, with function-lifetime slots, loop-trip-indexed
-//     arrays (indexed by iteration for worksharing loops, by thread id
-//     otherwise, §VI-B), and dynamically-counted while-loops (§IV-C);
-//   * message-passing ops follow the shadow-request discipline of Fig. 5.
+// The transformation is staged as a plan->emit pipeline:
+//   1. `src/core/plan.h` computes a first-class, printable GradPlan — the
+//      accumulation-kind decisions (§VI-A1), the recompute-vs-cache
+//      strategies (§IV-C, §VI-B), and the mirrored reversal of the
+//      parallelism DAG incl. the MPI shadow-request pairing (Fig. 5) — with
+//      no IR mutation, optionally narrating every decision into a
+//      RemarkStream (src/core/remarks.h);
+//   2. the emitters (emit_forward.cpp / emit_reverse.cpp / emit_mp.cpp)
+//      execute that plan, generating a new function
+//          grad_<f>(primal args..., shadow args for active ptr args...,
+//                   [seed])
+//      that runs an augmented forward pass (primal + cache stores + shadow
+//      bookkeeping) followed by a reverse pass over the mirrored region
+//      tree.
 #pragma once
 
 #include <string>
@@ -24,6 +24,8 @@
 #include "src/ir/inst.h"
 
 namespace parad::core {
+
+class RemarkStream;
 
 struct GradConfig {
   /// Per primal parameter: true if this (pointer) argument is differentiable
@@ -41,6 +43,28 @@ struct GradConfig {
   bool freeCaches = true;
   /// Suffix appended to the generated function name ("grad_<f><suffix>").
   std::string nameSuffix;
+  /// Optional sink for a human-readable narration of every plan decision
+  /// (accumulation kinds, cache strategies, DAG mirroring). Deterministic
+  /// for a given function + config; see src/core/remarks.h.
+  RemarkStream* remarks = nullptr;
+};
+
+/// Static counts of the planner's decisions, for stats/ablation reporting
+/// (see psim::RunStats and bench/).
+struct PlanCounts {
+  // Shadow-accumulation sites by selected kind (§VI-A1).
+  int accumSerial = 0;
+  int accumReductionSlot = 0;
+  int accumAtomic = 0;
+  // Preserved values by cache strategy (§IV-C).
+  int cacheRecompute = 0;
+  int cacheFnSlots = 0;
+  int cacheTripArrays = 0;
+  int cacheDynArrays = 0;
+  // Mirrored constructs in the reversal plan (§IV-A/B).
+  int mirroredParallel = 0;
+  int mirroredMp = 0;
+  int whileTrips = 0;
 };
 
 struct GradInfo {
@@ -52,6 +76,8 @@ struct GradInfo {
   int seedParam = -1;
   /// Static count of cache arrays planned (ablation reporting).
   int numCachedValues = 0;
+  /// Full decision counts from the plan stage.
+  PlanCounts plan;
 };
 
 /// Generates the gradient of mod[fnName] into the module and returns its

@@ -1,0 +1,26 @@
+#include "src/core/remarks.h"
+
+namespace parad::core {
+
+const char* remarkKindName(RemarkKind k) {
+  switch (k) {
+    case RemarkKind::Accum: return "accum";
+    case RemarkKind::Cache: return "cache";
+    case RemarkKind::Reversal: return "reversal";
+  }
+  return "?";
+}
+
+std::string RemarkStream::dump() const {
+  std::string out;
+  for (const Remark& r : remarks_) {
+    out += '[';
+    out += remarkKindName(r.kind);
+    out += "] ";
+    out += r.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parad::core

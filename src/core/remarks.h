@@ -1,0 +1,50 @@
+// Optimization-remark stream for the AD pipeline (cf. Enzyme's
+// -rpass=enzyme remarks): every decision the gradient planner takes —
+// accumulation kind, cache strategy, DAG mirroring — is recorded as a
+// human-readable line so ablations can report *which* decisions flipped,
+// not just the timing delta.
+//
+// Remarks are generated in deterministic program order and reference IR
+// entities only by value id / op name (never by address), so a dump of the
+// same function under the same config is byte-identical across runs and is
+// golden-testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parad::core {
+
+enum class RemarkKind {
+  Accum,     // shadow-accumulation kind selection (§VI-A1)
+  Cache,     // recompute-vs-cache strategy (§IV-C, §VI-B)
+  Reversal,  // parallelism-DAG mirroring, MPI request pairing (§IV-A/B)
+};
+
+const char* remarkKindName(RemarkKind k);
+
+struct Remark {
+  RemarkKind kind;
+  std::string message;
+};
+
+/// An append-only stream of plan remarks. Pass one through
+/// `GradConfig::remarks` (or directly to `planGradient`) to capture the
+/// planner's decisions.
+class RemarkStream {
+ public:
+  void emit(RemarkKind kind, std::string message) {
+    remarks_.push_back({kind, std::move(message)});
+  }
+  const std::vector<Remark>& remarks() const { return remarks_; }
+  std::size_t size() const { return remarks_.size(); }
+  void clear() { remarks_.clear(); }
+
+  /// Renders every remark as "[kind] message\n" in emission order.
+  std::string dump() const;
+
+ private:
+  std::vector<Remark> remarks_;
+};
+
+}  // namespace parad::core

@@ -125,6 +125,30 @@ class Printer {
 
 std::string print(const Function& fn) { return Printer(fn).run(); }
 
+std::string summarize(const Function& fn, const Inst& in) {
+  std::ostringstream os;
+  if (in.result >= 0)
+    os << "%" << in.result << ": " << typeName(fn.typeOf(in.result)) << " = ";
+  os << traits(in.op).name;
+  switch (in.op) {
+    case Op::ConstF: os << " " << in.fconst; break;
+    case Op::ConstI: os << " " << in.iconst; break;
+    case Op::ConstB: os << " " << (in.iconst ? "true" : "false"); break;
+    default:
+      for (std::size_t i = 0; i < in.operands.size(); ++i)
+        os << (i ? ", %" : " %") << in.operands[i];
+      break;
+  }
+  for (const Region& r : in.regions) {
+    if (r.args.empty()) continue;
+    os << " |";
+    for (std::size_t i = 0; i < r.args.size(); ++i)
+      os << (i ? ", %" : "%") << r.args[i];
+    os << "|";
+  }
+  return os.str();
+}
+
 std::string print(const Module& mod) {
   std::string out;
   for (const auto& [name, fn] : mod.functions) {

@@ -11,4 +11,10 @@ namespace parad::ir {
 std::string print(const Function& fn);
 std::string print(const Module& mod);
 
+/// One-line summary of a single instruction, without its nested regions —
+/// "%7: f64 = load %0, %5" / "parallel_for %1, %2 |%4|". Used by the AD
+/// remark stream to name decision sites deterministically (value ids and op
+/// names only, never addresses).
+std::string summarize(const Function& fn, const Inst& in);
+
 }  // namespace parad::ir

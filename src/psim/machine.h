@@ -89,6 +89,15 @@ struct RunStats {
   std::uint64_t cacheBytes = 0;   // bytes allocated by the AD cache planner
   std::uint64_t tapeBytes = 0;    // bytes recorded by the cotape baseline
   std::uint64_t peakLiveBytes = 0;
+  // Static decision counts from the AD plan stage (core::PlanCounts), filled
+  // by the bench harnesses so ablations can report *which* decisions flipped
+  // alongside the dynamic costs above. Zero when no gradient was generated.
+  std::uint64_t planAccumSerial = 0;
+  std::uint64_t planAccumReductionSlot = 0;
+  std::uint64_t planAccumAtomic = 0;
+  std::uint64_t planCacheRecompute = 0;
+  std::uint64_t planCacheSlots = 0;
+  std::uint64_t planCacheTripArrays = 0;
   void reset() { *this = RunStats{}; }
 };
 

@@ -1,0 +1,265 @@
+// The plan stage of the gradient pipeline (src/core/plan.h) is a pure
+// analysis: these tests assert the accumulation-kind ladder (§VI-A1) and the
+// cache-strategy classification (§IV-C, §VI-B) through the plan API alone —
+// no gradient is ever emitted.
+#include <gtest/gtest.h>
+
+#include "src/core/plan.h"
+#include "src/core/remarks.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/// First instruction with the given op in the function's top-level body
+/// (recursing into regions).
+const ir::Inst* findOp(const ir::Region& r, ir::Op op) {
+  for (const ir::Inst& in : r.insts) {
+    if (in.op == op) return &in;
+    for (const ir::Region& sub : in.regions)
+      if (const ir::Inst* hit = findOp(sub, op)) return hit;
+  }
+  return nullptr;
+}
+
+/// f = sum_i tl * uni * var where, inside a parallel for,
+///   tl  loads a thread-local temp        -> serial accumulation,
+///   uni loads the loop-invariant x[0]    -> per-thread reduction slot,
+///   var loads x[i]                       -> atomic (locality unproven).
+struct AccumFixture {
+  ir::Module mod;
+  int tl = -1, uni = -1, var = -1;
+
+  AccumFixture() {
+    ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+    auto x = b.param(0);
+    auto n = b.param(1);
+    auto u = b.alloc(n, Type::F64);
+    b.emitParallelFor(b.constI(0), n, [&](Value i) {
+      auto t = b.alloc(b.constI(1), Type::F64);
+      b.store(t, b.constI(0), b.sin_(b.load(x, i)));
+      auto a = b.load(t, b.constI(0));
+      auto c = b.load(x, b.constI(0));
+      auto v = b.load(x, i);
+      b.store(u, i, b.fmul(a, b.fmul(c, v)));
+      tl = a.id;
+      uni = c.id;
+      var = v.id;
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+    b.finish();
+    ir::verify(mod);
+  }
+
+  core::GradPlan plan(core::GradConfig cfg = {}) const {
+    cfg.activeArg = {true, false};
+    return core::planGradient(mod, "f", cfg);
+  }
+};
+
+}  // namespace
+
+TEST(GradPlan, AccumKindLadder) {
+  AccumFixture fx;
+  core::GradPlan plan = fx.plan();
+
+  const core::AccumDecision* a = plan.accumForValue(fx.tl);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, core::AccumKind::Serial);
+  EXPECT_EQ(a->why, core::AccumWhy::ThreadLocal);
+
+  const core::AccumDecision* c = plan.accumForValue(fx.uni);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, core::AccumKind::ReductionSlot);
+  EXPECT_EQ(c->why, core::AccumWhy::UniformLocation);
+  // When the slot is unavailable the site degrades to atomic, not serial.
+  EXPECT_EQ(c->fallback, core::AccumKind::Atomic);
+
+  const core::AccumDecision* v = plan.accumForValue(fx.var);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, core::AccumKind::Atomic);
+  EXPECT_EQ(v->why, core::AccumWhy::Unproven);
+
+  EXPECT_GE(plan.counts.accumSerial, 1);
+  EXPECT_GE(plan.counts.accumReductionSlot, 1);
+  EXPECT_GE(plan.counts.accumAtomic, 1);
+
+  // The uniform load is registered as a reduction-slot entry of the
+  // parallel for.
+  const ir::Inst* pf =
+      findOp(fx.mod.get("f").body, ir::Op::ParallelFor);
+  ASSERT_NE(pf, nullptr);
+  const std::vector<core::RedEntry>* entries = plan.reductionEntries(pf);
+  ASSERT_NE(entries, nullptr);
+  bool found = false;
+  for (const core::RedEntry& e : *entries) {
+    if (e.load != nullptr && e.load->result == fx.uni) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GradPlan, AllAtomicForcesEverySite) {
+  AccumFixture fx;
+  core::GradConfig cfg;
+  cfg.allAtomic = true;
+  core::GradPlan plan = fx.plan(cfg);
+  for (int v : {fx.tl, fx.uni, fx.var}) {
+    const core::AccumDecision* d = plan.accumForValue(v);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->kind, core::AccumKind::Atomic);
+    EXPECT_EQ(d->why, core::AccumWhy::ForcedAtomic);
+  }
+  EXPECT_EQ(plan.counts.accumSerial, 0);
+  EXPECT_EQ(plan.counts.accumReductionSlot, 0);
+  const ir::Inst* pf =
+      findOp(fx.mod.get("f").body, ir::Op::ParallelFor);
+  const std::vector<core::RedEntry>* entries = plan.reductionEntries(pf);
+  if (entries != nullptr) {
+    EXPECT_TRUE(entries->empty());
+  }
+}
+
+TEST(GradPlan, DisabledReductionSlotsFallBackToAtomic) {
+  AccumFixture fx;
+  core::GradConfig cfg;
+  cfg.enableReductionSlots = false;
+  core::GradPlan plan = fx.plan(cfg);
+  const core::AccumDecision* c = plan.accumForValue(fx.uni);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, core::AccumKind::Atomic);
+  EXPECT_EQ(c->why, core::AccumWhy::Unproven);
+  // The thread-local case does not depend on the slots.
+  EXPECT_EQ(plan.accumForValue(fx.tl)->kind, core::AccumKind::Serial);
+}
+
+TEST(GradPlan, RecomputeForLoadFromUnwrittenMemory) {
+  // v = x[i] with x never written: the reverse pass re-emits the load
+  // instead of caching it.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  int v = -1;
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto w = b.load(x, i);
+    v = w.id;
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, b.fmul(w, w)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradPlan plan = core::planGradient(mod, "f", cfg);
+  const core::CacheDecision* d = plan.cacheFor(v);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->strategy, core::CacheStrategy::Recompute);
+  EXPECT_FALSE(d->needsArray());
+  EXPECT_GE(plan.counts.cacheRecompute, 1);
+  EXPECT_EQ(plan.counts.cacheTripArrays, 0);
+  EXPECT_TRUE(plan.firstError.empty());
+}
+
+TEST(GradPlan, TripIndexedArrayForOverwrittenLoad) {
+  // v = x[i]; x[i] = v*v inside a counted loop: v must be cached in an
+  // array indexed by the loop trip.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  int v = -1;
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto w = b.load(x, i);
+    v = w.id;
+    b.store(x, i, b.fmul(w, w));
+  });
+  b.ret(b.load(x, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradPlan plan = core::planGradient(mod, "f", cfg);
+  const core::CacheDecision* d = plan.cacheFor(v);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->strategy, core::CacheStrategy::TripIndexedArray);
+  EXPECT_TRUE(d->supported);
+  ASSERT_EQ(d->dims.size(), 1u);
+  EXPECT_EQ(d->dims[0]->op, ir::Op::For);
+  EXPECT_EQ(d->anchor, d->dims[0]);
+  EXPECT_NE(d->reason.find("overwritten"), std::string::npos) << d->reason;
+  EXPECT_GE(plan.counts.cacheTripArrays, 1);
+  EXPECT_EQ(plan.numCachedValues, 1);
+}
+
+TEST(GradPlan, FnLifetimeSlotForFunctionScopeValue) {
+  // s = x[0]; x[0] = s*s at function scope: s stays live in its SSA slot
+  // for the whole gradient, no array is allocated.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto s = b.load(x, b.constI(0));
+  b.store(x, b.constI(0), b.fmul(s, s));
+  b.ret(b.load(x, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradPlan plan = core::planGradient(mod, "f", cfg);
+  const core::CacheDecision* d = plan.cacheFor(s.id);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->strategy, core::CacheStrategy::FnLifetimeSlot);
+  EXPECT_FALSE(d->needsArray());
+  EXPECT_GE(plan.counts.cacheFnSlots, 1);
+}
+
+TEST(GradPlan, DynamicArrayUnderWhileIsClassifiedButUnsupported) {
+  // Same shape test_ad_errors rejects at generation time: the plan API
+  // classifies the strategy and carries the diagnostic out-of-band.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto slot = b.alloc(b.constI(1), Type::F64);
+  b.store(slot, b.constI(0), b.load(x, b.constI(0)));
+  b.emitWhile([&](Value) -> Value {
+    auto v = b.load(slot, b.constI(0));
+    b.store(slot, b.constI(0), b.fmul(v, v));
+    return b.fgt(b.load(slot, b.constI(0)), b.constF(1e-3));
+  });
+  b.ret(b.load(slot, b.constI(0)));
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradPlan plan = core::planGradient(mod, "f", cfg);
+  EXPECT_NE(plan.firstError.find("while"), std::string::npos)
+      << plan.firstError;
+  bool sawDynamic = false;
+  for (const auto& [v, d] : plan.caches)
+    if (d.strategy == core::CacheStrategy::DynamicArray) {
+      sawDynamic = true;
+      EXPECT_FALSE(d.supported);
+    }
+  EXPECT_TRUE(sawDynamic);
+  EXPECT_GE(plan.counts.cacheDynArrays, 1);
+}
+
+TEST(GradPlan, PlanningDoesNotMutateTheModule) {
+  AccumFixture fx;
+  std::string before = ir::print(fx.mod);
+  core::RemarkStream remarks;
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  (void)core::planGradient(fx.mod, "f", cfg, &remarks);
+  EXPECT_EQ(ir::print(fx.mod), before);
+  EXPECT_GT(remarks.size(), 0u);
+}

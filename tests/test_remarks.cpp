@@ -1,0 +1,90 @@
+// The remark stream narrating the gradient plan must be deterministic (value
+// ids and op names only — never addresses), so it can be golden-tested and
+// diffed across ablation runs (bench/bench_common.h reportDecisionFlips).
+#include <gtest/gtest.h>
+
+#include "src/core/plan.h"
+#include "src/core/remarks.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// f = sum_i x_i * x_i via a parallel elementwise square and a serial sum —
+// small enough to pin the full remark dump, while exercising all three
+// remark kinds (reversal, cache, accum).
+ir::Module fixtureModule() {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto u = b.alloc(n, Type::F64);
+  b.emitParallelFor(b.constI(0), n, [&](Value i) {
+    auto v = b.load(x, i);
+    b.store(u, i, b.fmul(v, v));
+  });
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto cur = b.load(acc, b.constI(0));
+    b.store(acc, b.constI(0), b.fadd(cur, b.load(u, i)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+std::string planDump(const ir::Module& mod) {
+  core::RemarkStream remarks;
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  (void)core::planGradient(mod, "f", cfg, &remarks);
+  return remarks.dump();
+}
+
+}  // namespace
+
+TEST(Remarks, GoldenDump) {
+  const char* kGolden =
+      "[cache] preserve value of [%3: i64 = const.i 0] => fn-lifetime-slot\n"
+      "[reversal] parallel.for(%4) => fork + workshare over the same range, "
+      "per-thread chunks reversed\n"
+      "[cache] preserve value of [%5: f64 = load %0, %4] => recompute\n"
+      "[accum] [%5: f64 = load %0, %4] => atomic (thread-locality unproven) "
+      "in parallel.for(%4)\n"
+      "[cache] preserve value of [%10: i64 = const.i 0] => fn-lifetime-slot\n"
+      "[cache] preserve value of [%11: i64 = const.i 0] => fn-lifetime-slot\n"
+      "[cache] preserve value of [%13: i64 = const.i 0] => recompute\n"
+      "[accum] [%14: f64 = load %8, %13] => serial (sequential context) in "
+      "function scope\n"
+      "[accum] [%15: f64 = load %2, %12] => serial (sequential context) in "
+      "function scope\n"
+      "[cache] preserve value of [%17: i64 = const.i 0] => recompute\n"
+      "[cache] preserve value of [%18: i64 = const.i 0] => fn-lifetime-slot\n"
+      "[accum] [%19: f64 = load %8, %18] => serial (sequential context) in "
+      "function scope\n";
+  ir::Module mod = fixtureModule();
+  EXPECT_EQ(planDump(mod), kGolden) << "actual dump:\n" << planDump(mod);
+}
+
+TEST(Remarks, DumpIsDeterministicAcrossRuns) {
+  ir::Module a = fixtureModule();
+  ir::Module b = fixtureModule();
+  std::string da = planDump(a);
+  EXPECT_EQ(da, planDump(a));  // same module, repeated planning
+  EXPECT_EQ(da, planDump(b));  // independently built identical module
+  EXPECT_NE(da.find("[reversal]"), std::string::npos) << da;
+  EXPECT_NE(da.find("[cache]"), std::string::npos) << da;
+  EXPECT_NE(da.find("[accum]"), std::string::npos) << da;
+}
+
+TEST(Remarks, NoAddressesInMessages) {
+  ir::Module mod = fixtureModule();
+  std::string d = planDump(mod);
+  EXPECT_EQ(d.find("0x"), std::string::npos) << d;
+}
