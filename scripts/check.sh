@@ -5,12 +5,21 @@
 # CI (.github/workflows/ci.yml) runs exactly this script.
 #
 #   BUILD_DIR=out ./scripts/check.sh   # override the build directory
+#   SANITIZE=1 ./scripts/check.sh      # ASan+UBSan build (separate build dir)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  BUILD_DIR=${BUILD_DIR}-asan
+  CMAKE_ARGS+=(-DPARAD_SANITIZE=ON)
+  export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

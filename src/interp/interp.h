@@ -1,4 +1,4 @@
-// IR interpreter executing on the psim virtual machine.
+// IR execution on the psim virtual machine: a lower -> execute pipeline.
 //
 // This is the "runtime + JIT" of the reproduction: IR semantics are executed
 // exactly (with bounds-checked memory), while every operation charges a cost
@@ -12,10 +12,17 @@
 //     race-free programs) and are list-scheduled onto virtual task workers;
 //   * message-passing ops call into the fabric, cooperatively yielding the
 //     rank when a wait cannot complete yet.
+//
+// Execution is staged (DESIGN.md §9): src/interp/lower.* compiles a function
+// closure once into a flat ExecProgram (pre-resolved operand slots, folded
+// cost charges, pre-split fork barrier segments, jump-addressed blocks);
+// src/interp/exec.* is a tight dispatch loop over that program. The original
+// recursive tree-walker survives in src/interp/treewalk.* as the reference
+// engine for differential testing; both engines produce bit-identical
+// results, memory, statistics and virtual clocks.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/ir/inst.h"
@@ -38,53 +45,38 @@ struct RtVal {
   static RtVal P(psim::RtPtr v) { RtVal x; x.u.p = v; return x; }
 };
 
+/// Which execution engine a run uses.
+enum class Engine {
+  Lowered,   // lower once to a flat ExecProgram, then dispatch (default)
+  TreeWalk,  // recursive reference interpreter (debug / differential testing)
+};
+
+/// Process-wide default engine. Initialized from the PARAD_ENGINE environment
+/// variable ("tree" or "lowered") on first use; Lowered otherwise.
+Engine defaultEngine();
+void setDefaultEngine(Engine e);
+
+/// Facade over the two engines. Construction is cheap; lowered programs are
+/// cached process-wide per function (see lower.h) so per-rank construction
+/// inside Machine::run does not re-lower.
 class Interpreter {
  public:
   Interpreter(const ir::Module& mod, psim::Machine& machine)
-      : mod_(mod), machine_(machine) {}
+      : Interpreter(mod, machine, defaultEngine()) {}
+  Interpreter(const ir::Module& mod, psim::Machine& machine, Engine engine)
+      : mod_(mod), machine_(machine), engine_(engine) {}
 
   /// Runs `fn` as the given rank's program (on the rank's main worker).
   /// Returns the function's return value (undefined content for void).
   RtVal run(const ir::Function& fn, std::vector<RtVal> args,
             psim::RankEnv& env);
 
+  Engine engine() const { return engine_; }
+
  private:
-  struct ThreadState {
-    psim::WorkerCtx w;
-    int tid = 0;
-    int nthreads = 1;
-  };
-  struct TaskRec {
-    double endTime = 0;
-  };
-  struct RankRun {  // mutable per-rank interpreter state
-    psim::RankEnv* env = nullptr;
-    ThreadState* ts = nullptr;  // current virtual thread
-    std::vector<TaskRec> tasks;
-    std::vector<double> taskWorkerFree;
-    RtVal retVal{};
-    bool yield = false;
-    int callDepth = 0;
-  };
-  using Frame = std::vector<RtVal>;
-  enum class Flow { Normal, Return };
-
-  Flow execRegion(const ir::Function& fn, const ir::Region& r, Frame& f,
-                  RankRun& rr);
-  Flow execInst(const ir::Function& fn, const ir::Inst& in, Frame& f,
-                RankRun& rr);
-  Flow execFork(const ir::Function& fn, const ir::Inst& in, Frame& f,
-                RankRun& rr);
-  Flow execParallelFor(const ir::Function& fn, const ir::Inst& in, Frame& f,
-                       RankRun& rr);
-  RtVal callFunction(const ir::Function& callee, std::vector<RtVal> args,
-                     RankRun& rr);
-
-  const std::vector<int>& definedValues(const ir::Inst& in);
-
   const ir::Module& mod_;
   psim::Machine& machine_;
-  std::unordered_map<const ir::Inst*, std::vector<int>> definedCache_;
+  Engine engine_;
 };
 
 }  // namespace parad::interp

@@ -1,0 +1,416 @@
+#include "src/interp/lower.h"
+
+#include <cstring>
+#include <deque>
+
+namespace parad::interp {
+
+using ir::Op;
+
+// ---------------------------------------------------------------------------
+// Structural fingerprint (FNV-1a over everything a pass can mutate).
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void byte(unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (i * 8)));
+  }
+  void mix(i64 v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<i64>(v))); }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+  void mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+void hashRegion(const ir::Region& r, Fnv& f);
+
+void hashInst(const ir::Inst& in, Fnv& f) {
+  f.mix(static_cast<std::uint64_t>(in.op));
+  f.mix(in.result);
+  f.mix(static_cast<std::uint64_t>(in.operands.size()));
+  for (int o : in.operands) f.mix(o);
+  f.mix(in.fconst);
+  f.mix(in.iconst);
+  f.mix(in.sym);
+  f.mix(static_cast<std::uint64_t>(in.flags));
+  f.mix(static_cast<std::uint64_t>(in.regions.size()));
+  for (const ir::Region& r : in.regions) hashRegion(r, f);
+}
+
+void hashRegion(const ir::Region& r, Fnv& f) {
+  f.mix(static_cast<std::uint64_t>(r.args.size()));
+  for (int a : r.args) f.mix(a);
+  f.mix(static_cast<std::uint64_t>(r.insts.size()));
+  for (const ir::Inst& in : r.insts) hashInst(in, f);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const ir::Function& fn) {
+  Fnv f;
+  f.mix(fn.name);
+  f.mix(static_cast<std::uint64_t>(fn.paramTypes.size()));
+  for (ir::Type t : fn.paramTypes) f.mix(static_cast<std::uint64_t>(t));
+  f.mix(static_cast<std::uint64_t>(fn.retType));
+  f.mix(static_cast<std::uint64_t>(fn.valueTypes.size()));
+  for (ir::Type t : fn.valueTypes) f.mix(static_cast<std::uint64_t>(t));
+  hashRegion(fn.body, f);
+  return f.h;
+}
+
+// ---------------------------------------------------------------------------
+// Lowering.
+
+namespace {
+
+// Mirrors the tree-walker's collectDefined: every value id defined inside an
+// instruction's regions (results and region args), used for the fork body's
+// per-thread private storage set.
+void collectDefined(const ir::Inst& in, std::vector<std::int32_t>& out) {
+  for (const ir::Region& r : in.regions) {
+    for (int a : r.args) out.push_back(a);
+    for (const ir::Inst& i : r.insts) {
+      if (i.result >= 0) out.push_back(i.result);
+      collectDefined(i, out);
+    }
+  }
+}
+
+// Ops eligible for superinstruction pairing: region-free frame arithmetic
+// whose execution touches only the frame and the worker clock (no memory
+// manager, no scheduler state, no thread identity). Two adjacent fusable
+// instructions share one dispatch-loop iteration in the executor; every op
+// listed here has a mirrored case in exec.cpp's execFused.
+bool fusableOp(Op op) {
+  switch (op) {
+    case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FDiv:
+    case Op::FNeg: case Op::Sqrt: case Op::Sin: case Op::Cos:
+    case Op::Exp: case Op::Log: case Op::Cbrt: case Op::Pow:
+    case Op::FAbs: case Op::FMin: case Op::FMax:
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
+    case Op::IRem: case Op::IMinOp: case Op::IMaxOp:
+    case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpLt: case Op::ICmpLe:
+    case Op::ICmpGt: case Op::ICmpGe:
+    case Op::FCmpLt: case Op::FCmpLe: case Op::FCmpGt: case Op::FCmpGe:
+    case Op::FCmpEq:
+    case Op::BAnd: case Op::BOr: case Op::BNot: case Op::Select:
+    case Op::IToF: case Op::FToI: case Op::PtrOffset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Lowerer {
+ public:
+  Lowerer(const ir::Module& mod, ExecModule& xm) : mod_(mod), xm_(xm) {}
+
+  void lowerClosure(const ir::Function& entry) {
+    xm_.programs.emplace_back();
+    xm_.indexOf.emplace(entry.name, 0);
+    lowerFunction(entry, 0);
+    while (!pending_.empty()) {
+      std::string name = pending_.front();
+      pending_.pop_front();
+      lowerFunction(mod_.get(name), xm_.indexOf.at(name));
+    }
+  }
+
+ private:
+  /// Program index for a callee name; enqueues unseen functions. Returns -1
+  /// when the module has no such function (the call site becomes a trap).
+  std::int32_t programIndexFor(const std::string& name) {
+    auto it = xm_.indexOf.find(name);
+    if (it != xm_.indexOf.end()) return it->second;
+    if (!mod_.has(name)) return -1;
+    std::int32_t idx = static_cast<std::int32_t>(xm_.programs.size());
+    xm_.programs.emplace_back();
+    xm_.indexOf.emplace(name, idx);
+    pending_.push_back(name);
+    return idx;
+  }
+
+  std::int32_t addTrap(std::string msg) {
+    xm_.trapMsgs.push_back(std::move(msg));
+    return static_cast<std::int32_t>(xm_.trapMsgs.size() - 1);
+  }
+
+  void lowerFunction(const ir::Function& fn, std::int32_t idx) {
+    ExecProgram p;
+    p.name = fn.name;
+    p.numValues = fn.numValues();
+    p.numParams = fn.paramTypes.size();
+    p.paramSlots.assign(fn.body.args.begin(), fn.body.args.end());
+    p.fingerprint = fingerprint(fn);
+    constIndexOf_.clear();  // slots are function-local SSA ids
+    p.entryBlock = lowerRegion(fn.body, p);
+    xm_.programs[static_cast<std::size_t>(idx)] = std::move(p);
+  }
+
+  /// Two-phase region flattening: first append this region's instructions as
+  /// one contiguous run (so a block is a [begin, end) range and a fork body
+  /// can be segmented by scanning for top-level barriers), then lower nested
+  /// regions — each into its own contiguous run further down the array — and
+  /// patch the parents' block ids.
+  std::int32_t lowerRegion(const ir::Region& r, ExecProgram& p) {
+    std::int32_t blockId = static_cast<std::int32_t>(p.blocks.size());
+    p.blocks.emplace_back();
+    std::int32_t begin = static_cast<std::int32_t>(p.code.size());
+    // Constants are folded out of the stream: their values go into the
+    // program's frame-initialization table and each kept instruction records
+    // how many folded consts precede it, so the executor's dispatch count
+    // stays bit-identical to the tree-walker's.
+    std::vector<std::int32_t> codeIdx(r.insts.size(), -1);
+    std::int32_t pending = 0;
+    // Superinstruction pairing: a fusable instruction (region-free frame
+    // arithmetic, see fusableOp) adjacent to another fusable one rides in
+    // the previous slot's second position instead of getting its own.
+    // Folded consts between them don't break adjacency (consts2 keeps the
+    // count); anything else — including barriers, so a fork segment can
+    // never split a pair — does.
+    std::int32_t lastFusable = -1;  // code index with an empty second slot
+    for (std::size_t i = 0; i < r.insts.size(); ++i) {
+      const ir::Inst& in = r.insts[i];
+      if ((in.op == Op::ConstF || in.op == Op::ConstI ||
+           in.op == Op::ConstB) &&
+          in.result >= 0) {
+        constIndexOf_[in.result] =
+            static_cast<std::int32_t>(p.constInits.size());
+        ConstInit ci;
+        ci.slot = in.result;
+        ci.isF = in.op == Op::ConstF;
+        ci.f = in.fconst;
+        ci.i = in.iconst;
+        p.constInits.push_back(ci);
+        ++pending;
+        continue;
+      }
+      ExecInst x = lowerInst(in, p);
+      x.constsBefore = pending;
+      pending = 0;
+      if (lastFusable >= 0 && fusableOp(in.op)) {
+        ExecInst& prev = p.code[static_cast<std::size_t>(lastFusable)];
+        prev.op2 = static_cast<std::int16_t>(in.op);
+        prev.nOps2 = x.nOps;
+        prev.result2 = x.result;
+        prev.a2 = x.a;
+        prev.consts2 = x.constsBefore;
+        lastFusable = -1;  // pairs only, no triples
+        continue;  // fusable ops have no regions; codeIdx[i] is never read
+      }
+      codeIdx[i] = static_cast<std::int32_t>(p.code.size());
+      p.code.push_back(x);
+      lastFusable = fusableOp(in.op) ? codeIdx[i] : -1;
+    }
+    std::int32_t end = static_cast<std::int32_t>(p.code.size());
+    {
+      ExecBlock& b = p.blocks[static_cast<std::size_t>(blockId)];
+      b.begin = begin;
+      b.end = end;
+      b.arg = r.args.empty() ? -1 : r.args[0];
+      b.trailingConsts = pending;
+    }
+
+    for (std::size_t i = 0; i < r.insts.size(); ++i) {
+      const ir::Inst& in = r.insts[i];
+      if (in.regions.empty() || in.op == Op::OmpParallelFor) continue;
+      std::int32_t blockA = lowerRegion(in.regions[0], p);
+      std::int32_t blockB =
+          in.regions.size() > 1 ? lowerRegion(in.regions[1], p) : -1;
+      // Re-index: the nested lowering may have grown p.code/p.blocks.
+      ExecInst& xi = p.code[static_cast<std::size_t>(codeIdx[i])];
+      xi.blockA = blockA;
+      xi.blockB = blockB;
+      if (in.op == Op::Fork) segmentFork(in, xi, blockA, p);
+    }
+    return blockId;
+  }
+
+  ExecInst lowerInst(const ir::Inst& in, ExecProgram& p) {
+    ExecInst x;
+    x.op = in.op;
+    x.result = in.result;
+    x.fconst = in.fconst;
+    x.iconst = in.iconst;
+    x.flags = in.flags;
+    x.nOps = static_cast<std::uint16_t>(in.operands.size());
+    if (in.operands.size() <= static_cast<std::size_t>(ExecInst::kInlineOps)) {
+      for (std::size_t i = 0; i < in.operands.size(); ++i)
+        x.a[i] = in.operands[i];
+    } else {
+      x.poolBase = static_cast<std::int32_t>(p.pool.size());
+      p.pool.insert(p.pool.end(), in.operands.begin(), in.operands.end());
+    }
+    switch (in.op) {
+      case Op::Call: {
+        x.callee = programIndexFor(in.sym);
+        if (x.callee < 0) {
+          x.trap = addTrap("no function named " + in.sym);
+        } else {
+          const ir::Function& callee = mod_.get(in.sym);
+          if (in.operands.size() != callee.paramTypes.size())
+            x.trap = addTrap("wrong argument count calling @" + in.sym);
+        }
+        break;
+      }
+      case Op::CallIndirect:
+        x.trap = addTrap(
+            "call.indirect reached the interpreter; run the "
+            "resolve-indirect-calls pass first (jlite symbol table)");
+        break;
+      case Op::OmpParallelFor:
+        x.trap = addTrap(
+            "omp.parallel.for reached the interpreter; run the lower-omp "
+            "pass first");
+        break;
+      default: break;
+    }
+    return x;
+  }
+
+  /// Splits a freshly-lowered fork body block into barrier-delimited
+  /// segments (the barrier instructions themselves are skipped, exactly as
+  /// the tree-walker's structural segmentation never executes them) and
+  /// records the per-thread private value set in the program pool.
+  void segmentFork(const ir::Inst& in, ExecInst& xi, std::int32_t bodyBlock,
+                   ExecProgram& p) {
+    // The body block's range holds exactly the region's top-level
+    // instructions (nested bodies live in their own ranges), so scanning it
+    // finds exactly the top-level barriers.
+    ExecBlock body = p.blocks[static_cast<std::size_t>(bodyBlock)];
+    xi.segBase = static_cast<std::int32_t>(p.segments.size());
+    std::int32_t segStart = body.begin;
+    for (;;) {
+      std::int32_t segEnd = segStart;
+      while (segEnd < body.end && p.code[static_cast<std::size_t>(segEnd)].op !=
+                                      Op::BarrierOp)
+        ++segEnd;
+      ExecSegment s;
+      s.begin = segStart;
+      s.end = segEnd;
+      // Folded consts between the segment's last kept instruction and its
+      // delimiter (the barrier's constsBefore, or the block's trailing count
+      // for the final segment) still count as executed per thread.
+      s.trailingConsts =
+          segEnd < body.end
+              ? p.code[static_cast<std::size_t>(segEnd)].constsBefore
+              : body.trailingConsts;
+      p.segments.push_back(s);
+      if (segEnd == body.end) break;
+      segStart = segEnd + 1;
+    }
+    xi.segCount = static_cast<std::int32_t>(p.segments.size()) - xi.segBase;
+
+    std::vector<std::int32_t> priv;
+    collectDefined(in, priv);
+    xi.privBase = static_cast<std::int32_t>(p.pool.size());
+    xi.privCount = static_cast<std::int32_t>(priv.size());
+    p.pool.insert(p.pool.end(), priv.begin(), priv.end());
+
+    // Privatized slots holding folded constants: the tree-walker re-defines
+    // them inside each thread's segment, so the per-thread store must start
+    // with the constant value rather than zero.
+    xi.privFixBase = static_cast<std::int32_t>(p.pool.size());
+    std::int32_t nFix = 0;
+    for (std::size_t k = 0; k < priv.size(); ++k) {
+      auto it = constIndexOf_.find(priv[k]);
+      if (it == constIndexOf_.end()) continue;
+      p.pool.push_back(static_cast<std::int32_t>(k));
+      p.pool.push_back(it->second);
+      ++nFix;
+    }
+    xi.privFixCount = nFix;
+  }
+
+  const ir::Module& mod_;
+  ExecModule& xm_;
+  std::deque<std::string> pending_;
+  // Frame slot -> ExecProgram::constInits index, for the current function.
+  std::unordered_map<std::int32_t, std::int32_t> constIndexOf_;
+};
+
+}  // namespace
+
+std::shared_ptr<const ExecModule> lower(const ir::Module& mod,
+                                        const ir::Function& entry) {
+  auto xm = std::make_shared<ExecModule>();
+  Lowerer(mod, *xm).lowerClosure(entry);
+  return xm;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramCache.
+
+ProgramCache& ProgramCache::global() {
+  static ProgramCache cache;
+  return cache;
+}
+
+static bool stillValid(const ir::Module& mod, const ir::Function& entry,
+                       const ExecModule& xm) {
+  if (fingerprint(entry) != xm.programs[0].fingerprint) return false;
+  for (std::size_t i = 1; i < xm.programs.size(); ++i) {
+    const ExecProgram& p = xm.programs[i];
+    if (!mod.has(p.name) || fingerprint(mod.get(p.name)) != p.fingerprint)
+      return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const ExecModule> ProgramCache::lookup(
+    const ir::Module& mod, const ir::Function& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key k{&mod, entry.name};
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    if (stillValid(mod, entry, *it->second)) {
+      ++hits_;
+      return it->second;
+    }
+    map_.erase(it);
+  }
+  ++misses_;
+  auto xm = lower(mod, entry);
+  map_.emplace(std::move(k), xm);
+  return xm;
+}
+
+void ProgramCache::invalidate(const std::string& fnName) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second->indexOf.count(fnName))
+      it = map_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::uint64_t ProgramCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ProgramCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace parad::interp

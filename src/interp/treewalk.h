@@ -1,0 +1,70 @@
+// Recursive tree-walking reference interpreter (the pre-lowering engine).
+//
+// Demoted to a debug/differential-testing engine: Interpreter (interp.h)
+// dispatches here only for Engine::TreeWalk. The lowered executor (lower.h +
+// exec.h) must stay observationally identical to this engine — results,
+// memory, RunStats and virtual clocks bit for bit — which the differential
+// tests in tests/test_exec.cpp and the app sweep in tests/test_property.cpp
+// enforce.
+//
+// A TreeWalker is single-run state: the facade constructs a fresh one per
+// run, so the defined-value cache (keyed by Inst pointers) can never outlive
+// a pass that reallocates instruction storage.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/interp/interp.h"
+
+namespace parad::interp {
+
+class TreeWalker {
+ public:
+  TreeWalker(const ir::Module& mod, psim::Machine& machine)
+      : mod_(mod), machine_(machine) {}
+
+  RtVal run(const ir::Function& fn, std::vector<RtVal> args,
+            psim::RankEnv& env);
+
+ private:
+  struct ThreadState {
+    psim::WorkerCtx w;
+    int tid = 0;
+    int nthreads = 1;
+  };
+  struct TaskRec {
+    double endTime = 0;
+  };
+  struct RankRun {  // mutable per-rank interpreter state
+    psim::RankEnv* env = nullptr;
+    ThreadState* ts = nullptr;  // current virtual thread
+    std::vector<TaskRec> tasks;
+    std::vector<double> taskWorkerFree;
+    RtVal retVal{};
+    bool yield = false;
+    int callDepth = 0;
+    std::uint64_t insts = 0;  // dispatched instructions (flushed to RunStats)
+  };
+  using Frame = std::vector<RtVal>;
+  enum class Flow { Normal, Return };
+
+  Flow execRegion(const ir::Function& fn, const ir::Region& r, Frame& f,
+                  RankRun& rr);
+  Flow execInst(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                RankRun& rr);
+  Flow execFork(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                RankRun& rr);
+  Flow execParallelFor(const ir::Function& fn, const ir::Inst& in, Frame& f,
+                       RankRun& rr);
+  RtVal callFunction(const ir::Function& callee, std::vector<RtVal> args,
+                     RankRun& rr);
+
+  const std::vector<int>& definedValues(const ir::Inst& in);
+
+  const ir::Module& mod_;
+  psim::Machine& machine_;
+  std::unordered_map<const ir::Inst*, std::vector<int>> definedCache_;
+};
+
+}  // namespace parad::interp

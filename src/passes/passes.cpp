@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/analysis/fninfo.h"
+#include "src/interp/lower.h"
 #include "src/ir/verifier.h"
 #include "src/ir/printer.h"
 #include "src/passes/cloner.h"
@@ -27,6 +28,7 @@ void rewriteFunction(ir::Module& mod, const std::string& name,
     c.map(src.body.args[i], b.param(static_cast<int>(i)));
   c.cloneRegion(src.body);
   b.finish();
+  interp::ProgramCache::global().invalidate(name);
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +340,7 @@ void cleanup(ir::Module& mod, const std::string& fn) {
     if (!changed) break;
   }
   ir::verify(mod, mod.get(fn));
+  interp::ProgramCache::global().invalidate(fn);
 }
 
 // ---------------------------------------------------------------------------
@@ -500,6 +503,7 @@ int hoistInvariants(ir::Module& mod, const std::string& fn) {
     if (moved == 0) break;
   }
   ir::verify(mod, mod.get(fn));
+  interp::ProgramCache::global().invalidate(fn);
   return total;
 }
 
@@ -545,6 +549,7 @@ int mergeAdjacentForks(ir::Module& mod, const std::string& fn) {
   ir::Function& f = mod.get(fn);
   int merged = mergeInRegion(f.body);
   ir::verify(mod, mod.get(fn));
+  interp::ProgramCache::global().invalidate(fn);
   return merged;
 }
 

@@ -62,11 +62,43 @@ struct MachineConfig {
   /// Forced serialization of all shadow accumulation to atomics (the
   /// legal-but-slow fallback discussed in §VI-A1); used by ablation benches.
   bool chargeAtomicContention = true;
+  /// Interpreter call-stack limit (deep-recursion tests and the jlite
+  /// frontend raise it; the default matches the historical hard limit).
+  int maxCallDepth = 512;
+  /// Virtual task workers per rank for spawn/sync scheduling; 0 means one
+  /// worker per thread of the rank (the launch's threadsPerRank).
+  int taskWorkers = 0;
 
   int totalCores() const { return sockets * coresPerSocket; }
   int socketOfCore(int core) const {
     return (core / coresPerSocket) % sockets;
   }
+};
+
+/// Per-opcode clock charges folded from a CostModel once per machine
+/// configuration, so the execution engine charges a single pre-multiplied
+/// constant per instruction instead of re-deriving `flop * 4`-style products
+/// on every visit. Folding must preserve the tree-walker's exact charge
+/// sequence: every field below is the same double the reference engine
+/// computes inline (same products, same order), so virtual clocks stay
+/// bit-identical between engines.
+struct CostTable {
+  double flop, fdiv;        // FDiv charges flop * 4
+  double intOp, intDiv;     // IDiv/IRem charge intOp * 4
+  double special, powCost, minmax;
+  double loopIter, workshareInit;
+  double spawnCost, syncCost;
+  double callCost, gcCost;
+  double freeCost;          // Free charges allocBase * 0.3
+
+  explicit CostTable(const CostModel& c)
+      : flop(c.flop), fdiv(c.flop * 4),
+        intOp(c.intOp), intDiv(c.intOp * 4),
+        special(c.special), powCost(c.powCost), minmax(c.minmax),
+        loopIter(c.loopIter), workshareInit(c.workshareInit),
+        spawnCost(c.spawnCost), syncCost(c.syncCost),
+        callCost(c.callCost), gcCost(c.gcCost),
+        freeCost(c.allocBase * 0.3) {}
 };
 
 /// A virtual worker (one thread of one rank). The interpreter creates these
@@ -82,6 +114,7 @@ struct WorkerCtx {
 
 /// Statistics gathered over one Machine::run (see bench harnesses).
 struct RunStats {
+  std::uint64_t instsExecuted = 0;  // IR instructions dispatched
   std::uint64_t atomicOps = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytesSent = 0;

@@ -9,6 +9,7 @@ double Machine::run(const Launch& launch,
   PARAD_CHECK(launch.ranks >= 1 && launch.threadsPerRank >= 1,
               "bad launch configuration");
   launch_ = launch;
+  resetMemCharges();  // pick up config edits made since the last run
   std::vector<RankEnv> envs(static_cast<std::size_t>(launch.ranks));
   envs_ = &envs;
   for (int r = 0; r < launch.ranks; ++r) {

@@ -31,7 +31,9 @@ struct RankEnv {
 class Machine {
  public:
   explicit Machine(MachineConfig cfg = {})
-      : cfg_(cfg), mem_(stats_), workers_(static_cast<std::size_t>(cfg.sockets), 0) {}
+      : cfg_(cfg), mem_(stats_), workers_(static_cast<std::size_t>(cfg.sockets), 0) {
+    resetMemCharges();
+  }
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
@@ -79,7 +81,21 @@ class Machine {
 
   // ---- cost charging ----
   /// One memory access of `bytes` bytes whose object is homed on homeSocket.
+  /// The single-element (8-byte) case — every interpreted load/store — is
+  /// served from a per-socket memo of the folded charge, recomputed only when
+  /// the home socket's sharer count changes; the two divisions in the cold
+  /// path would otherwise dominate interpreted memory-op cost. The memo holds
+  /// exactly the double the cold path computes (same expression, same order),
+  /// so virtual clocks are unaffected; run() resets it so between-run config
+  /// edits take effect.
   void chargeMem(WorkerCtx& w, int homeSocket, i64 bytes) {
+    if (bytes == 8) {
+      MemCharge& mc = memCharge_[static_cast<std::size_t>(homeSocket)];
+      int sharers = workersOn(homeSocket);
+      if (mc.sharers != sharers) foldMemCharge(mc, sharers);
+      w.advance(w.socket == homeSocket ? mc.local8 : mc.remote8);
+      return;
+    }
     const CostModel& c = cfg_.cost;
     double lat = (w.socket == homeSocket) ? c.memLatencyLocal
                                           : c.memLatencyRemote;
@@ -117,12 +133,31 @@ class Machine {
   }
 
  private:
+  /// Folded 8-byte access charges for one home socket at a given sharer
+  /// count (-1 = stale).
+  struct MemCharge {
+    int sharers = -1;
+    double local8 = 0, remote8 = 0;
+  };
+  void foldMemCharge(MemCharge& mc, int sharers) const {
+    const CostModel& c = cfg_.cost;
+    double perWorker = c.socketBandwidth / (sharers > 0 ? sharers : 1);
+    double bw = perWorker < c.coreBandwidth ? perWorker : c.coreBandwidth;
+    mc.local8 = c.memLatencyLocal + 8.0 / bw;
+    mc.remote8 = c.memLatencyRemote + 8.0 / bw;
+    mc.sharers = sharers;
+  }
+  void resetMemCharges() {
+    memCharge_.assign(static_cast<std::size_t>(cfg_.sockets), MemCharge{});
+  }
+
   MachineConfig cfg_;
   RunStats stats_;
   MemoryManager mem_;
   std::unique_ptr<Fabric> fabric_;
   CoopScheduler sched_;
   std::vector<int> workers_;
+  std::vector<MemCharge> memCharge_;
   Launch launch_{};
   std::vector<RankEnv>* envs_ = nullptr;
 };

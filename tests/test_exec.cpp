@@ -1,0 +1,582 @@
+// Differential tests for the lower->execute pipeline: the lowered executor
+// must be observationally identical to the tree-walking reference engine —
+// same results, same memory effects, same RunStats counters, and the same
+// virtual clocks bit for bit. Also covers the program cache (invalidation by
+// passes, fingerprint revalidation after in-place IR mutation) and the
+// machine-config knobs that used to be interpreter constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/interp/exec.h"
+#include "src/interp/lower.h"
+#include "src/passes/passes.h"
+#include "src/support/rng.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using interp::Engine;
+
+namespace {
+
+/// Outcome of one run: everything two engines must agree on.
+struct Outcome {
+  interp::RtVal ret{};
+  double makespan = 0;
+  std::uint64_t insts = 0, atomics = 0, messages = 0, bytesSent = 0,
+                allocBytes = 0;
+  std::vector<double> buf;  // probe buffer contents, if the kernel has one
+};
+
+/// Runs `fn` under one engine on a fresh machine. `makeArgs` allocates the
+/// run's buffers (the first allocated ptr arg, if any, is the probe buffer
+/// read back into Outcome::buf).
+Outcome runEngine(const ir::Module& mod, const std::string& fn, Engine e,
+                  const std::function<std::vector<interp::RtVal>(
+                      psim::Machine&, psim::RtPtr&)>& makeArgs,
+                  int ranks, int threads, i64 readN,
+                  psim::MachineConfig cfg = {}) {
+  psim::Machine m(cfg);
+  psim::RtPtr probe{};
+  std::vector<interp::RtVal> args = makeArgs(m, probe);
+  Outcome o;
+  o.makespan = m.run({ranks, threads}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m, e);
+    interp::RtVal r = it.run(mod.get(fn), args, env);
+    if (env.rank == 0) o.ret = r;
+  });
+  o.insts = m.stats().instsExecuted;
+  o.atomics = m.stats().atomicOps;
+  o.messages = m.stats().messages;
+  o.bytesSent = m.stats().bytesSent;
+  o.allocBytes = m.stats().allocBytes;
+  if (readN > 0) o.buf = readF64(m, probe, readN);
+  return o;
+}
+
+/// Runs under both engines and asserts bit-identical observables.
+Outcome expectEnginesAgree(
+    const ir::Module& mod, const std::string& fn,
+    const std::function<std::vector<interp::RtVal>(psim::Machine&,
+                                                   psim::RtPtr&)>& makeArgs,
+    int ranks = 1, int threads = 4, i64 readN = 0,
+    psim::MachineConfig cfg = {}) {
+  Outcome lo = runEngine(mod, fn, Engine::Lowered, makeArgs, ranks, threads,
+                         readN, cfg);
+  Outcome tw = runEngine(mod, fn, Engine::TreeWalk, makeArgs, ranks, threads,
+                         readN, cfg);
+  EXPECT_EQ(lo.ret.u.i, tw.ret.u.i) << fn << ": return values differ";
+  EXPECT_EQ(lo.makespan, tw.makespan) << fn << ": virtual clocks differ";
+  EXPECT_EQ(lo.insts, tw.insts) << fn << ": instruction counts differ";
+  EXPECT_EQ(lo.atomics, tw.atomics) << fn;
+  EXPECT_EQ(lo.messages, tw.messages) << fn;
+  EXPECT_EQ(lo.bytesSent, tw.bytesSent) << fn;
+  EXPECT_EQ(lo.allocBytes, tw.allocBytes) << fn;
+  EXPECT_EQ(lo.buf.size(), tw.buf.size());
+  for (std::size_t i = 0; i < std::min(lo.buf.size(), tw.buf.size()); ++i)
+    EXPECT_EQ(lo.buf[i], tw.buf[i]) << fn << ": buffer element " << i;
+  EXPECT_GT(lo.insts, 0u) << fn << ": instruction counter never advanced";
+  return lo;
+}
+
+std::vector<interp::RtVal> noArgs(psim::Machine&, psim::RtPtr&) { return {}; }
+
+/// Probe buffer of `n` doubles from a deterministic rng, plus the length.
+std::function<std::vector<interp::RtVal>(psim::Machine&, psim::RtPtr&)>
+bufArgs(int n, unsigned seed = 11) {
+  return [n, seed](psim::Machine& m, psim::RtPtr& probe) {
+    std::vector<double> init(static_cast<std::size_t>(n));
+    Rng rng(seed);
+    for (double& v : init) v = rng.uniform(-2, 2);
+    probe = makeF64(m, init);
+    return std::vector<interp::RtVal>{interp::RtVal::P(probe),
+                                      interp::RtVal::I(n)};
+  };
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine equivalence on representative kernels.
+// ---------------------------------------------------------------------------
+
+TEST(ExecDiff, ScalarMathAndCalls) {
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "poly", {Type::F64}, Type::F64);
+    auto x = b.param(0);
+    b.ret(b.fadd(b.fmul(x, x), b.sin_(x)));
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "main", {Type::PtrF64, Type::I64}, Type::F64);
+    auto p = b.param(0), n = b.param(1);
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](ir::Value i) {
+      auto v = b.call("poly", {b.load(p, i)});
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.fdiv(v, b.pow_(v, b.constF(2)))));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+    b.finish();
+  }
+  ir::verify(mod);
+  Outcome o = expectEnginesAgree(mod, "main", bufArgs(33), 1, 4, 0);
+  EXPECT_TRUE(std::isfinite(o.ret.u.f));
+}
+
+TEST(ExecDiff, ForkWorkshareBarrier) {
+  // Fig. 7 pattern: per-thread partials, barrier, combine on thread 0, with
+  // thread-private SSA values crossing the barrier segments.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "minred", {Type::PtrF64, Type::I64}, Type::F64);
+  auto data = b.param(0), n = b.param(1);
+  auto nt = b.constI(6);
+  auto partial = b.alloc(nt, Type::F64);
+  auto result = b.alloc(b.constI(1), Type::F64);
+  b.emitFork(nt, [&](ir::Value tid) {
+    auto mine = b.imul(tid, b.constI(3));  // private value crossing segments
+    b.store(partial, tid, b.constF(1e30));
+    b.emitWorkshare(b.constI(0), n, [&](ir::Value i) {
+      auto cur = b.load(partial, tid);
+      b.store(partial, tid, b.fmin_(cur, b.load(data, i)));
+    });
+    b.barrier();
+    b.store(partial, tid, b.fadd(b.load(partial, tid), b.itof(mine)));
+    b.barrier();
+    b.emitIf(b.ieq(tid, b.constI(0)), [&] {
+      auto accp = b.alloc(b.constI(1), Type::F64);
+      b.store(accp, b.constI(0), b.constF(0));
+      b.emitFor(b.constI(0), nt, [&](ir::Value t) {
+        auto cur = b.load(accp, b.constI(0));
+        b.store(accp, b.constI(0), b.fadd(cur, b.load(partial, t)));
+      });
+      b.store(result, b.constI(0), b.load(accp, b.constI(0)));
+    });
+  });
+  b.ret(b.load(result, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  expectEnginesAgree(mod, "minred", bufArgs(57), 1, 6, 0);
+}
+
+TEST(ExecDiff, ParallelForWithAtomics) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "accum", {Type::PtrF64, Type::I64}, Type::F64);
+  auto p = b.param(0), n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+    auto v = b.load(p, i);
+    b.store(p, i, b.fmul(v, v));
+    b.atomicAddF(acc, b.constI(0), v);
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  expectEnginesAgree(mod, "accum", bufArgs(100), 1, 8, 100);
+}
+
+TEST(ExecDiff, NestedParallelForRunsSerially) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "nest", {Type::PtrF64, Type::I64});
+  auto p = b.param(0), n = b.param(1);
+  b.emitFork(b.constI(4), [&](ir::Value tid) {
+    b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+      b.atomicAddF(p, i, b.itof(tid));
+    });
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  expectEnginesAgree(mod, "nest", bufArgs(16), 1, 4, 16);
+}
+
+TEST(ExecDiff, SpawnSyncWhileYield) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "tasks", {Type::PtrF64, Type::I64}, Type::I64);
+  auto p = b.param(0), n = b.param(1);
+  auto t0 = b.spawn([&] {
+    b.emitFor(b.constI(0), n, [&](ir::Value i) {
+      b.store(p, i, b.fmul(b.load(p, i), b.constF(2)));
+    });
+  });
+  auto t1 = b.spawn([&] { b.store(p, b.constI(0), b.constF(7)); });
+  b.sync(t0);
+  b.sync(t1);
+  // While loop: halve n until <= 1, count iterations.
+  auto cnt = b.alloc(b.constI(1), Type::I64);
+  b.store(cnt, b.constI(0), b.constI(0));
+  auto xp = b.alloc(b.constI(1), Type::I64);
+  b.store(xp, b.constI(0), n);
+  b.emitWhile([&](ir::Value) {
+    auto x = b.idiv(b.load(xp, b.constI(0)), b.constI(2));
+    b.store(xp, b.constI(0), x);
+    auto c = b.load(cnt, b.constI(0));
+    b.store(cnt, b.constI(0), b.iadd(c, b.constI(1)));
+    return b.igt(x, b.constI(1));
+  });
+  b.ret(b.load(cnt, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  expectEnginesAgree(mod, "tasks", bufArgs(24), 1, 4, 24);
+}
+
+TEST(ExecDiff, MessagePassingAllreduce) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "mp", {}, Type::F64);
+  auto send = b.alloc(b.constI(1), Type::F64);
+  auto recv = b.alloc(b.constI(1), Type::F64);
+  auto r = b.mpRank();
+  b.store(send, b.constI(0), b.itof(b.iadd(r, b.constI(1))));
+  b.mpBarrier();
+  b.mpAllreduce(send, recv, b.constI(1), ir::ReduceKind::Sum);
+  b.ret(b.load(recv, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  Outcome o = expectEnginesAgree(mod, "mp", noArgs, 4, 2, 0);
+  EXPECT_DOUBLE_EQ(o.ret.u.f, 1 + 2 + 3 + 4);
+}
+
+TEST(ExecDiff, JliteBoxedArraysAndGc) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "jl", {}, Type::F64);
+  auto desc = b.jlAllocArray(b.constI(8));
+  auto data = b.load(desc, b.constI(0));
+  b.memset0(data, b.constI(8));
+  b.store(data, b.constI(3), b.constF(42));
+  auto tok = b.gcPreserveBegin({desc});
+  auto v = b.load(b.ptrOffset(data, b.constI(1)), b.constI(2));
+  b.gcPreserveEnd(tok);
+  b.free_(desc);
+  b.ret(v);
+  b.finish();
+  ir::verify(mod);
+  Outcome o = expectEnginesAgree(mod, "jl", noArgs, 1, 4, 0);
+  EXPECT_DOUBLE_EQ(o.ret.u.f, 42.0);
+}
+
+TEST(ExecDiff, GradientOfParallelKernelAgrees) {
+  // End-to-end through AD: generate the gradient, then require both engines
+  // to produce bit-identical adjoints and virtual clocks running it.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "obj", {Type::PtrF64, Type::I64}, Type::F64);
+  auto p = b.param(0), n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  b.emitParallelFor(b.constI(0), n, [&](ir::Value i) {
+    auto x = b.load(p, i);
+    b.atomicAddF(acc, b.constI(0), b.fmul(b.sin_(x), x));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  core::GradInfo gi = core::generateGradient(mod, "obj", cfg);
+
+  auto gradArgs = [](psim::Machine& m, psim::RtPtr& probe) {
+    std::vector<double> init(40);
+    Rng rng(3);
+    for (double& v : init) v = rng.uniform(-1, 1);
+    psim::RtPtr x = makeF64(m, init);
+    probe = makeF64(m, std::vector<double>(40, 0.0));
+    return std::vector<interp::RtVal>{interp::RtVal::P(x), interp::RtVal::I(40),
+                                      interp::RtVal::P(probe),
+                                      interp::RtVal::F(1.0)};
+  };
+  Outcome o = expectEnginesAgree(mod, gi.name, gradArgs, 1, 8, 40);
+  for (double g : o.buf) EXPECT_TRUE(std::isfinite(g));
+}
+
+// ---------------------------------------------------------------------------
+// Lazy traps: lowering must not fail eagerly on unexecuted bad regions.
+// ---------------------------------------------------------------------------
+
+TEST(ExecTraps, OmpTrapIsLazy) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "maybeOmp", {Type::I64}, Type::F64);
+  auto flag = b.param(0);
+  auto out = b.alloc(b.constI(1), Type::F64);
+  b.store(out, b.constI(0), b.constF(1));
+  b.emitIf(b.ine(flag, b.constI(0)), [&] {
+    b.emitOmpParallelFor(b.constI(0), b.constI(4), {},
+                         [&](ir::Value, std::vector<ir::Value>) {});
+  });
+  b.ret(b.load(out, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  // Untaken branch: runs fine under the lowered engine.
+  EXPECT_DOUBLE_EQ(
+      runSerial(mod, mod.get("maybeOmp"), m, {interp::RtVal::I(0)}).u.f, 1.0);
+  // Taken branch: fails lazily with the reference engine's message.
+  psim::Machine m2;
+  try {
+    runSerial(mod, mod.get("maybeOmp"), m2, {interp::RtVal::I(1)});
+    FAIL() << "expected the omp trap to fire";
+  } catch (const parad::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "omp.parallel.for reached the interpreter"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecTraps, UnknownCalleeTrapIsLazy) {
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "missing_fn", {Type::F64}, Type::F64);
+    b.ret(b.param(0));
+    b.finish();
+  }
+  ir::FunctionBuilder b(mod, "maybeCall", {Type::I64}, Type::F64);
+  auto flag = b.param(0);
+  auto out = b.alloc(b.constI(1), Type::F64);
+  b.store(out, b.constI(0), b.constF(2));
+  b.emitIf(b.ine(flag, b.constI(0)),
+           [&] { b.call("missing_fn", {b.constF(1)}); });
+  b.ret(b.load(out, b.constI(0)));
+  b.finish();
+  // Dangling callee is the point of the test: remove it after building.
+  mod.functions.erase("missing_fn");
+  psim::Machine m;
+  EXPECT_DOUBLE_EQ(
+      runSerial(mod, mod.get("maybeCall"), m, {interp::RtVal::I(0)}).u.f, 2.0);
+  psim::Machine m2;
+  try {
+    runSerial(mod, mod.get("maybeCall"), m2, {interp::RtVal::I(1)});
+    FAIL() << "expected the unknown-callee trap to fire";
+  } catch (const parad::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no function named missing_fn"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program cache: hits, explicit pass invalidation, fingerprint safety net.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Lowering stream optimizations: const folding + superinstruction pairing.
+// ---------------------------------------------------------------------------
+
+TEST(LowerFusion, AdjacentArithmeticSharesASlot) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::F64}, Type::F64);
+  auto v = b.param(0);
+  // Four arithmetic insts with folded consts interleaved; the consts leave
+  // the stream and the arithmetic lowers to two fused pairs plus the return.
+  auto t1 = b.fmul(v, b.constF(0.5));
+  auto t2 = b.fadd(t1, b.constF(0.25));
+  auto t3 = b.fsub(t2, v);
+  auto t4 = b.fmul(t3, t3);
+  b.ret(t4);
+  b.finish();
+  ir::verify(mod);
+
+  auto xm = interp::lower(mod, mod.get("f"));
+  const interp::ExecProgram& p = xm->programs[0];
+  int fused = 0;
+  for (const interp::ExecInst& in : p.code)
+    if (in.op2 >= 0) ++fused;
+  EXPECT_EQ(fused, 2);           // (fmul,fadd) and (fsub,fmul)
+  EXPECT_EQ(p.code.size(), 3u);  // two pairs + return
+  EXPECT_EQ(p.constInits.size(), 2u);
+  // The const between the first pair's halves still counts as dispatched.
+  EXPECT_EQ(p.code[0].consts2, 1);
+
+  expectEnginesAgree(mod, "f", [](psim::Machine&, psim::RtPtr&) {
+    return std::vector<interp::RtVal>{interp::RtVal::F(1.75)};
+  });
+}
+
+TEST(ExecCache, SecondRunHits) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::F64}, Type::F64);
+  b.ret(b.fmul(b.param(0), b.constF(3)));
+  b.finish();
+  ir::verify(mod);
+  auto& cache = interp::ProgramCache::global();
+  cache.clear();
+  std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+  // The cache only serves the lowered engine; pin it so the counters move
+  // even when the suite runs under PARAD_ENGINE=tree.
+  auto runLowered = [&](psim::Machine& m) {
+    m.run({1, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m, Engine::Lowered);
+      it.run(mod.get("f"), {interp::RtVal::F(2)}, env);
+    });
+  };
+  psim::Machine m;
+  runLowered(m);
+  EXPECT_EQ(cache.misses(), m0 + 1);
+  psim::Machine m2;
+  runLowered(m2);
+  EXPECT_EQ(cache.hits(), h0 + 1);
+  EXPECT_EQ(cache.misses(), m0 + 1);
+}
+
+TEST(ExecCache, PassRewriteBetweenRunsIsSafe) {
+  // Regression for the old interpreter's defined-value cache, which was keyed
+  // by Inst pointers and dangled when a pass reallocated instruction storage
+  // between two runs of the same Interpreter. The lowered pipeline must
+  // relower instead of reusing stale metadata.
+  ir::Module mod;
+  {
+    ir::FunctionBuilder b(mod, "scale", {Type::F64}, Type::F64);
+    b.ret(b.fmul(b.param(0), b.constF(2)));
+    b.finish();
+  }
+  {
+    ir::FunctionBuilder b(mod, "mainf", {Type::PtrF64, Type::I64}, Type::F64);
+    auto p = b.param(0), n = b.param(1);
+    auto nt = b.constI(4);
+    auto partial = b.alloc(nt, Type::F64);
+    b.emitFork(nt, [&](ir::Value tid) {
+      auto mine = b.call("scale", {b.itof(tid)});
+      b.barrier();
+      b.store(partial, tid, mine);
+    });
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), nt, [&](ir::Value t) {
+      auto cur = b.load(acc, b.constI(0));
+      b.store(acc, b.constI(0), b.fadd(cur, b.load(partial, t)));
+    });
+    (void)p;
+    (void)n;
+    b.ret(b.load(acc, b.constI(0)));
+    b.finish();
+  }
+  ir::verify(mod);
+  psim::Machine m;
+  interp::Interpreter it(mod, m);  // one facade across both runs
+  interp::RtVal r1{}, r2{};
+  auto buf = makeF64(m, {0});
+  m.run({1, 4}, [&](psim::RankEnv& env) {
+    r1 = it.run(mod.get("mainf"),
+                {interp::RtVal::P(buf), interp::RtVal::I(1)}, env);
+  });
+  EXPECT_DOUBLE_EQ(r1.u.f, 2.0 * (0 + 1 + 2 + 3));
+
+  // Reallocates every instruction of @mainf (the old dangling scenario) and
+  // explicitly invalidates the cached program.
+  passes::inlineCalls(mod, "mainf");
+  m.run({1, 4}, [&](psim::RankEnv& env) {
+    r2 = it.run(mod.get("mainf"),
+                {interp::RtVal::P(buf), interp::RtVal::I(1)}, env);
+  });
+  EXPECT_DOUBLE_EQ(r2.u.f, r1.u.f);
+}
+
+TEST(ExecCache, FingerprintCatchesInPlaceMutation) {
+  // An IR mutation that bypasses the pass layer (no explicit invalidation)
+  // must still be picked up via fingerprint revalidation on the next lookup.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "c", {}, Type::F64);
+  b.ret(b.constF(5));
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  EXPECT_DOUBLE_EQ(runSerial(mod, mod.get("c"), m, {}).u.f, 5.0);
+  mod.get("c").body.insts[0].fconst = 9;  // direct in-place edit
+  psim::Machine m2;
+  EXPECT_DOUBLE_EQ(runSerial(mod, mod.get("c"), m2, {}).u.f, 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-config knobs that used to be interpreter constants.
+// ---------------------------------------------------------------------------
+
+TEST(ExecConfig, MaxCallDepthConfigurable) {
+  ir::Module mod;
+  {
+    // Placeholder so the self-recursive call below can resolve its return
+    // type while "rec" is still being (re)built.
+    ir::FunctionBuilder b(mod, "rec", {Type::I64}, Type::I64);
+    b.ret(b.constI(0));
+    b.finish();
+  }
+  ir::FunctionBuilder b(mod, "rec", {Type::I64}, Type::I64);
+  auto n = b.param(0);
+  auto out = b.alloc(b.constI(1), Type::I64);
+  b.emitIf(
+      b.igt(n, b.constI(0)),
+      [&] {
+        auto r = b.call("rec", {b.isub(n, b.constI(1))});
+        b.store(out, b.constI(0), b.iadd(r, b.constI(1)));
+      },
+      [&] { b.store(out, b.constI(0), b.constI(0)); });
+  b.ret(b.load(out, b.constI(0)));
+  b.finish();
+  ir::verify(mod);
+
+  for (Engine e : {Engine::Lowered, Engine::TreeWalk}) {
+    psim::Machine deep;  // default limit (512) admits depth 100
+    psim::Machine shallow;
+    shallow.config().maxCallDepth = 50;
+    interp::RtVal out{};
+    deep.run({1, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, deep, e);
+      out = it.run(mod.get("rec"), {interp::RtVal::I(100)}, env);
+    });
+    EXPECT_EQ(out.u.i, 100);
+    try {
+      shallow.run({1, 1}, [&](psim::RankEnv& env) {
+        interp::Interpreter it(mod, shallow, e);
+        it.run(mod.get("rec"), {interp::RtVal::I(100)}, env);
+      });
+      FAIL() << "expected the call-depth limit to fire";
+    } catch (const parad::Error& ex) {
+      EXPECT_NE(std::string(ex.what()).find("call depth limit exceeded"),
+                std::string::npos)
+          << ex.what();
+    }
+  }
+}
+
+TEST(ExecConfig, TaskWorkersConfigurable) {
+  // Eight independent heavy tasks: one virtual task worker serializes them,
+  // eight overlap them; the makespans must reflect that, identically in both
+  // engines.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "fan", {Type::PtrF64});
+  auto p = b.param(0);
+  std::vector<ir::Value> tasks;
+  for (int t = 0; t < 8; ++t) {
+    tasks.push_back(b.spawn([&] {
+      auto acc = b.alloc(b.constI(1), Type::F64);
+      b.store(acc, b.constI(0), b.constF(1.0 + t));
+      b.emitFor(b.constI(0), b.constI(200), [&](ir::Value) {
+        auto v = b.load(acc, b.constI(0));
+        b.store(acc, b.constI(0), b.sin_(b.fmul(v, v)));
+      });
+      b.store(p, b.constI(t), b.load(acc, b.constI(0)));
+    }));
+  }
+  for (ir::Value t : tasks) b.sync(t);
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+
+  auto timeWith = [&](int taskWorkers, Engine e) {
+    psim::MachineConfig cfg;
+    cfg.taskWorkers = taskWorkers;
+    psim::Machine m(cfg);
+    auto buf = makeF64(m, std::vector<double>(8, 0));
+    return m.run({1, 4}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m, e);
+      it.run(mod.get("fan"), {interp::RtVal::P(buf)}, env);
+    });
+  };
+  double serial = timeWith(1, Engine::Lowered);
+  double wide = timeWith(8, Engine::Lowered);
+  EXPECT_GT(serial, wide * 2);
+  EXPECT_EQ(serial, timeWith(1, Engine::TreeWalk));
+  EXPECT_EQ(wide, timeWith(8, Engine::TreeWalk));
+}

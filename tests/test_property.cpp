@@ -6,6 +6,8 @@
 //   * determinism of the virtual machine.
 #include <gtest/gtest.h>
 
+#include "src/apps/lulesh/lulesh.h"
+#include "src/apps/minibude/minibude.h"
 #include "src/core/forward.h"
 #include "src/support/rng.h"
 #include "tests/test_util.h"
@@ -256,3 +258,163 @@ TEST_P(AllreduceRanksP, SumGradientAcrossRanks) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceRanksP,
                          ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Engine-equivalence and schedule-independence sweep over the paper apps
+// (DESIGN.md §9): the lowered executor and the tree-walking reference engine
+// must agree bit for bit on objectives, gradients, RunStats and virtual
+// makespans, and values/gradients must not depend on the thread count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EngineGuard {
+  interp::Engine saved;
+  explicit EngineGuard(interp::Engine e) : saved(interp::defaultEngine()) {
+    interp::setDefaultEngine(e);
+  }
+  ~EngineGuard() { interp::setDefaultEngine(saved); }
+};
+
+template <typename RR>
+void expectBitIdentical(const RR& a, const RR& b, const char* what) {
+  EXPECT_EQ(a.objective, b.objective) << what;
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.stats.instsExecuted, b.stats.instsExecuted) << what;
+  EXPECT_EQ(a.stats.atomicOps, b.stats.atomicOps) << what;
+  EXPECT_EQ(a.stats.messages, b.stats.messages) << what;
+}
+
+void expectSameVec(const std::vector<double>& a, const std::vector<double>& b,
+                   const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+/// Near-equality for the thread-count sweep: per-thread reduction slots
+/// reassociate sums, so values may differ in the final ulps across schedules
+/// (engine equivalence at a fixed schedule stays bit-exact).
+void expectNearVec(const std::vector<double>& a, const std::vector<double>& b,
+                   const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1e-10 * std::max(1.0, std::abs(b[i])))
+        << what << " element " << i;
+}
+
+}  // namespace
+
+struct LuleshVariant {
+  const char* name;
+  apps::lulesh::Config::Par par;
+  bool mp;
+  bool jlite;
+};
+
+class LuleshEngineSweepP : public ::testing::TestWithParam<LuleshVariant> {};
+
+TEST_P(LuleshEngineSweepP, EnginesAndSchedulesAgree) {
+  using namespace apps::lulesh;
+  const LuleshVariant& v = GetParam();
+  Config cfg;
+  cfg.par = v.par;
+  cfg.mp = v.mp;
+  cfg.jliteMem = v.jlite;
+  cfg.s = 4;
+  cfg.rside = v.mp ? 2 : 1;
+  cfg.nsteps = 2;
+  cfg.jlTasks = 3;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+
+  auto runBoth = [&](int threads) {
+    EngineGuard guard(interp::Engine::Lowered);
+    RunResult pl = runPrimal(mod, cfg, threads);
+    RunResult gl = runGradient(mod, gi, cfg, threads);
+    interp::setDefaultEngine(interp::Engine::TreeWalk);
+    RunResult pt = runPrimal(mod, cfg, threads);
+    RunResult gt = runGradient(mod, gi, cfg, threads);
+    expectBitIdentical(pl, pt, v.name);
+    expectBitIdentical(gl, gt, v.name);
+    expectSameVec(gl.gradE, gt.gradE, v.name);
+    expectSameVec(gl.gradU, gt.gradU, v.name);
+    return std::make_pair(pl, gl);
+  };
+  auto r2 = runBoth(2);
+  auto r5 = runBoth(5);
+  // Schedule independence: values and gradients don't depend on the thread
+  // count up to reduction-order rounding (makespans legitimately do).
+  EXPECT_NEAR(r2.first.objective, r5.first.objective,
+              1e-12 * std::abs(r5.first.objective))
+      << v.name;
+  expectNearVec(r2.second.gradE, r5.second.gradE, v.name);
+  expectNearVec(r2.second.gradU, r5.second.gradU, v.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LuleshEngineSweepP,
+    ::testing::Values(
+        LuleshVariant{"omp", apps::lulesh::Config::Par::Omp, false, false},
+        LuleshVariant{"mp", apps::lulesh::Config::Par::Serial, true, false},
+        LuleshVariant{"hybrid", apps::lulesh::Config::Par::Omp, true, false},
+        LuleshVariant{"raja", apps::lulesh::Config::Par::Raja, false, false},
+        LuleshVariant{"jlite", apps::lulesh::Config::Par::JliteTasks, false,
+                      true}),
+    [](const ::testing::TestParamInfo<LuleshVariant>& info) {
+      return std::string(info.param.name);
+    });
+
+struct BudeVariant {
+  const char* name;
+  apps::minibude::Config::Par par;
+  bool jlite;
+};
+
+class BudeEngineSweepP : public ::testing::TestWithParam<BudeVariant> {};
+
+TEST_P(BudeEngineSweepP, EnginesAndSchedulesAgree) {
+  using namespace apps::minibude;
+  const BudeVariant& v = GetParam();
+  Config cfg;
+  cfg.par = v.par;
+  cfg.jliteMem = v.jlite;
+  cfg.poses = 12;
+  cfg.ligAtoms = 5;
+  cfg.protAtoms = 9;
+  cfg.jlTasks = 3;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+
+  auto runBoth = [&](int threads) {
+    EngineGuard guard(interp::Engine::Lowered);
+    RunResult pl = runPrimal(mod, cfg, threads);
+    RunResult gl = runGradient(mod, gi, cfg, threads);
+    interp::setDefaultEngine(interp::Engine::TreeWalk);
+    RunResult pt = runPrimal(mod, cfg, threads);
+    RunResult gt = runGradient(mod, gi, cfg, threads);
+    expectBitIdentical(pl, pt, v.name);
+    expectBitIdentical(gl, gt, v.name);
+    expectSameVec(gl.gradPoses, gt.gradPoses, v.name);
+    expectSameVec(gl.gradLig, gt.gradLig, v.name);
+    return std::make_pair(pl, gl);
+  };
+  auto r2 = runBoth(2);
+  auto r5 = runBoth(5);
+  EXPECT_NEAR(r2.first.objective, r5.first.objective,
+              1e-12 * std::abs(r5.first.objective))
+      << v.name;
+  expectNearVec(r2.second.gradPoses, r5.second.gradPoses, v.name);
+  expectNearVec(r2.second.gradLig, r5.second.gradLig, v.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, BudeEngineSweepP,
+    ::testing::Values(
+        BudeVariant{"omp", apps::minibude::Config::Par::Omp, false},
+        BudeVariant{"jlite", apps::minibude::Config::Par::JliteTasks, true}),
+    [](const ::testing::TestParamInfo<BudeVariant>& info) {
+      return std::string(info.param.name);
+    });
