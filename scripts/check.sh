@@ -6,6 +6,7 @@
 #
 #   BUILD_DIR=out ./scripts/check.sh   # override the build directory
 #   SANITIZE=1 ./scripts/check.sh      # ASan+UBSan build (separate build dir)
+#   CHAOS=1 ./scripts/check.sh         # widened fault-injection chaos sweep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,3 +24,14 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "${CHAOS:-0}" == "1" ]]; then
+  # Expanded (seed x drop-rate) chaos sweep over the MPI apps, plus the whole
+  # suite re-run with a process-wide PARAD_FAULTS plan: every test must
+  # produce identical values while the fabric drops/dups/delays messages.
+  # (Faults.* establish their own fault-free baselines, so they are excluded
+  # from the env-plan pass and run with the widened sweep instead.)
+  PARAD_CHAOS=1 "$BUILD_DIR"/tests/parad_tests --gtest_filter='Faults.*'
+  PARAD_FAULTS='seed=9,drop=0.1,dup=0.05,delay=0.2' \
+    ctest --test-dir "$BUILD_DIR" -E '^Faults\.' --output-on-failure -j "$JOBS"
+fi

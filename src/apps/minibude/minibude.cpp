@@ -121,16 +121,49 @@ ir::Module build(const Config& cfg) {
     set(energies, p, b.load(acc, c0));
   };
 
+  // Pose range of this rank: the full deck, or an mp slice of it.
+  Value lo = c0, hi = P;
+  Value rank, R;
+  if (cfg.mp) {
+    PARAD_CHECK(!cfg.jliteMem, "minibude: mp excludes jliteMem");
+    rank = b.mpRank();
+    R = b.mpSize();
+    lo = b.idiv(b.imul(rank, P), R);
+    hi = b.idiv(b.imul(b.iaddc(rank, 1), P), R);
+  }
+
   switch (cfg.par) {
     case Config::Par::Serial:
-      b.emitFor(c0, P, poseBody);
+      b.emitFor(lo, hi, poseBody);
       break;
     case Config::Par::Omp:
-      omp::parallelFor(b, c0, P, poseBody);
+      omp::parallelFor(b, lo, hi, poseBody);
       break;
     case Config::Par::JliteTasks:
-      jl.threadsFor(c0, P, cfg.jlTasks, poseBody);
+      jl.threadsFor(lo, hi, cfg.jlTasks, poseBody);
       break;
+  }
+
+  if (cfg.mp) {
+    // Gather the pose-energy slices to rank 0 (Fig. 5 shadow-request
+    // pattern on the reverse pass: rank 0 re-sends adjoint slices back).
+    Value tag = b.constI(5);
+    b.emitIf(
+        b.ine(rank, c0),
+        [&] {
+          Value req = b.mpIsend(b.ptrOffset(energies, lo), b.isub(hi, lo),
+                                c0, tag);
+          b.mpWait(req);
+        },
+        [&] {
+          b.emitFor(b.constI(1), R, [&](Value r) {
+            Value rlo = b.idiv(b.imul(r, P), R);
+            Value rhi = b.idiv(b.imul(b.iaddc(r, 1), P), R);
+            Value req = b.mpIrecv(b.ptrOffset(energies, rlo),
+                                  b.isub(rhi, rlo), r, tag);
+            b.mpWait(req);
+          });
+        });
   }
 
   if (cfg.jliteMem)
@@ -204,49 +237,68 @@ double refPoseEnergy(const Config& cfg, const Deck& d, int pose) {
 
 namespace {
 
+struct RankBufs {
+  psim::RtPtr poses, lig, prot, energies, dposes, dlig, denergies;
+};
+
 RunResult runImpl(const ir::Module& mod, const Config& cfg, int threads,
                   psim::MachineConfig mc, const std::string& fnName,
                   bool isGradient) {
   psim::Machine m(mc);
   Deck deck = makeDeck(cfg);
-  auto mk = [&](const std::vector<double>& init) {
-    psim::RtPtr p = m.mem().alloc(Type::F64, (i64)init.size(), 0);
-    for (std::size_t k = 0; k < init.size(); ++k)
-      m.mem().atF(p, (i64)k) = init[k];
-    return p;
-  };
-  auto poses = mk(deck.poses);
-  auto lig = mk(deck.lig);
-  auto prot = mk(deck.prot);
-  auto energies = mk(std::vector<double>((std::size_t)cfg.poses, 0.0));
-  psim::RtPtr dposes{}, dlig{}, denergies{};
-  if (isGradient) {
-    dposes = mk(std::vector<double>(deck.poses.size(), 0.0));
-    dlig = mk(std::vector<double>(deck.lig.size(), 0.0));
-    denergies = mk(std::vector<double>((std::size_t)cfg.poses, 1.0));
+  int R = cfg.ranks();
+  // Inputs are replicated per rank (distinct address spaces); with mp, the
+  // objective is seeded at rank 0, which holds the gathered energies.
+  std::vector<RankBufs> bufs(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    auto mk = [&](const std::vector<double>& init) {
+      psim::RtPtr p = m.mem().alloc(Type::F64, (i64)init.size(),
+                                    m.socketOfRank(r));
+      for (std::size_t k = 0; k < init.size(); ++k)
+        m.mem().atF(p, (i64)k) = init[k];
+      return p;
+    };
+    RankBufs& rb = bufs[(std::size_t)r];
+    rb.poses = mk(deck.poses);
+    rb.lig = mk(deck.lig);
+    rb.prot = mk(deck.prot);
+    rb.energies = mk(std::vector<double>((std::size_t)cfg.poses, 0.0));
+    if (isGradient) {
+      rb.dposes = mk(std::vector<double>(deck.poses.size(), 0.0));
+      rb.dlig = mk(std::vector<double>(deck.lig.size(), 0.0));
+      rb.denergies = mk(std::vector<double>(
+          (std::size_t)cfg.poses, r == 0 ? 1.0 : 0.0));
+    }
   }
   RunResult out;
-  out.makespan = m.run({1, threads}, [&](psim::RankEnv& env) {
+  out.makespan = m.run({R, threads}, [&](psim::RankEnv& env) {
+    RankBufs& rb = bufs[(std::size_t)env.rank];
     std::vector<interp::RtVal> args{
-        interp::RtVal::P(poses),    interp::RtVal::P(lig),
-        interp::RtVal::P(prot),     interp::RtVal::P(energies),
+        interp::RtVal::P(rb.poses),  interp::RtVal::P(rb.lig),
+        interp::RtVal::P(rb.prot),   interp::RtVal::P(rb.energies),
         interp::RtVal::I(cfg.poses), interp::RtVal::I(cfg.ligAtoms),
         interp::RtVal::I(cfg.protAtoms)};
     if (isGradient) {
-      args.push_back(interp::RtVal::P(dposes));
-      args.push_back(interp::RtVal::P(dlig));
-      args.push_back(interp::RtVal::P(denergies));
+      args.push_back(interp::RtVal::P(rb.dposes));
+      args.push_back(interp::RtVal::P(rb.dlig));
+      args.push_back(interp::RtVal::P(rb.denergies));
     }
     interp::Interpreter it(mod, m);
     it.run(mod.get(fnName), args, env);
   });
   for (i64 p = 0; p < cfg.poses; ++p)
-    out.objective += m.mem().atF(energies, p);
+    out.objective += m.mem().atF(bufs[0].energies, p);
   if (isGradient) {
-    for (i64 k = 0; k < (i64)deck.poses.size(); ++k)
-      out.gradPoses.push_back(m.mem().atF(dposes, k));
-    for (i64 k = 0; k < (i64)deck.lig.size(); ++k)
-      out.gradLig.push_back(m.mem().atF(dlig, k));
+    // Each rank owns the gradient rows of its pose slice (other ranks hold
+    // zeros there) and a partial ligand gradient; sum in rank order.
+    out.gradPoses.assign(deck.poses.size(), 0.0);
+    out.gradLig.assign(deck.lig.size(), 0.0);
+    for (int r = 0; r < R; ++r) {
+      for (i64 k = 0; k < (i64)deck.poses.size(); ++k)
+        out.gradPoses[(std::size_t)k] += m.mem().atF(bufs[(std::size_t)r].dposes, k);
+      for (i64 k = 0; k < (i64)deck.lig.size(); ++k)
+        out.gradLig[(std::size_t)k] += m.mem().atF(bufs[(std::size_t)r].dlig, k);
+    }
   }
   out.stats = m.stats();
   return out;

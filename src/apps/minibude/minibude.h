@@ -24,14 +24,23 @@ namespace parad::apps::minibude {
 struct Config {
   enum class Par { Serial, Omp, JliteTasks };
   Par par = Par::Serial;
+  bool mp = false;        // pose-slice rank decomposition + gather to rank 0
   bool jliteMem = false;  // boxed arrays for the pose/energy fields
   int poses = 32;
   int ligAtoms = 8;
   int protAtoms = 24;
   int jlTasks = 8;
+  int mpRanks = 4;        // ranks when mp is set
+
+  int ranks() const { return mp ? mpRanks : 1; }
 };
 
 /// Module with function "bude(poses, lig, prot, energies, P, L, N)".
+/// With cfg.mp, the function is SPMD over cfg.mpRanks ranks: inputs are
+/// replicated, each rank computes the energies of its pose slice
+/// [rank*P/R, (rank+1)*P/R) and ships the slice to rank 0 with a
+/// nonblocking isend/wait (rank 0 posts the matching irecvs), so rank 0
+/// finishes with the complete energies array.
 ir::Module build(const Config& cfg);
 void prepare(ir::Module& mod, bool ompOpt = true);
 /// Gradient wrt poses and ligand coordinates (protein is constant).

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/analysis/fninfo.h"
+#include "src/core/plan.h"
 #include "src/ir/builder.h"
 #include "src/ir/verifier.h"
 
@@ -416,6 +417,9 @@ class FwdGen {
 FwdInfo generateForward(ir::Module& mod, const std::string& fnName,
                         const FwdConfig& cfg) {
   const ir::Function& fn = mod.get(fnName);
+  // Shadow messages reuse the primal tag plus a shift; primal tags must
+  // stay below the (reverse-mode) bound so either engine can run.
+  checkPrimalMpTags(fn);
   FwdGen gen(mod, fn, cfg);
   return gen.run();
 }

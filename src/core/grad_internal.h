@@ -28,8 +28,9 @@ using ir::Op;
 using ir::Type;
 using ir::Value;
 
-// Tag offset separating adjoint communication from primal communication.
-constexpr i64 kTagShift = i64(1) << 20;
+// Tag offset separating adjoint communication from primal communication
+// (canonically defined next to the plan stage that enforces it).
+constexpr i64 kTagShift = kAdjointTagShift;
 
 /// Runtime state of one planned cache array during emission. The decision
 /// (strategy, dims, element type) lives in the plan; only the materialized

@@ -20,6 +20,50 @@ using analysis::PtrClass;
 using ir::Op;
 using ir::Type;
 
+namespace {
+
+void collectIntConsts(const ir::Region& r,
+                      std::unordered_map<int, i64>& consts) {
+  for (const ir::Inst& in : r.insts) {
+    if (in.op == Op::ConstI && in.result >= 0) consts[in.result] = in.iconst;
+    for (const ir::Region& sub : in.regions) collectIntConsts(sub, consts);
+  }
+}
+
+void checkRegionMpTags(const ir::Region& r,
+                       const std::unordered_map<int, i64>& consts,
+                       const std::string& fnName) {
+  for (const ir::Inst& in : r.insts) {
+    switch (in.op) {
+      case Op::MpIsend:
+      case Op::MpIrecv:
+      case Op::MpSend:
+      case Op::MpRecv: {
+        auto it = consts.find(in.operands[3]);
+        if (it != consts.end() && it->second >= kAdjointTagShift)
+          fail("cannot differentiate ", fnName, ": primal mp tag ", it->second,
+               " on ", ir::traits(in.op).name,
+               " is >= the adjoint tag shift ", kAdjointTagShift,
+               " (2^20), so adjoint messages would collide with primal "
+               "traffic; renumber primal tags below the shift");
+        break;
+      }
+      default:
+        break;
+    }
+    for (const ir::Region& sub : in.regions)
+      checkRegionMpTags(sub, consts, fnName);
+  }
+}
+
+}  // namespace
+
+void checkPrimalMpTags(const ir::Function& fn) {
+  std::unordered_map<int, i64> consts;
+  collectIntConsts(fn.body, consts);
+  checkRegionMpTags(fn.body, consts, fn.name);
+}
+
 const char* accumKindName(AccumKind k) {
   switch (k) {
     case AccumKind::Serial: return "serial";
@@ -143,6 +187,9 @@ class Planner {
       : info_(info), p_(info.fn()), cfg_(cfg), remarks_(remarks) {}
 
   GradPlan run() {
+    // Primal tags must leave the adjoint tag space free (Fig. 5).
+    checkPrimalMpTags(p_);
+
     // Slot-mode SSA adjoints: varied f64 values used across regions.
     for (int v = 0; v < p_.numValues(); ++v)
       if (p_.typeOf(v) == Type::F64 && varied(v) &&

@@ -32,6 +32,19 @@ namespace parad::core {
 
 class RemarkStream;
 
+/// Tag offset separating adjoint communication from primal communication
+/// (Fig. 5): every shadow/adjoint message reuses the primal tag plus this
+/// shift. Primal programs must keep constant MPI tags below the shift, or
+/// adjoint traffic could match primal receives; checkPrimalMpTags rejects
+/// offenders at gradient-generation time (forward mode uses a disjoint
+/// shift of 2^21 but enforces the same bound so a program stays
+/// differentiable by every engine).
+constexpr i64 kAdjointTagShift = i64(1) << 20;
+
+/// Walks `fn` and fails with an actionable diagnostic if any message-passing
+/// instruction carries a compile-time-constant tag >= kAdjointTagShift.
+void checkPrimalMpTags(const ir::Function& fn);
+
 // ---------------------------------------------------------------------------
 // Accumulation plan (§VI-A1)
 // ---------------------------------------------------------------------------

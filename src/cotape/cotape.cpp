@@ -118,6 +118,10 @@ void TapeInterpreter::reverse(psim::RankEnv& env, psim::WorkerCtx& w) {
     // Handle communication records that occurred after statement pos-1.
     while (commIdx > 0 && commAt_[commIdx - 1] >= pos) {
       const CommRec& cr = comms_[--commIdx];
+      PARAD_CHECK(cr.tag < static_cast<int>(kTagShift),
+                  "cotape: primal mp tag ", cr.tag,
+                  " is >= the adjoint tag shift ", kTagShift,
+                  "; adjoint messages would collide with primal traffic");
       switch (cr.kind) {
         case CommKind::Isend: {
           // Receive the adjoints of the values we sent, accumulate.

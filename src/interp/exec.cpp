@@ -86,8 +86,10 @@ Executor::Flow Executor::execFork(const ExecProgram& p, const ExecInst& in,
   ThreadState* parent = rr.ts;
   parent->w.advance(c.forkBase + c.forkPerThread * n);
 
-  double dil = std::max(
-      1.0, static_cast<double>(n) * env.ranks / machine_.config().totalCores());
+  double dil =
+      std::max(1.0, static_cast<double>(n) * env.ranks /
+                        machine_.config().totalCores()) *
+      machine_.rankSlowdown(env.rank);
 
   // Thread contexts, pinned to modeled cores.
   std::vector<ThreadState> threads(static_cast<std::size_t>(n));
@@ -198,8 +200,10 @@ Executor::Flow Executor::execParallelFor(const ExecProgram& p,
   }
 
   parent->w.advance(c.forkBase + c.forkPerThread * n);
-  double dil = std::max(
-      1.0, static_cast<double>(n) * env.ranks / machine_.config().totalCores());
+  double dil =
+      std::max(1.0, static_cast<double>(n) * env.ranks /
+                        machine_.config().totalCores()) *
+      machine_.rankSlowdown(env.rank);
   machine_.removeWorkers(parent->w.socket, 1);
 
   i64 len = hi - lo;
@@ -778,6 +782,13 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
     }
   }
   rr.insts += nd + static_cast<std::uint64_t>(trailingConsts);
+  // Progress watchdog: every loop iteration funnels through a range exit, so
+  // checking at the flush bounds runaway (live-locked) rank programs without
+  // a per-instruction branch.
+  std::uint64_t wd = machine_.config().watchdogInsts;
+  if (wd != 0 && rr.insts > wd) machine_.failWatchdog(rr.env->rank, rr.insts);
+  double tb = machine_.config().watchdogVirtualNs;
+  if (tb > 0 && w.clock > tb) machine_.failWatchdogTime(rr.env->rank, w.clock);
   return Flow::Normal;
 }
 

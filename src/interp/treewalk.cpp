@@ -98,8 +98,10 @@ TreeWalker::Flow TreeWalker::execFork(const ir::Function& fn,
   ThreadState* parent = rr.ts;
   parent->w.advance(c.forkBase + c.forkPerThread * n);
 
-  double dil = std::max(
-      1.0, static_cast<double>(n) * env.ranks / machine_.config().totalCores());
+  double dil =
+      std::max(1.0, static_cast<double>(n) * env.ranks /
+                        machine_.config().totalCores()) *
+      machine_.rankSlowdown(env.rank);
 
   // Thread contexts, pinned to modeled cores.
   std::vector<ThreadState> threads(static_cast<std::size_t>(n));
@@ -199,8 +201,10 @@ TreeWalker::Flow TreeWalker::execParallelFor(const ir::Function& fn,
   }
 
   parent->w.advance(c.forkBase + c.forkPerThread * n);
-  double dil = std::max(
-      1.0, static_cast<double>(n) * env.ranks / machine_.config().totalCores());
+  double dil =
+      std::max(1.0, static_cast<double>(n) * env.ranks /
+                        machine_.config().totalCores()) *
+      machine_.rankSlowdown(env.rank);
   machine_.removeWorkers(parent->w.socket, 1);
 
   i64 len = hi - lo;
@@ -238,6 +242,13 @@ TreeWalker::Flow TreeWalker::execInst(const ir::Function& fn,
                                       const ir::Inst& in, Frame& f,
                                       RankRun& rr) {
   ++rr.insts;
+  {
+    std::uint64_t wd = machine_.config().watchdogInsts;
+    if (wd != 0 && rr.insts > wd) machine_.failWatchdog(rr.env->rank, rr.insts);
+    double tb = machine_.config().watchdogVirtualNs;
+    if (tb > 0 && rr.ts->w.clock > tb)
+      machine_.failWatchdogTime(rr.env->rank, rr.ts->w.clock);
+  }
   const psim::CostModel& c = machine_.config().cost;
   psim::MemoryManager& mem = machine_.mem();
   psim::WorkerCtx& w = rr.ts->w;

@@ -1,8 +1,20 @@
 #include "src/psim/fabric.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace parad::psim {
+
+namespace {
+const char* reduceName(ir::ReduceKind k) {
+  switch (k) {
+    case ir::ReduceKind::Sum: return "sum";
+    case ir::ReduceKind::Min: return "min";
+    case ir::ReduceKind::Max: return "max";
+  }
+  return "?";
+}
+}  // namespace
 
 ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
                     int dest, int tag) {
@@ -15,7 +27,33 @@ ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
   stats_.messages++;
   stats_.bytesSent += static_cast<std::uint64_t>(count) * 8u;
 
-  Message msg{rank, tag, std::vector<double>(data, data + count), w.clock};
+  // Fault injection: the surviving copy's availability time absorbs the
+  // whole retransmit/backoff schedule plus any jitter, so delivery remains
+  // exactly-once (values bit-exact) while timing degrades.
+  double avail = w.clock;
+  std::uint64_t seq = 0;
+  bool dup = false;
+  if (faultsOn()) {
+    seq = sendSeq_[{FlowKey{dest, tag}, rank}]++;
+    FaultPlan::SendFaults f = plan_->onSend(rank, dest, tag, seq);
+    if (f.retransmits > 0) {
+      stats_.retransmits += static_cast<std::uint64_t>(f.retransmits);
+      stats_.droppedMsgs += static_cast<std::uint64_t>(f.retransmits);
+      avail += plan_->config().rtoNs *
+               static_cast<double>((1ull << f.retransmits) - 1);
+    }
+    avail += f.extraDelayNs;
+    dup = f.duplicate;
+    stats_.faultsInjected += static_cast<std::uint64_t>(f.injected());
+  }
+
+  Message msg{rank, tag, std::vector<double>(data, data + count), avail, seq,
+              false};
+  Message ghost;  // duplicate copy, suppressed at the receiver by its seqno
+  if (dup) {
+    ghost = msg;
+    ghost.dup = true;
+  }
 
   // If the destination already posted a matching receive, deliver into it.
   auto& pend = pendingRecvs_[static_cast<std::size_t>(dest)];
@@ -25,6 +63,7 @@ ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
         (r.tag == tag || r.tag == -1)) {
       deliver(r, std::move(msg));
       pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(k));
+      if (dup) inbox_[static_cast<std::size_t>(dest)].push_back(std::move(ghost));
       Request sreq{Request::Kind::Send};
       sreq.complete = true;
       sreq.completeTime = w.clock;
@@ -33,6 +72,7 @@ ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
     }
   }
   inbox_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
+  if (dup) inbox_[static_cast<std::size_t>(dest)].push_back(std::move(ghost));
 
   Request sreq{Request::Kind::Send};
   sreq.complete = true;  // buffered send completes locally at post time
@@ -50,11 +90,27 @@ void Fabric::deliver(Request& r, Message&& msg) {
   r.complete = true;
   r.completeTime = std::max(r.postTime, msg.availTime) +
                    transferCost(msg.src, r.rank, r.count * 8);
+  if (faultsOn())
+    recvSeq_[static_cast<std::size_t>(r.rank)][FlowKey{msg.src, msg.tag}] =
+        msg.seq + 1;
 }
 
 ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
                     int tag) {
   PARAD_CHECK(src >= -1 && src < nranks_, "irecv: bad source rank ", src);
+  PARAD_CHECK(count >= 0, "irecv: negative count");
+  // Validate the destination buffer before any message is written into it,
+  // so a too-small receive fails at the post site with a useful message
+  // instead of mid-delivery.
+  {
+    const MemObject& o = mem_.get(dest);
+    PARAD_CHECK(o.elem == ir::Type::F64,
+                "irecv: destination must be an f64 buffer");
+    PARAD_CHECK(dest.off >= 0 && dest.off + count <= o.count,
+                "irecv: destination buffer too small: receiving ", count,
+                " elements at offset ", dest.off, " of an object with ",
+                o.count, " elements");
+  }
   w.advance(cfg_.cost.mpWaitCost * 0.5);
   Request r{Request::Kind::Recv};
   r.rank = rank;
@@ -65,13 +121,27 @@ ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
   r.postTime = w.clock;
 
   auto& box = inbox_[static_cast<std::size_t>(rank)];
-  for (auto it = box.begin(); it != box.end(); ++it) {
+  for (auto it = box.begin(); it != box.end();) {
     if ((it->src == src || src == -1) && (it->tag == tag || tag == -1)) {
+      if (it->dup) {
+        // Duplicate suppression: the original of this flow was already
+        // delivered (its seqno is below the flow's expected seqno), so the
+        // ghost copy is dropped without touching user memory.
+        auto& expected = recvSeq_[static_cast<std::size_t>(rank)];
+        auto ex = expected.find(FlowKey{it->src, it->tag});
+        PARAD_CHECK(ex != expected.end() && it->seq < ex->second,
+                    "duplicate message ahead of its original in flow (",
+                    it->src, " -> ", rank, ", tag ", it->tag, ")");
+        stats_.dupDeliveries++;
+        it = box.erase(it);
+        continue;
+      }
       deliver(r, std::move(*it));
       box.erase(it);
       reqs_.push_back(std::move(r));
       return static_cast<ReqId>(reqs_.size() - 1);
     }
+    ++it;
   }
   reqs_.push_back(std::move(r));
   ReqId id = static_cast<ReqId>(reqs_.size() - 1);
@@ -82,18 +152,42 @@ ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
 void Fabric::wait(int rank, WorkerCtx& w, ReqId id) {
   PARAD_CHECK(id >= 0 && static_cast<std::size_t>(id) < reqs_.size(),
               "wait on invalid request");
-  if (!reqs_[static_cast<std::size_t>(id)].complete)
+  if (reqs_[static_cast<std::size_t>(id)].consumed)
+    fail("wait: request ", id,
+         " has already been waited on; each request handle completes exactly "
+         "once (was a stale ReqId reused?)");
+  if (!reqs_[static_cast<std::size_t>(id)].complete) {
+    const Request& r0 = reqs_[static_cast<std::size_t>(id)];
+    BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
+    b.op = BlockInfo::Op::Wait;
+    b.peer = r0.kind == Request::Kind::Recv ? r0.src : -2;
+    b.tag = r0.tag;
+    b.req = id;
+    b.count = r0.count;
     sched_.blockUntil(rank, [this, id] {
       return reqs_[static_cast<std::size_t>(id)].complete;
     });
-  const Request& r = reqs_[static_cast<std::size_t>(id)];
+    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
+  }
+  Request& r = reqs_[static_cast<std::size_t>(id)];
+  r.consumed = true;
   w.clock = std::max(w.clock, r.completeTime);
   w.advance(cfg_.cost.mpWaitCost);
 }
 
 void Fabric::barrier(int rank, WorkerCtx& w) {
+  if (allred_.count > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " entered barrier while rank(s)";
+    for (int r = 0; r < nranks_; ++r)
+      if (allred_.present[static_cast<std::size_t>(r)]) os << " " << r;
+    os << " are inside allreduce(" << reduceName(allred_.kind) << ", count "
+       << allred_.elems << ")";
+    failCollective(os.str());
+  }
   std::uint64_t gen = barrier_.generation;
   barrier_.arrive[static_cast<std::size_t>(rank)] = w.clock;
+  barrier_.present[static_cast<std::size_t>(rank)] = 1;
   barrier_.count++;
   if (barrier_.count == nranks_) {
     double latest = *std::max_element(barrier_.arrive.begin(),
@@ -103,9 +197,12 @@ void Fabric::barrier(int rank, WorkerCtx& w) {
     barrier_.releaseTime =
         latest + cfg_.cost.allreducePerStage * (nranks_ > 1 ? stages : 0);
     barrier_.count = 0;
+    barrier_.present.assign(static_cast<std::size_t>(nranks_), 0);
     barrier_.generation++;
   } else {
+    blocked_[static_cast<std::size_t>(rank)].op = BlockInfo::Op::Barrier;
     sched_.blockUntil(rank, [this, gen] { return barrier_.generation != gen; });
+    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
   }
   w.clock = std::max(w.clock, barrier_.releaseTime);
 }
@@ -113,37 +210,34 @@ void Fabric::barrier(int rank, WorkerCtx& w) {
 void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
                        const double* sendbuf, RtPtr recvbuf, i64 count,
                        std::vector<i64>* winners) {
+  if (barrier_.count > 0) {
+    std::ostringstream os;
+    os << "rank " << rank << " entered allreduce(" << reduceName(kind)
+       << ", count " << count << ") while rank(s)";
+    for (int r = 0; r < nranks_; ++r)
+      if (barrier_.present[static_cast<std::size_t>(r)]) os << " " << r;
+    os << " are inside barrier";
+    failCollective(os.str());
+  }
   std::uint64_t gen = allred_.generation;
   if (allred_.count == 0) {
     allred_.kind = kind;
-    allred_.acc.assign(sendbuf, sendbuf + count);
-    allred_.winner.assign(static_cast<std::size_t>(count),
-                          static_cast<i64>(rank));
-  } else {
-    PARAD_CHECK(allred_.kind == kind &&
-                    static_cast<i64>(allred_.acc.size()) == count,
-                "mismatched allreduce call across ranks");
-    for (i64 k = 0; k < count; ++k) {
-      double v = sendbuf[k];
-      double& a = allred_.acc[static_cast<std::size_t>(k)];
-      switch (kind) {
-        case ir::ReduceKind::Sum: a += v; break;
-        case ir::ReduceKind::Min:
-          if (v < a) {
-            a = v;
-            allred_.winner[static_cast<std::size_t>(k)] = rank;
-          }
-          break;
-        case ir::ReduceKind::Max:
-          if (v > a) {
-            a = v;
-            allred_.winner[static_cast<std::size_t>(k)] = rank;
-          }
-          break;
-      }
-    }
+    allred_.elems = count;
+  } else if (allred_.kind != kind || allred_.elems != count) {
+    std::ostringstream os;
+    os << "rank " << rank << " called allreduce(" << reduceName(kind)
+       << ", count " << count << ") but rank(s)";
+    for (int r = 0; r < nranks_; ++r)
+      if (allred_.present[static_cast<std::size_t>(r)]) os << " " << r;
+    os << " are inside allreduce(" << reduceName(allred_.kind) << ", count "
+       << allred_.elems << ")";
+    failCollective(os.str());
   }
+  allred_.contrib[static_cast<std::size_t>(rank)].assign(sendbuf,
+                                                         sendbuf + count);
+  allred_.order.push_back(rank);
   allred_.arrive[static_cast<std::size_t>(rank)] = w.clock;
+  allred_.present[static_cast<std::size_t>(rank)] = 1;
   allred_.count++;
   stats_.messages++;
   stats_.bytesSent += static_cast<std::uint64_t>(count) * 8u;
@@ -158,17 +252,112 @@ void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
                   cfg_.cost.mpBetaPerByte * static_cast<double>(count) * 8.0) *
                      std::max(stages, 1);
     allred_.count = 0;
+    allred_.present.assign(static_cast<std::size_t>(nranks_), 0);
     allred_.generation++;
-    allred_.result = allred_.acc;
-    allred_.resultWinner = allred_.winner;
+    // Reduce the buffered contributions. Under an active fault plan the
+    // order is canonical rank order — a pure function of the contributed
+    // values, independent of the fault-perturbed arrival times, with Min/Max
+    // ties to the lowest rank. Without faults the reduction follows arrival
+    // order (first arrival wins ties), matching the pre-fault-layer machine
+    // bit for bit.
+    std::vector<int> order;
+    if (faultsOn()) {
+      order.resize(static_cast<std::size_t>(nranks_));
+      for (int r = 0; r < nranks_; ++r) order[static_cast<std::size_t>(r)] = r;
+    } else {
+      order = allred_.order;
+    }
+    allred_.order.clear();
+    int r0 = order[0];
+    allred_.result = allred_.contrib[static_cast<std::size_t>(r0)];
+    allred_.resultWinner.assign(static_cast<std::size_t>(count),
+                                static_cast<i64>(r0));
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      int r = order[i];
+      const std::vector<double>& c =
+          allred_.contrib[static_cast<std::size_t>(r)];
+      for (i64 k = 0; k < count; ++k) {
+        double v = c[static_cast<std::size_t>(k)];
+        double& a = allred_.result[static_cast<std::size_t>(k)];
+        switch (kind) {
+          case ir::ReduceKind::Sum: a += v; break;
+          case ir::ReduceKind::Min:
+            if (v < a) {
+              a = v;
+              allred_.resultWinner[static_cast<std::size_t>(k)] = r;
+            }
+            break;
+          case ir::ReduceKind::Max:
+            if (v > a) {
+              a = v;
+              allred_.resultWinner[static_cast<std::size_t>(k)] = r;
+            }
+            break;
+        }
+      }
+    }
   } else {
+    BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
+    b.op = BlockInfo::Op::Allreduce;
+    b.count = count;
+    b.reduce = kind;
     sched_.blockUntil(rank, [this, gen] { return allred_.generation != gen; });
+    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
   }
   for (i64 k = 0; k < count; ++k)
     mem_.atF(recvbuf, k) = allred_.result[static_cast<std::size_t>(k)];
   if (winners) *winners = allred_.resultWinner;
   w.clock = std::max(w.clock, allred_.releaseTime);
   w.advance(cfg_.cost.mpWaitCost);
+}
+
+void Fabric::describeRank(int rank, RankSnapshot& snap) const {
+  const BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
+  snap.inboxDepth = inbox_[static_cast<std::size_t>(rank)].size();
+  switch (b.op) {
+    case BlockInfo::Op::None:
+      snap.op = "running";
+      break;
+    case BlockInfo::Op::Wait: {
+      snap.op = "wait";
+      std::ostringstream os;
+      os << "recv from "
+         << (b.peer == -1 ? std::string("any") : std::to_string(b.peer))
+         << " tag " << (b.tag == -1 ? std::string("any") : std::to_string(b.tag))
+         << " count " << b.count;
+      snap.detail = os.str();
+      snap.peer = b.peer;
+      snap.tag = b.tag;
+      snap.requestId = b.req;
+      break;
+    }
+    case BlockInfo::Op::Barrier:
+      snap.op = "barrier";
+      break;
+    case BlockInfo::Op::Allreduce: {
+      snap.op = "allreduce";
+      std::ostringstream os;
+      os << reduceName(b.reduce) << " count " << b.count;
+      snap.detail = os.str();
+      break;
+    }
+  }
+}
+
+void Fabric::failCollective(std::string detail) {
+  if (failureBuilder_)
+    throw VmError(
+        failureBuilder_(FailureReport::Kind::CollectiveMismatch, detail));
+  FailureReport rep;
+  rep.kind = FailureReport::Kind::CollectiveMismatch;
+  rep.detail = std::move(detail);
+  for (int r = 0; r < nranks_; ++r) {
+    RankSnapshot s;
+    s.rank = r;
+    describeRank(r, s);
+    rep.ranks.push_back(std::move(s));
+  }
+  throw VmError(std::move(rep));
 }
 
 }  // namespace parad::psim

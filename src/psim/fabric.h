@@ -6,14 +6,26 @@
 // so the AD engine can route adjoints, cf. DESIGN.md), and Barrier.
 // Matching is FIFO per (destination, source, tag). Transfer times follow a
 // Hockney alpha-beta model with a larger alpha across the socket boundary.
+//
+// Under an active FaultPlan the fabric is self-healing: lost copies are
+// retransmitted with exponential backoff (modeled analytically — the
+// surviving copy's availability time absorbs the whole retry schedule, so
+// delivery stays exactly-once and values bit-exact), duplicates carry
+// per-flow sequence numbers and are suppressed at match time, and jitter
+// only shifts availability times. See DESIGN.md §10.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ir/inst.h"
+#include "src/psim/failure.h"
+#include "src/psim/faults.h"
 #include "src/psim/machine.h"
 #include "src/psim/memory.h"
 #include "src/psim/sched.h"
@@ -32,11 +44,25 @@ class Fabric {
         barrier_{}, allred_{} {
     inbox_.resize(static_cast<std::size_t>(nranks));
     pendingRecvs_.resize(static_cast<std::size_t>(nranks));
+    recvSeq_.resize(static_cast<std::size_t>(nranks));
+    blocked_.resize(static_cast<std::size_t>(nranks));
     barrier_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
+    barrier_.present.assign(static_cast<std::size_t>(nranks), 0);
     allred_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
+    allred_.present.assign(static_cast<std::size_t>(nranks), 0);
+    allred_.contrib.resize(static_cast<std::size_t>(nranks));
   }
 
   int ranks() const { return nranks_; }
+
+  /// Installs the fault oracle (nullptr disables injection).
+  void setFaultPlan(const FaultPlan* plan) { plan_ = plan; }
+  /// Installs the report factory used for collective-mismatch failures, so
+  /// thrown VmErrors carry machine-wide per-rank snapshots.
+  void setFailureBuilder(
+      std::function<FailureReport(FailureReport::Kind, std::string)> b) {
+    failureBuilder_ = std::move(b);
+  }
 
   /// Nonblocking send: the payload is captured immediately (buffered send).
   ReqId isend(int rank, WorkerCtx& w, const double* data, i64 count, int dest,
@@ -44,6 +70,7 @@ class Fabric {
   /// Nonblocking receive into interpreter memory `dest` (count elements).
   ReqId irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src, int tag);
   /// Completes a request, advancing the worker clock to the completion time.
+  /// Each request handle may be waited on exactly once.
   void wait(int rank, WorkerCtx& w, ReqId id);
 
   void send(int rank, WorkerCtx& w, const double* data, i64 count, int dest,
@@ -56,30 +83,49 @@ class Fabric {
 
   void barrier(int rank, WorkerCtx& w);
 
-  /// Allreduce over `count` elements. If `winners` is non-null and the kind
-  /// is Min/Max, it receives the winning rank per element (lowest rank wins
-  /// ties), which the AD engine caches to route min/max adjoints.
+  /// Allreduce over `count` elements. Contributions are buffered per rank
+  /// and reduced in rank order once the last rank arrives, so the result is
+  /// independent of the (fault-perturbed) arrival order and ties in Min/Max
+  /// genuinely go to the lowest rank. If `winners` is non-null and the kind
+  /// is Min/Max, it receives the winning rank per element, which the AD
+  /// engine caches to route min/max adjoints.
   void allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
                  const double* sendbuf, RtPtr recvbuf, i64 count,
                  std::vector<i64>* winners = nullptr);
+
+  /// Fills the message-passing fields of a failure snapshot for `rank`
+  /// (blocked op kind, peer, tag, request id, inbox depth).
+  void describeRank(int rank, RankSnapshot& snap) const;
 
  private:
   struct Message {
     int src, tag;
     std::vector<double> data;
-    double availTime;  // post time at the sender
+    double availTime;  // post time at the sender (plus modeled fault delays)
+    std::uint64_t seq = 0;  // per-(src,dst,tag) flow sequence number
+    bool dup = false;       // ghost duplicate injected by the fault plan
   };
   struct Request {
     enum class Kind { Send, Recv };
     explicit Request(Kind k) : kind(k) {}
     Kind kind;
     bool complete = false;
+    bool consumed = false;  // a wait() already returned this request
     double completeTime = 0;
     // For pending receives:
     int rank = 0, src = 0, tag = 0;
     RtPtr dest;
     i64 count = 0;
     double postTime = 0;
+  };
+
+  /// What a rank is blocked on, for failure snapshots.
+  struct BlockInfo {
+    enum class Op { None, Wait, Barrier, Allreduce } op = Op::None;
+    int peer = -2, tag = -2;
+    ReqId req = -1;
+    i64 count = 0;
+    ir::ReduceKind reduce = ir::ReduceKind::Sum;
   };
 
   double transferCost(int src, int dst, i64 bytes) const {
@@ -89,7 +135,10 @@ class Fabric {
     return alpha + cfg_.cost.mpBetaPerByte * static_cast<double>(bytes);
   }
 
+  bool faultsOn() const { return plan_ && plan_->enabled(); }
+
   void deliver(Request& r, Message&& msg);
+  [[noreturn]] void failCollective(std::string detail);
 
   int nranks_;
   const MachineConfig& cfg_;
@@ -97,13 +146,23 @@ class Fabric {
   RunStats& stats_;
   CoopScheduler& sched_;
   std::function<int(int)> socketOfRank_;
+  const FaultPlan* plan_ = nullptr;
+  std::function<FailureReport(FailureReport::Kind, std::string)>
+      failureBuilder_;
 
   std::vector<std::deque<Message>> inbox_;          // per destination rank
   std::vector<std::vector<ReqId>> pendingRecvs_;    // per destination rank
   std::vector<Request> reqs_;
+  std::vector<BlockInfo> blocked_;  // per rank, set while inside blockUntil
+
+  // Per-flow sequence bookkeeping (touched only when a fault plan is on).
+  using FlowKey = std::pair<int, int>;  // (peer rank, tag)
+  std::map<std::pair<FlowKey, int>, std::uint64_t> sendSeq_;  // +dest rank
+  std::vector<std::map<FlowKey, std::uint64_t>> recvSeq_;     // (src,tag)
 
   struct Rendezvous {
     std::vector<double> arrive;
+    std::vector<char> present;  // which ranks are inside the collective
     int count = 0;
     std::uint64_t generation = 0;
     double releaseTime = 0;
@@ -112,8 +171,13 @@ class Fabric {
 
   struct AllredState : Rendezvous {
     ir::ReduceKind kind = ir::ReduceKind::Sum;
-    std::vector<double> acc;
-    std::vector<i64> winner;
+    i64 elems = 0;
+    // Per-rank contributions, reduced when the last one arrives — in arrival
+    // order normally (FP order and Min/Max tie-breaks match the machine
+    // without a fault layer), in canonical rank order under an active fault
+    // plan (the order must not depend on fault-perturbed arrival times).
+    std::vector<std::vector<double>> contrib;
+    std::vector<int> order;  // ranks in arrival sequence this generation
     // Snapshot written when the last rank arrives. Stable until every rank
     // has consumed it (the next allreduce cannot complete before then).
     std::vector<double> result;

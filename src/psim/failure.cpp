@@ -1,0 +1,21 @@
+#include "src/psim/failure.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace parad::psim {
+
+std::string FailureReport::render() const {
+  std::ostringstream os;
+  os << "virtual machine " << kindName() << ": " << detail;
+  for (const RankSnapshot& r : ranks) {
+    os << "\n  rank " << r.rank << " @ " << std::fixed << std::setprecision(1)
+       << r.clock << "ns: " << r.op;
+    if (!r.detail.empty()) os << " (" << r.detail << ")";
+    if (r.requestId >= 0) os << " req=" << r.requestId;
+    os << ", inbox depth " << r.inboxDepth;
+  }
+  return os.str();
+}
+
+}  // namespace parad::psim

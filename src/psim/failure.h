@@ -1,0 +1,61 @@
+// Structured failure diagnostics for the virtual machine.
+//
+// When a run cannot make progress — a message-passing deadlock, a watchdog
+// trip, or mismatched collectives — the machine captures a per-rank snapshot
+// (blocked operation, peer, tag, request id, inbox depth, virtual clock) and
+// throws a VmError carrying the full FailureReport. The rendered message is
+// the human-readable form; callers that want to inspect the failure
+// programmatically catch VmError and read report().
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/common.h"
+
+namespace parad::psim {
+
+/// What one rank was doing when the run failed.
+struct RankSnapshot {
+  int rank = 0;
+  double clock = 0;        // virtual ns at capture
+  std::string op;          // "running", "wait", "barrier", "allreduce", "done"
+  std::string detail;      // e.g. "recv from 1 tag 7" (empty when not blocked)
+  int peer = -2;           // blocked-on peer rank; -1 = wildcard, -2 = n/a
+  int tag = -2;            // blocked-on tag; -1 = wildcard, -2 = n/a
+  int requestId = -1;      // blocked-on request handle, or -1
+  std::size_t inboxDepth = 0;  // unmatched messages queued at this rank
+};
+
+struct FailureReport {
+  enum class Kind { Deadlock, Watchdog, CollectiveMismatch };
+  Kind kind = Kind::Deadlock;
+  std::string detail;  // headline, e.g. "all 4 ranks blocked"
+  std::vector<RankSnapshot> ranks;
+
+  const char* kindName() const {
+    switch (kind) {
+      case Kind::Deadlock: return "deadlock";
+      case Kind::Watchdog: return "watchdog";
+      case Kind::CollectiveMismatch: return "collective mismatch";
+    }
+    return "?";
+  }
+  /// Multi-line human-readable rendering (becomes the VmError message).
+  std::string render() const;
+};
+
+/// Error thrown for machine-level failures; carries the structured report in
+/// addition to the rendered message, and derives from parad::Error so
+/// existing catch sites keep working.
+class VmError : public Error {
+ public:
+  explicit VmError(FailureReport r) : Error(r.render()), report_(std::move(r)) {}
+  const FailureReport& report() const { return report_; }
+
+ private:
+  FailureReport report_;
+};
+
+}  // namespace parad::psim

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/psim/faults.h"
 #include "src/support/common.h"
 
 namespace parad::psim {
@@ -68,6 +69,14 @@ struct MachineConfig {
   /// Virtual task workers per rank for spawn/sync scheduling; 0 means one
   /// worker per thread of the rank (the launch's threadsPerRank).
   int taskWorkers = 0;
+  /// Deterministic fault injection (see faults.h). Disabled by default; the
+  /// `PARAD_FAULTS` environment spec is consulted per run when this is off.
+  FaultConfig faults;
+  /// Watchdog bounds converting livelocks into structured VmErrors instead
+  /// of hangs; 0 disables. `watchdogVirtualNs` bounds any rank's virtual
+  /// clock; `watchdogInsts` bounds instructions dispatched per rank per run.
+  double watchdogVirtualNs = 0;
+  std::uint64_t watchdogInsts = 0;
 
   int totalCores() const { return sockets * coresPerSocket; }
   int socketOfCore(int core) const {
@@ -122,6 +131,11 @@ struct RunStats {
   std::uint64_t cacheBytes = 0;   // bytes allocated by the AD cache planner
   std::uint64_t tapeBytes = 0;    // bytes recorded by the cotape baseline
   std::uint64_t peakLiveBytes = 0;
+  // Fault-injection bookkeeping (all zero when no FaultPlan is active).
+  std::uint64_t retransmits = 0;    // message copies re-sent after a loss
+  std::uint64_t droppedMsgs = 0;    // message copies lost in flight
+  std::uint64_t dupDeliveries = 0;  // duplicate copies suppressed by seqnos
+  std::uint64_t faultsInjected = 0; // total fault events fired by the plan
   // Static decision counts from the AD plan stage (core::PlanCounts), filled
   // by the bench harnesses so ablations can report *which* decisions flipped
   // alongside the dynamic costs above. Zero when no gradient was generated.

@@ -21,6 +21,28 @@ struct CoopScheduler::Impl {
   std::vector<std::function<bool()>> pred;
   std::vector<std::exception_ptr> err;
   std::function<double(int)> clockOf;
+  FailureBuilder failureBuilder;
+  double virtualNsBound = 0;
+
+  std::exception_ptr buildFailure(FailureReport::Kind kind, int rank) {
+    if (failureBuilder) return failureBuilder(kind, rank);
+    FailureReport rep;
+    rep.kind = kind;
+    rep.detail = kind == FailureReport::Kind::Watchdog
+                     ? "virtual-time bound exceeded"
+                     : "all ranks blocked";
+    return std::make_exception_ptr(VmError(std::move(rep)));
+  }
+
+  // Marks the run failed and hands every live rank a structured error; the
+  // blocked ranks wake in blockUntil and rethrow it.
+  void failAll(FailureReport::Kind kind) {
+    failed = true;
+    current = -1;
+    for (std::size_t r = 0; r < err.size(); ++r)
+      if (!err[r] && state[r] != State::Done)
+        err[r] = buildFailure(kind, static_cast<int>(r));
+  }
 
   // Picks the next rank to run; called with the lock held while no rank runs.
   void pickNext() {
@@ -39,17 +61,19 @@ struct CoopScheduler::Impl {
       }
     }
     if (current >= 0) {
+      // Virtual-time watchdog: a livelock (e.g. runaway retransmits) keeps
+      // ranks runnable forever while their clocks climb; bound the makespan.
+      if (virtualNsBound > 0 && best > virtualNsBound) {
+        failAll(FailureReport::Kind::Watchdog);
+        return;
+      }
       state[static_cast<std::size_t>(current)] = State::Running;
       return;
     }
     // No runnable rank: either everyone is done, or we deadlocked.
     for (State s : state)
       if (s != State::Done) {
-        failed = true;
-        for (std::size_t r = 0; r < err.size(); ++r)
-          if (!err[r] && state[r] == State::Blocked)
-            err[r] = std::make_exception_ptr(
-                Error("message-passing deadlock: all ranks blocked"));
+        failAll(FailureReport::Kind::Deadlock);
         break;
       }
   }
@@ -64,6 +88,8 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
   impl.pred.resize(static_cast<std::size_t>(nranks));
   impl.err.resize(static_cast<std::size_t>(nranks));
   impl.clockOf = clockOf;
+  impl.failureBuilder = failureBuilder_;
+  impl.virtualNsBound = virtualNsBound_;
 
   {
     std::lock_guard<std::mutex> lk(impl.m);
@@ -98,8 +124,25 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
   }
   for (auto& t : threads) t.join();
   impl_ = nullptr;
-  for (auto& e : impl.err)
-    if (e) std::rethrow_exception(e);
+  // Rethrow the most informative error: a rank that failed for a concrete
+  // reason (an app error, a watchdog trip, a collective mismatch) beats the
+  // consequent deadlock reports of the ranks it stranded.
+  std::exception_ptr first, preferred;
+  for (const auto& e : impl.err) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!preferred) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const VmError& v) {
+        if (v.report().kind != FailureReport::Kind::Deadlock) preferred = e;
+      } catch (...) {
+        preferred = e;
+      }
+    }
+  }
+  if (preferred) std::rethrow_exception(preferred);
+  if (first) std::rethrow_exception(first);
 }
 
 void CoopScheduler::blockUntil(int rank, const std::function<bool()>& pred) {
@@ -115,8 +158,10 @@ void CoopScheduler::blockUntil(int rank, const std::function<bool()>& pred) {
   impl.pred[static_cast<std::size_t>(rank)] = nullptr;
   if (impl.failed && impl.current != rank) {
     impl.state[static_cast<std::size_t>(rank)] = Impl::State::Done;
+    std::exception_ptr e = impl.err[static_cast<std::size_t>(rank)];
+    if (!e) e = impl.buildFailure(FailureReport::Kind::Deadlock, rank);
     impl.cv.notify_all();
-    throw Error("message-passing deadlock: all ranks blocked");
+    std::rethrow_exception(e);
   }
 }
 

@@ -5,16 +5,33 @@
 // condition. The scheduler always resumes the runnable rank with the
 // smallest virtual clock, so simulated executions are deterministic and
 // message completion times are exact (a receive can only complete once the
-// matching send has been posted). Deadlocks (all ranks blocked) are detected
-// and reported rather than hanging.
+// matching send has been posted). Deadlocks (all ranks blocked) and
+// virtual-time watchdog trips are detected and reported as structured
+// VmErrors (see failure.h) rather than hanging.
 #pragma once
 
+#include <exception>
 #include <functional>
+
+#include "src/psim/failure.h"
 
 namespace parad::psim {
 
 class CoopScheduler {
  public:
+  /// Builds the exception a failing rank should observe; installed by the
+  /// Machine so reports carry per-rank fabric snapshots. `rank` is the rank
+  /// the exception is delivered to.
+  using FailureBuilder =
+      std::function<std::exception_ptr(FailureReport::Kind kind, int rank)>;
+
+  /// Installs the failure builder and the virtual-time watchdog bound
+  /// (0 disables the bound) for subsequent run() calls.
+  void setFailureHandler(FailureBuilder builder, double virtualNsBound) {
+    failureBuilder_ = std::move(builder);
+    virtualNsBound_ = virtualNsBound;
+  }
+
   /// Runs fn(rank) for ranks 0..nranks-1 cooperatively to completion.
   /// `clockOf(rank)` must return the rank's current virtual clock; it is only
   /// called while that rank is quiescent.
@@ -29,6 +46,8 @@ class CoopScheduler {
  private:
   struct Impl;
   Impl* impl_ = nullptr;
+  FailureBuilder failureBuilder_;
+  double virtualNsBound_ = 0;
 };
 
 }  // namespace parad::psim

@@ -1,6 +1,9 @@
 #include "src/psim/sim.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 namespace parad::psim {
 
@@ -10,8 +13,19 @@ double Machine::run(const Launch& launch,
               "bad launch configuration");
   launch_ = launch;
   resetMemCharges();  // pick up config edits made since the last run
+
+  // Resolve the fault plan for this run: an explicitly enabled config wins;
+  // otherwise the PARAD_FAULTS environment spec (if any) applies.
+  FaultConfig fc = cfg_.faults;
+  if (!fc.enabled) {
+    if (const char* env = std::getenv("PARAD_FAULTS")) fc = parseFaultSpec(env);
+  }
+  faultPlan_ = FaultPlan(fc);
+  allocSeq_ = 0;
+
   std::vector<RankEnv> envs(static_cast<std::size_t>(launch.ranks));
   envs_ = &envs;
+  rankDone_.assign(static_cast<std::size_t>(launch.ranks), 0);
   for (int r = 0; r < launch.ranks; ++r) {
     RankEnv& e = envs[static_cast<std::size_t>(r)];
     e.machine = this;
@@ -22,25 +36,95 @@ double Machine::run(const Launch& launch,
     e.main.core = coreOfRankThread(r, 0);
     e.main.socket = socketOfCore(e.main.core);
     e.main.dilation = dilation();
+    if (faultPlan_.enabled()) {
+      double s = faultPlan_.slowdown(r);
+      if (s > 1.0) {
+        e.main.dilation *= s;
+        stats_.faultsInjected++;  // one straggler event per dilated rank
+      }
+    }
     addWorkers(e.main.socket, 1);
   }
   fabric_ = std::make_unique<Fabric>(
       launch.ranks, cfg_, mem_, stats_, sched_,
       [this](int r) { return socketOfRank(r); });
+  fabric_->setFaultPlan(&faultPlan_);
+  fabric_->setFailureBuilder(
+      [this](FailureReport::Kind kind, std::string detail) {
+        return buildFailureReport(kind, std::move(detail));
+      });
+  sched_.setFailureHandler(
+      [this](FailureReport::Kind kind, int rank) {
+        std::ostringstream os;
+        if (kind == FailureReport::Kind::Watchdog)
+          os << "virtual-time bound of " << cfg_.watchdogVirtualNs
+             << "ns exceeded (observed from rank " << rank << ")";
+        else
+          os << "message-passing deadlock: no rank can make progress";
+        return std::make_exception_ptr(
+            VmError(buildFailureReport(kind, os.str())));
+      },
+      cfg_.watchdogVirtualNs);
+
+  // Tear down run-scoped state even when a rank throws, so a failed run
+  // leaves the machine reusable (worker counts balanced, no dangling envs).
+  struct Cleanup {
+    Machine* m;
+    std::vector<RankEnv>* envs;
+    ~Cleanup() {
+      for (const RankEnv& e : *envs) m->removeWorkers(e.main.socket, 1);
+      m->fabric_.reset();
+      m->envs_ = nullptr;
+    }
+  } cleanup{this, &envs};
 
   sched_.run(
       launch.ranks,
-      [&](int r) { fn(envs[static_cast<std::size_t>(r)]); },
+      [&](int r) {
+        fn(envs[static_cast<std::size_t>(r)]);
+        rankDone_[static_cast<std::size_t>(r)] = 1;
+      },
       [&](int r) { return envs[static_cast<std::size_t>(r)].main.clock; });
 
   double makespan = 0;
-  for (const RankEnv& e : envs) {
-    makespan = std::max(makespan, e.main.clock);
-    removeWorkers(e.main.socket, 1);
-  }
-  fabric_.reset();
-  envs_ = nullptr;
+  for (const RankEnv& e : envs) makespan = std::max(makespan, e.main.clock);
   return makespan;
+}
+
+FailureReport Machine::buildFailureReport(FailureReport::Kind kind,
+                                          std::string detail) {
+  FailureReport rep;
+  rep.kind = kind;
+  rep.detail = std::move(detail);
+  if (!envs_) return rep;
+  for (const RankEnv& e : *envs_) {
+    RankSnapshot s;
+    s.rank = e.rank;
+    s.clock = e.main.clock;
+    if (fabric_) fabric_->describeRank(e.rank, s);
+    if (rankDone_[static_cast<std::size_t>(e.rank)])
+      s.op = "done";  // keep the inbox depth: unclaimed messages are a clue
+    else if (!fabric_)
+      s.op = "running";
+    rep.ranks.push_back(std::move(s));
+  }
+  return rep;
+}
+
+void Machine::failWatchdog(int rank, std::uint64_t insts) {
+  std::ostringstream os;
+  os << "rank " << rank << " dispatched " << insts
+     << " IR instructions, exceeding the watchdogInsts bound of "
+     << cfg_.watchdogInsts;
+  throw VmError(buildFailureReport(FailureReport::Kind::Watchdog, os.str()));
+}
+
+void Machine::failWatchdogTime(int rank, double clock) {
+  std::ostringstream os;
+  os << "rank " << rank << " reached virtual time " << clock
+     << "ns, exceeding the virtual-time bound of " << cfg_.watchdogVirtualNs
+     << "ns";
+  throw VmError(buildFailureReport(FailureReport::Kind::Watchdog, os.str()));
 }
 
 }  // namespace parad::psim

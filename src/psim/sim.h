@@ -8,9 +8,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/psim/fabric.h"
+#include "src/psim/failure.h"
+#include "src/psim/faults.h"
 #include "src/psim/machine.h"
 #include "src/psim/memory.h"
 #include "src/psim/sched.h"
@@ -52,6 +55,23 @@ class Machine {
   /// Runs fn over all ranks on the cooperative scheduler; returns the
   /// maximum finishing virtual clock over ranks (the program's makespan).
   double run(const Launch& launch, const std::function<void(RankEnv&)>& fn);
+
+  // ---- fault injection & failure diagnostics ----
+  /// The fault oracle of the current run (inert when faults are disabled).
+  const FaultPlan& faultPlan() const { return faultPlan_; }
+  /// Extra clock dilation of `rank` under the active fault plan (1.0 when
+  /// the rank is not a straggler or faults are off).
+  double rankSlowdown(int rank) const { return faultPlan_.slowdown(rank); }
+  /// Captures a machine-wide per-rank failure snapshot (clocks, blocked
+  /// message-passing operations, inbox depths). Valid during a run.
+  FailureReport buildFailureReport(FailureReport::Kind kind,
+                                   std::string detail);
+  /// Trips the per-rank dispatched-instruction watchdog: throws a VmError
+  /// whose report snapshots every rank. Called by the execution engines.
+  [[noreturn]] void failWatchdog(int rank, std::uint64_t insts);
+  /// Same, for the virtual-time bound: catches a rank that keeps computing
+  /// past the bound without ever yielding to the scheduler.
+  [[noreturn]] void failWatchdogTime(int rank, double clock);
 
   // ---- placement ----
   int coreOfRankThread(int rank, int tid) const {
@@ -128,6 +148,12 @@ class Machine {
     w.advance(cfg_.cost.atomicCost);
   }
   void chargeAlloc(WorkerCtx& w, i64 bytes) {
+    if (faultPlan_.enabled() && faultPlan_.allocFails(allocSeq_++)) {
+      // Transient allocation failure: the runtime retries after a backoff,
+      // so only virtual time is lost (the failed attempt plus the wait).
+      stats_.faultsInjected++;
+      w.advance(cfg_.cost.allocBase + faultPlan_.config().rtoNs);
+    }
     w.advance(cfg_.cost.allocBase +
               cfg_.cost.allocPerKb * static_cast<double>(bytes) / 1024.0);
   }
@@ -160,6 +186,9 @@ class Machine {
   std::vector<MemCharge> memCharge_;
   Launch launch_{};
   std::vector<RankEnv>* envs_ = nullptr;
+  FaultPlan faultPlan_;
+  std::uint64_t allocSeq_ = 0;     // per-run allocation index for the plan
+  std::vector<char> rankDone_;     // ranks whose fn returned normally
 };
 
 }  // namespace parad::psim

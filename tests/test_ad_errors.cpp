@@ -121,6 +121,58 @@ TEST(AdErrors, DifferentiableLoopLocalBoxedArrayIsRejected) {
   EXPECT_NE(msg.find("boxed-array"), std::string::npos) << msg;
 }
 
+TEST(AdErrors, PrimalMpTagAboveAdjointShiftIsRejected) {
+  // Adjoint messages reuse the primal (src, dst) pair with tag + 2^20; a
+  // primal tag at or above the shift would collide with adjoint traffic.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64});
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto tag = b.constI(i64(1) << 20);
+  b.emitIf(
+      b.ieq(b.mpRank(), b.constI(0)),
+      [&] {
+        auto req = b.mpIsend(x, n, b.constI(1), tag);
+        b.mpWait(req);
+      },
+      [&] {
+        auto req = b.mpIrecv(x, n, b.constI(0), tag);
+        b.mpWait(req);
+      });
+  b.ret();
+  b.finish();
+  core::GradConfig cfg;
+  cfg.activeArg = {true, false};
+  std::string msg = gradError(mod, "f", cfg);
+  EXPECT_NE(msg.find("adjoint tag shift"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("1048576"), std::string::npos) << msg;
+
+  // Forward mode shares the bound.
+  core::FwdConfig fcfg;
+  fcfg.activeArg = {true, false};
+  EXPECT_THROW(core::generateForward(mod, "f", fcfg), parad::Error);
+
+  // One below the shift is fine.
+  ir::Module ok;
+  ir::FunctionBuilder b2(ok, "f", {Type::PtrF64, Type::I64});
+  auto x2 = b2.param(0);
+  auto n2 = b2.param(1);
+  auto t2 = b2.constI((i64(1) << 20) - 1);
+  b2.emitIf(
+      b2.ieq(b2.mpRank(), b2.constI(0)),
+      [&] {
+        auto req = b2.mpIsend(x2, n2, b2.constI(1), t2);
+        b2.mpWait(req);
+      },
+      [&] {
+        auto req = b2.mpIrecv(x2, n2, b2.constI(0), t2);
+        b2.mpWait(req);
+      });
+  b2.ret();
+  b2.finish();
+  EXPECT_EQ(gradError(ok, "f", cfg), "");
+}
+
 TEST(AdErrors, GradientOfUnknownFunctionThrows) {
   ir::Module mod;
   core::GradConfig cfg;

@@ -98,6 +98,47 @@ TEST(MiniBude, GradientAgreesAcrossVariants) {
   }
 }
 
+TEST(MiniBude, MpMatchesSerialPrimal) {
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serial = build(base);
+  prepare(serial);
+  double ser = runPrimal(serial, base, 1).objective;
+
+  Config cfg = smallCfg(Config::Par::Omp);
+  cfg.mp = true;
+  cfg.mpRanks = 3;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  RunResult rr = runPrimal(mod, cfg, 4);
+  EXPECT_DOUBLE_EQ(rr.objective, ser);
+  EXPECT_GT(rr.stats.messages, 0u);
+}
+
+TEST(MiniBude, MpGradientMatchesSerial) {
+  Config base = smallCfg(Config::Par::Serial);
+  ir::Module serial = build(base);
+  prepare(serial);
+  core::GradInfo giS = buildGradient(serial);
+  RunResult gS = runGradient(serial, giS, base, 1);
+
+  Config cfg = smallCfg(Config::Par::Serial);
+  cfg.mp = true;
+  cfg.mpRanks = 4;
+  ir::Module mod = build(cfg);
+  prepare(mod);
+  core::GradInfo gi = buildGradient(mod);
+  RunResult g = runGradient(mod, gi, cfg, 2);
+  EXPECT_DOUBLE_EQ(g.objective, gS.objective);
+  ASSERT_EQ(g.gradPoses.size(), gS.gradPoses.size());
+  for (std::size_t k = 0; k < gS.gradPoses.size(); ++k)
+    EXPECT_NEAR(g.gradPoses[k], gS.gradPoses[k],
+                1e-9 * std::max(1.0, std::abs(gS.gradPoses[k])));
+  ASSERT_EQ(g.gradLig.size(), gS.gradLig.size());
+  for (std::size_t k = 0; k < gS.gradLig.size(); ++k)
+    EXPECT_NEAR(g.gradLig[k], gS.gradLig[k],
+                1e-9 * std::max(1.0, std::abs(gS.gradLig[k])));
+}
+
 TEST(MiniBude, HoistingEliminatesForcefieldCaches) {
   // §VIII: with load hoisting the engine "avoids having to cache any data at
   // all, electing instead to recompute temporaries". The forcefield loads

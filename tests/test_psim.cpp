@@ -190,3 +190,161 @@ TEST(Psim, FreedObjectTraps) {
   m.mem().free(p);
   EXPECT_THROW(m.mem().atF(p, 0), parad::Error);
 }
+
+TEST(Psim, DeadlockReportNamesBlockedOps) {
+  // The deadlock must surface as a VmError whose FailureReport says, per
+  // rank, what each one was blocked on.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "dl", {Type::PtrF64});
+  auto buf = b.param(0);
+  b.mpRecv(buf, b.constI(1), b.irem(b.iadd(b.mpRank(), b.constI(1)), b.mpSize()),
+           b.constI(9));
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  auto b0 = makeF64(m, {0});
+  auto b1 = makeF64(m, {0});
+  psim::RtPtr bufs[2] = {b0, b1};
+  try {
+    m.run({2, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("dl"), {interp::RtVal::P(bufs[env.rank])}, env);
+    });
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    const psim::FailureReport& fr = e.report();
+    EXPECT_EQ(fr.kind, psim::FailureReport::Kind::Deadlock);
+    ASSERT_EQ(fr.ranks.size(), 2u);
+    EXPECT_EQ(fr.ranks[0].rank, 0);
+    EXPECT_EQ(fr.ranks[0].op, "wait");
+    EXPECT_EQ(fr.ranks[0].peer, 1);
+    EXPECT_EQ(fr.ranks[0].tag, 9);
+    EXPECT_EQ(fr.ranks[1].peer, 0);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag 9"), std::string::npos) << msg;
+  }
+}
+
+TEST(Psim, BarrierVsAllreduceMismatchIsDiagnosed) {
+  // Rank 0 enters a barrier while rank 1 enters an allreduce: a collective
+  // mismatch, reported with both collectives named instead of a deadlock.
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "mm", {Type::PtrF64, Type::PtrF64});
+  auto s = b.param(0), r = b.param(1);
+  b.emitIf(
+      b.ieq(b.mpRank(), b.constI(0)), [&] { b.mpBarrier(); },
+      [&] { b.mpAllreduce(s, r, b.constI(1), ir::ReduceKind::Sum, {}); });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  psim::RtPtr sp[2] = {makeF64(m, {1}), makeF64(m, {2})};
+  psim::RtPtr rp[2] = {makeF64(m, {0}), makeF64(m, {0})};
+  try {
+    m.run({2, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("mm"),
+             {interp::RtVal::P(sp[env.rank]), interp::RtVal::P(rp[env.rank])},
+             env);
+    });
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::CollectiveMismatch);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("allreduce"), std::string::npos) << msg;
+  }
+}
+
+TEST(Psim, AllreduceCountMismatchIsDiagnosed) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "mm", {Type::PtrF64, Type::PtrF64});
+  auto s = b.param(0), r = b.param(1);
+  b.emitIf(
+      b.ieq(b.mpRank(), b.constI(0)),
+      [&] { b.mpAllreduce(s, r, b.constI(2), ir::ReduceKind::Sum, {}); },
+      [&] { b.mpAllreduce(s, r, b.constI(1), ir::ReduceKind::Sum, {}); });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  psim::RtPtr sp[2] = {makeF64(m, {1, 1}), makeF64(m, {2, 2})};
+  psim::RtPtr rp[2] = {makeF64(m, {0, 0}), makeF64(m, {0, 0})};
+  try {
+    m.run({2, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("mm"),
+             {interp::RtVal::P(sp[env.rank]), interp::RtVal::P(rp[env.rank])},
+             env);
+    });
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::CollectiveMismatch);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("count 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("count 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Psim, AllreduceKindMismatchIsDiagnosed) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "mm", {Type::PtrF64, Type::PtrF64});
+  auto s = b.param(0), r = b.param(1);
+  b.emitIf(
+      b.ieq(b.mpRank(), b.constI(0)),
+      [&] { b.mpAllreduce(s, r, b.constI(1), ir::ReduceKind::Sum, {}); },
+      [&] { b.mpAllreduce(s, r, b.constI(1), ir::ReduceKind::Max, {}); });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  psim::Machine m;
+  psim::RtPtr sp[2] = {makeF64(m, {1}), makeF64(m, {2})};
+  psim::RtPtr rp[2] = {makeF64(m, {0}), makeF64(m, {0})};
+  try {
+    m.run({2, 1}, [&](psim::RankEnv& env) {
+      interp::Interpreter it(mod, m);
+      it.run(mod.get("mm"),
+             {interp::RtVal::P(sp[env.rank]), interp::RtVal::P(rp[env.rank])},
+             env);
+    });
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("sum"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("max"), std::string::npos) << msg;
+  }
+}
+
+TEST(Psim, IrecvRejectsNegativeCountAndOverflow) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "bad", {Type::PtrF64, Type::I64});
+  auto buf = b.param(0);
+  auto req = b.mpIrecv(buf, b.param(1), b.constI(0), b.constI(0));
+  b.mpWait(req);
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  for (i64 count : {i64(-1), i64(99)}) {
+    psim::Machine m;
+    auto buf = makeF64(m, {0, 0, 0, 0});
+    try {
+      m.run({1, 1}, [&](psim::RankEnv& env) {
+        interp::Interpreter it(mod, m);
+        it.run(mod.get("bad"),
+               {interp::RtVal::P(buf), interp::RtVal::I(count)}, env);
+      });
+      FAIL() << "expected an Error for count " << count;
+    } catch (const parad::Error& e) {
+      std::string msg = e.what();
+      if (count < 0)
+        EXPECT_NE(msg.find("negative"), std::string::npos) << msg;
+      else
+        EXPECT_NE(msg.find("too small"), std::string::npos) << msg;
+    }
+  }
+}
