@@ -1,0 +1,162 @@
+// Micro-benchmark (google-benchmark): cost of coordinated checkpointing.
+//
+// Two claims back the checkpoint/restart design (DESIGN.md §11): with
+// `ckpt_interval=0` the boundary hook is never installed, so a
+// collective-heavy workload pays nothing for the subsystem existing; with
+// checkpointing on, the overhead is a per-capture virtual write cost that
+// amortizes with the interval (the sweep below), and a recovered rank crash
+// costs one rollback-and-replay while program values stay bit-exact.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/psim/faults.h"
+#include "src/psim/sim.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+// Ring shift with a barrier closing every round: each barrier is a quiescent
+// collective boundary, i.e. a checkpoint opportunity.
+ir::Module ringModule(i64 n, i64 rounds) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "ring", {Type::PtrF64, Type::PtrF64});
+  auto sendbuf = b.param(0), recvbuf = b.param(1);
+  auto rank = b.mpRank();
+  auto size = b.mpSize();
+  auto right = b.irem(b.iadd(rank, b.constI(1)), size);
+  auto left = b.irem(b.iadd(b.isub(rank, b.constI(1)), size), size);
+  auto nn = b.constI(n);
+  auto tag = b.constI(7);
+  b.emitFor(b.constI(0), b.constI(rounds), [&](Value) {
+    auto r0 = b.mpIrecv(recvbuf, nn, left, tag);
+    auto s0 = b.mpIsend(sendbuf, nn, right, tag);
+    b.mpWait(r0);
+    b.mpWait(s0);
+    b.mpBarrier();
+  });
+  b.ret();
+  b.finish();
+  return mod;
+}
+
+constexpr int kRanks = 8;
+constexpr i64 kLen = 64;
+constexpr i64 kRounds = 16;
+
+struct RingRun {
+  double makespan = 0;
+  psim::RunStats stats;
+};
+
+RingRun runRing(const ir::Module& mod, const psim::MachineConfig& mc) {
+  psim::Machine m(mc);
+  std::vector<psim::RtPtr> sendb, recvb;
+  for (int r = 0; r < kRanks; ++r) {
+    sendb.push_back(m.mem().alloc(Type::F64, kLen, 0));
+    recvb.push_back(m.mem().alloc(Type::F64, kLen, 0));
+    for (i64 k = 0; k < kLen; ++k)
+      m.mem().atF(sendb.back(), k) = 100.0 * r + static_cast<double>(k);
+  }
+  RingRun out;
+  out.makespan = m.run({kRanks, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ring"),
+           {interp::RtVal::P(sendb[(std::size_t)env.rank]),
+            interp::RtVal::P(recvb[(std::size_t)env.rank])},
+           env);
+  });
+  out.stats = m.stats();
+  return out;
+}
+
+psim::MachineConfig ckptConfig(int interval) {
+  psim::MachineConfig mc;
+  mc.faults.enabled = true;
+  mc.faults.seed = 3;
+  mc.faults.ckptInterval = interval;
+  return mc;
+}
+
+void BM_RingCkptOff(benchmark::State& state) {
+  ir::Module mod = ringModule(kLen, kRounds);
+  runRing(mod, {});  // warm the lowered-program cache
+  for (auto _ : state) {
+    RingRun r = runRing(mod, {});
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * kRanks * kRounds);
+}
+BENCHMARK(BM_RingCkptOff);
+
+void BM_RingCkptEveryBoundary(benchmark::State& state) {
+  ir::Module mod = ringModule(kLen, kRounds);
+  psim::MachineConfig mc = ckptConfig(1);
+  runRing(mod, mc);
+  for (auto _ : state) {
+    RingRun r = runRing(mod, mc);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * kRanks * kRounds);
+}
+BENCHMARK(BM_RingCkptEveryBoundary);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  parad::bench::header(
+      "micro_ckpt", "checkpoint overhead vs interval, plus one kill-recovery",
+      "overhead amortizes with ckpt_interval; recovery stays bit-exact");
+
+  ir::Module mod = ringModule(kLen, kRounds);
+  RingRun off = runRing(mod, {});
+  std::printf("ckpt off:   makespan %12.1f vns\n", off.makespan);
+
+  parad::bench::BenchJson json("micro_ckpt");
+  json.row("ckpt_off");
+  json.num("virtual_ns", off.makespan);
+
+  for (int interval : {1, 2, 4, 8}) {
+    RingRun on = runRing(mod, ckptConfig(interval));
+    double overhead = (on.makespan - off.makespan) / off.makespan;
+    std::printf(
+        "interval %d: makespan %12.1f vns  checkpoints %llu  "
+        "ckpt bytes %llu  overhead %+.2f%%\n",
+        interval, on.makespan, (unsigned long long)on.stats.checkpoints,
+        (unsigned long long)on.stats.ckptBytes, overhead * 100.0);
+    json.row("ckpt_interval_" + std::to_string(interval));
+    json.num("virtual_ns", on.makespan);
+    json.num("checkpoints", (double)on.stats.checkpoints);
+    json.num("ckpt_bytes", (double)on.stats.ckptBytes);
+    json.num("overhead_frac", overhead);
+  }
+
+  // Recovered crashes: a moderate kill rate landing mid-run, with a retry
+  // budget generous enough that every drawn crash is rolled back.
+  psim::MachineConfig kill = ckptConfig(2);
+  kill.faults.killRate = 0.5;
+  kill.faults.killNs = off.makespan * 0.5;
+  kill.faults.retryBudget = 64;
+  RingRun rec = runRing(mod, kill);
+  std::printf(
+      "kill run:   makespan %12.1f vns  killed %llu  restores %llu  "
+      "slowdown %.2fx\n",
+      rec.makespan, (unsigned long long)rec.stats.ranksKilled,
+      (unsigned long long)rec.stats.restores, rec.makespan / off.makespan);
+  json.row("kill_recovery");
+  json.num("virtual_ns", rec.makespan);
+  json.num("ranks_killed", (double)rec.stats.ranksKilled);
+  json.num("restores", (double)rec.stats.restores);
+  json.num("virtual_slowdown", rec.makespan / off.makespan);
+  json.write();
+  return 0;
+}

@@ -26,12 +26,15 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ "${CHAOS:-0}" == "1" ]]; then
-  # Expanded (seed x drop-rate) chaos sweep over the MPI apps, plus the whole
-  # suite re-run with a process-wide PARAD_FAULTS plan: every test must
-  # produce identical values while the fabric drops/dups/delays messages.
-  # (Faults.* establish their own fault-free baselines, so they are excluded
-  # from the env-plan pass and run with the widened sweep instead.)
-  PARAD_CHAOS=1 "$BUILD_DIR"/tests/parad_tests --gtest_filter='Faults.*'
+  # Expanded (seed x drop-rate) chaos sweep and (seed x kill-rate x engine)
+  # rank-crash/recovery sweep over the MPI apps, plus the whole suite re-run
+  # with a process-wide PARAD_FAULTS plan: every test must produce identical
+  # values while the fabric drops/dups/delays messages. (Faults.* and
+  # Checkpoint.* establish their own fault-free baselines, so they are
+  # excluded from the env-plan pass and run with the widened sweeps instead.)
+  PARAD_CHAOS=1 "$BUILD_DIR"/tests/parad_tests \
+    --gtest_filter='Faults.*:Checkpoint.*'
   PARAD_FAULTS='seed=9,drop=0.1,dup=0.05,delay=0.2' \
-    ctest --test-dir "$BUILD_DIR" -E '^Faults\.' --output-on-failure -j "$JOBS"
+    ctest --test-dir "$BUILD_DIR" -E '^(Faults|Checkpoint)\.' \
+    --output-on-failure -j "$JOBS"
 fi

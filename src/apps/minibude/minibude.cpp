@@ -130,6 +130,12 @@ ir::Module build(const Config& cfg) {
     R = b.mpSize();
     lo = b.idiv(b.imul(rank, P), R);
     hi = b.idiv(b.imul(b.iaddc(rank, 1), P), R);
+    // "Deck loaded" synchronization point. Real MPI miniBUDE barriers after
+    // its broadcast phase; here it also gives the checkpoint/restart layer a
+    // quiesce point before the compute phase (the gather below is pure
+    // point-to-point). Barriers change no values, and the gradient emitter
+    // mirrors them, so primal/adjoint results are untouched.
+    b.mpBarrier();
   }
 
   switch (cfg.par) {
@@ -164,6 +170,10 @@ ir::Module build(const Config& cfg) {
             b.mpWait(req);
           });
         });
+    // Post-gather synchronization: every slice has landed and all requests
+    // are consumed, so the fabric is quiescent — a checkpointable boundary
+    // right before the (gradient's) reverse pass.
+    b.mpBarrier();
   }
 
   if (cfg.jliteMem)

@@ -32,6 +32,7 @@ RtVal Executor::run(std::vector<RtVal> args, psim::RankEnv& env) {
   main.tid = 0;
   main.nthreads = 1;
   rr.ts = &main;
+  rr.root = &main;
   int taskWorkers = machine_.config().taskWorkers;
   rr.taskWorkerFree.assign(
       static_cast<std::size_t>(taskWorkers > 0 ? taskWorkers
@@ -782,12 +783,18 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
     }
   }
   rr.insts += nd + static_cast<std::uint64_t>(trailingConsts);
+  // Kill probe, gated to the rank's root thread: fork paths adjust worker
+  // counts non-RAII, so unwinding a crash from inside a parallel region
+  // would leak them; the root thread is always at a safe unwind point.
+  // Probed before the watchdog so a scheduled crash beats a watchdog trip.
+  if (rr.ts == rr.root) machine_.checkKill(rr.env->rank, w.clock);
   // Progress watchdog: every loop iteration funnels through a range exit, so
   // checking at the flush bounds runaway (live-locked) rank programs without
-  // a per-instruction branch.
+  // a per-instruction branch. The time bound comes from the machine (config
+  // plus checkpoint-recovery slack), not the raw config.
   std::uint64_t wd = machine_.config().watchdogInsts;
   if (wd != 0 && rr.insts > wd) machine_.failWatchdog(rr.env->rank, rr.insts);
-  double tb = machine_.config().watchdogVirtualNs;
+  double tb = machine_.watchdogTimeBound();
   if (tb > 0 && w.clock > tb) machine_.failWatchdogTime(rr.env->rank, w.clock);
   return Flow::Normal;
 }

@@ -39,7 +39,8 @@ class Executor {
   using Frame = std::vector<RtVal>;
   struct RankRun {  // mutable per-rank execution state
     psim::RankEnv* env = nullptr;
-    ThreadState* ts = nullptr;  // current virtual thread
+    ThreadState* ts = nullptr;    // current virtual thread
+    ThreadState* root = nullptr;  // the rank's main thread (kill-probe gate)
     std::vector<TaskRec> tasks;
     std::vector<double> taskWorkerFree;
     std::vector<Frame> framePool;  // recycled call frames (capacity reuse)

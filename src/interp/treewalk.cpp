@@ -43,6 +43,7 @@ RtVal TreeWalker::run(const ir::Function& fn, std::vector<RtVal> args,
   main.tid = 0;
   main.nthreads = 1;
   rr.ts = &main;
+  rr.root = &main;
   int taskWorkers = machine_.config().taskWorkers;
   rr.taskWorkerFree.assign(
       static_cast<std::size_t>(taskWorkers > 0 ? taskWorkers
@@ -243,9 +244,12 @@ TreeWalker::Flow TreeWalker::execInst(const ir::Function& fn,
                                       RankRun& rr) {
   ++rr.insts;
   {
+    // Kill probe first (so a scheduled crash beats a watchdog trip), gated
+    // to the rank's root thread — see the matching probe in exec.cpp.
+    if (rr.ts == rr.root) machine_.checkKill(rr.env->rank, rr.ts->w.clock);
     std::uint64_t wd = machine_.config().watchdogInsts;
     if (wd != 0 && rr.insts > wd) machine_.failWatchdog(rr.env->rank, rr.insts);
-    double tb = machine_.config().watchdogVirtualNs;
+    double tb = machine_.watchdogTimeBound();
     if (tb > 0 && rr.ts->w.clock > tb)
       machine_.failWatchdogTime(rr.env->rank, rr.ts->w.clock);
   }

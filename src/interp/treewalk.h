@@ -38,7 +38,8 @@ class TreeWalker {
   };
   struct RankRun {  // mutable per-rank interpreter state
     psim::RankEnv* env = nullptr;
-    ThreadState* ts = nullptr;  // current virtual thread
+    ThreadState* ts = nullptr;    // current virtual thread
+    ThreadState* root = nullptr;  // the rank's main thread (kill-probe gate)
     std::vector<TaskRec> tasks;
     std::vector<double> taskWorkerFree;
     RtVal retVal{};

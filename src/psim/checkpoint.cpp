@@ -1,0 +1,324 @@
+#include "src/psim/checkpoint.h"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace parad::psim {
+
+namespace {
+
+// Serialization helpers: little-endian fixed-width append/read. The format
+// is an internal test surface (round-trip + byte-compare), not an on-disk
+// interchange format, but it is kept deterministic and self-checking.
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+void putI64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  putU64(out, static_cast<std::uint64_t>(v));
+}
+void putF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  putU64(out, bits);
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& buf;
+  std::size_t pos = 0;
+  std::uint64_t u64() {
+    PARAD_CHECK(pos + 8 <= buf.size(), "checkpoint deserialize: truncated");
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+      v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(b)])
+           << (8 * b);
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64v() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+};
+
+constexpr std::uint64_t kMagic = 0x70636b7074763131ull;  // "pckptv11"
+
+std::uint64_t objPayloadBytes(const ObjImage& o) {
+  return o.freed ? 0 : static_cast<std::uint64_t>(o.count) * 8u;
+}
+
+}  // namespace
+
+void CheckpointManager::captureBaseImage(std::uint64_t allocSeq) {
+  base_ = capture(0);
+  base_.epoch = -1;
+  base_.allocSeq = allocSeq;
+  base_.stats = stats_;
+}
+
+void CheckpointManager::beginAttempt(Fabric* fabric, std::uint64_t* allocSeq) {
+  fabric_ = fabric;
+  allocSeq_ = allocSeq;
+  boundaryOrdinal_ = 0;
+}
+
+Checkpoint CheckpointManager::capture(std::uint64_t boundary) const {
+  Checkpoint cp;
+  cp.boundary = boundary;
+  cp.liveBytes = mem_.liveBytes();
+  std::size_t n = mem_.numObjects();
+  cp.objects.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const MemObject& o = mem_.objectAt(k);
+    ObjImage img;
+    img.elem = o.elem;
+    img.count = o.count;
+    img.homeSocket = o.homeSocket;
+    img.freed = o.freed;
+    img.isCache = o.isCache;
+    img.isShadow = o.isShadow;
+    img.f = o.f;
+    img.i = o.i;
+    img.p = o.p;
+    img.atomicLines = o.atomicLines;
+    std::uint64_t bytes = objPayloadBytes(img);
+    cp.payloadBytes += bytes;
+    if (img.isCache) cp.cacheBytes += bytes;
+    if (img.isShadow) cp.shadowBytes += bytes;
+    cp.objects.push_back(std::move(img));
+  }
+  if (fabric_) {
+    cp.sendSeq = fabric_->sendSeqState();
+    cp.recvSeq = fabric_->recvSeqState();
+  }
+  if (allocSeq_) cp.allocSeq = *allocSeq_;
+  return cp;
+}
+
+void CheckpointManager::onBoundary(double& releaseTime) {
+  std::uint64_t b = boundaryOrdinal_++;
+  if (seeking_) {
+    if (b < seekTarget_) return;  // fast-forwarding through the prefix
+    PARAD_CHECK(b == seekTarget_,
+                "checkpoint seek overshot its boundary ordinal (", b, " vs ",
+                seekTarget_, "): replay diverged from the captured run");
+    apply(latest_);
+    releaseTime = seekResumeClock_;
+    seeking_ = false;
+    return;
+  }
+  if (cfg_.ckptInterval <= 0) return;
+  if ((b + 1) % static_cast<std::uint64_t>(cfg_.ckptInterval) != 0) return;
+  // Only checkpoint a boundary where the fabric is fully quiesced (no
+  // unwaited requests or buffered messages): then the snapshot needs no
+  // message payloads, only the per-flow sequence counters.
+  if (fabric_ && !fabric_->quiescent()) return;
+  Checkpoint cp = capture(b);
+  stats_.checkpoints++;
+  stats_.ckptBytes += cp.payloadBytes;
+  releaseTime += cost_.ckptWriteBase +
+                 cost_.ckptWritePerByte * static_cast<double>(cp.payloadBytes);
+  cp.releaseClock = releaseTime;
+  cp.stats = stats_;  // includes this capture's own accounting
+  cp.epoch = nextEpoch_++;
+  log_.push_back({cp.epoch, b, cp.payloadBytes, cp.cacheBytes});
+  latest_ = std::move(cp);
+}
+
+void CheckpointManager::applyMemory(const Checkpoint& cp) {
+  PARAD_CHECK(mem_.numObjects() >= cp.objects.size(),
+              "checkpoint restore: machine has fewer objects (",
+              mem_.numObjects(), ") than the snapshot (", cp.objects.size(),
+              "): replay diverged from the captured run");
+  mem_.truncateObjects(cp.objects.size());
+  for (std::size_t k = 0; k < cp.objects.size(); ++k) {
+    const ObjImage& img = cp.objects[k];
+    MemObject& o = mem_.objectAt(k);
+    PARAD_CHECK(o.elem == img.elem && o.count == img.count,
+                "checkpoint restore: object ", k,
+                " changed shape since capture");
+    o.homeSocket = img.homeSocket;
+    o.freed = img.freed;
+    o.isCache = img.isCache;
+    o.isShadow = img.isShadow;
+    o.f = img.f;
+    o.i = img.i;
+    o.p = img.p;
+    o.atomicLines = img.atomicLines;
+  }
+  mem_.setLiveBytes(cp.liveBytes);
+}
+
+void CheckpointManager::applyStats(const RunStats& snap) {
+  // Everything is rolled back to the snapshot except the resilience
+  // counters, which describe the recovery machinery itself and must survive
+  // into the final report.
+  RunStats keep = stats_;
+  stats_ = snap;
+  stats_.checkpoints = keep.checkpoints;
+  stats_.restores = keep.restores;
+  stats_.ranksKilled = keep.ranksKilled;
+  stats_.ckptBytes = keep.ckptBytes;
+}
+
+void CheckpointManager::apply(const Checkpoint& cp) {
+  applyMemory(cp);
+  if (fabric_) fabric_->restoreSeqState(cp.sendSeq, cp.recvSeq);
+  if (allocSeq_) *allocSeq_ = cp.allocSeq;
+  applyStats(cp.stats);
+}
+
+void CheckpointManager::restoreNow(const Checkpoint& cp) { apply(cp); }
+
+double CheckpointManager::planRecovery(const RankKillSignal& kill) {
+  PARAD_CHECK(hasCheckpoint(), "planRecovery without a checkpoint");
+  applyMemory(base_);
+  applyStats(base_.stats);
+  if (allocSeq_) *allocSeq_ = base_.allocSeq;
+  double restoreCost =
+      cost_.ckptRestoreBase +
+      cost_.ckptRestorePerByte * static_cast<double>(latest_.payloadBytes);
+  // The crash is detected no earlier than it fired and the snapshot cannot
+  // be restored before it was written, so the resume clock is the max of the
+  // two plus the restore cost — monotone, which also guarantees forward
+  // progress when a replay is killed again before reaching its target.
+  double resume = std::max(kill.clock, latest_.releaseClock) + restoreCost;
+  seeking_ = true;
+  seekTarget_ = latest_.boundary;
+  seekResumeClock_ = resume;
+  stats_.restores++;
+  trail_.push_back(RestoreEvent{kill.rank, latest_.epoch, kill.clock, resume});
+  return resume;
+}
+
+std::vector<std::uint8_t> CheckpointManager::serialize(
+    const Checkpoint& cp) const {
+  static_assert(std::is_trivially_copyable<RunStats>::value,
+                "RunStats must stay trivially copyable for serialization");
+  std::vector<std::uint8_t> out;
+  putU64(out, kMagic);
+  putI64(out, cp.epoch);
+  putU64(out, cp.boundary);
+  putF64(out, cp.releaseClock);
+  putU64(out, cp.allocSeq);
+  putU64(out, cp.liveBytes);
+  putU64(out, cp.payloadBytes);
+  putU64(out, cp.cacheBytes);
+  putU64(out, cp.shadowBytes);
+  const std::uint8_t* sp = reinterpret_cast<const std::uint8_t*>(&cp.stats);
+  putU64(out, sizeof(RunStats));
+  out.insert(out.end(), sp, sp + sizeof(RunStats));
+  putU64(out, cp.objects.size());
+  for (const ObjImage& o : cp.objects) {
+    putI64(out, static_cast<std::int64_t>(o.elem));
+    putI64(out, o.count);
+    putI64(out, o.homeSocket);
+    putU64(out, (o.freed ? 1u : 0u) | (o.isCache ? 2u : 0u) |
+                    (o.isShadow ? 4u : 0u));
+    putU64(out, o.f.size());
+    for (double v : o.f) putF64(out, v);
+    putU64(out, o.i.size());
+    for (i64 v : o.i) putI64(out, v);
+    putU64(out, o.p.size());
+    for (const RtPtr& v : o.p) {
+      putI64(out, v.obj);
+      putI64(out, v.off);
+    }
+    putU64(out, o.atomicLines.size());
+    for (const MemObject::AtomicLine& l : o.atomicLines) {
+      putI64(out, l.lastCore);
+      putU64(out, l.hot ? 1 : 0);
+      putI64(out, l.streak);
+      putI64(out, l.transitions);
+    }
+  }
+  putU64(out, cp.sendSeq.size());
+  for (const auto& kv : cp.sendSeq) {
+    putI64(out, kv.first.first.first);   // peer
+    putI64(out, kv.first.first.second);  // tag
+    putI64(out, kv.first.second);        // dest
+    putU64(out, kv.second);
+  }
+  putU64(out, cp.recvSeq.size());
+  for (const auto& m : cp.recvSeq) {
+    putU64(out, m.size());
+    for (const auto& kv : m) {
+      putI64(out, kv.first.first);
+      putI64(out, kv.first.second);
+      putU64(out, kv.second);
+    }
+  }
+  return out;
+}
+
+Checkpoint CheckpointManager::deserialize(
+    const std::vector<std::uint8_t>& bytes) const {
+  Reader r{bytes};
+  PARAD_CHECK(r.u64() == kMagic, "checkpoint deserialize: bad magic");
+  Checkpoint cp;
+  cp.epoch = static_cast<int>(r.i64v());
+  cp.boundary = r.u64();
+  cp.releaseClock = r.f64();
+  cp.allocSeq = r.u64();
+  cp.liveBytes = r.u64();
+  cp.payloadBytes = r.u64();
+  cp.cacheBytes = r.u64();
+  cp.shadowBytes = r.u64();
+  PARAD_CHECK(r.u64() == sizeof(RunStats),
+              "checkpoint deserialize: RunStats layout changed");
+  PARAD_CHECK(r.pos + sizeof(RunStats) <= bytes.size(),
+              "checkpoint deserialize: truncated stats");
+  std::memcpy(&cp.stats, bytes.data() + r.pos, sizeof(RunStats));
+  r.pos += sizeof(RunStats);
+  std::uint64_t nobj = r.u64();
+  cp.objects.resize(nobj);
+  for (ObjImage& o : cp.objects) {
+    o.elem = static_cast<ir::Type>(r.i64v());
+    o.count = r.i64v();
+    o.homeSocket = static_cast<int>(r.i64v());
+    std::uint64_t flags = r.u64();
+    o.freed = (flags & 1) != 0;
+    o.isCache = (flags & 2) != 0;
+    o.isShadow = (flags & 4) != 0;
+    o.f.resize(r.u64());
+    for (double& v : o.f) v = r.f64();
+    o.i.resize(r.u64());
+    for (i64& v : o.i) v = r.i64v();
+    o.p.resize(r.u64());
+    for (RtPtr& v : o.p) {
+      v.obj = static_cast<std::int32_t>(r.i64v());
+      v.off = r.i64v();
+    }
+    o.atomicLines.resize(r.u64());
+    for (MemObject::AtomicLine& l : o.atomicLines) {
+      l.lastCore = static_cast<int>(r.i64v());
+      l.hot = r.u64() != 0;
+      l.streak = static_cast<int>(r.i64v());
+      l.transitions = static_cast<int>(r.i64v());
+    }
+  }
+  std::uint64_t nsend = r.u64();
+  for (std::uint64_t k = 0; k < nsend; ++k) {
+    int peer = static_cast<int>(r.i64v());
+    int tag = static_cast<int>(r.i64v());
+    int dest = static_cast<int>(r.i64v());
+    cp.sendSeq[{{peer, tag}, dest}] = r.u64();
+  }
+  cp.recvSeq.resize(r.u64());
+  for (auto& m : cp.recvSeq) {
+    std::uint64_t nkv = r.u64();
+    for (std::uint64_t k = 0; k < nkv; ++k) {
+      int src = static_cast<int>(r.i64v());
+      int tag = static_cast<int>(r.i64v());
+      m[{src, tag}] = r.u64();
+    }
+  }
+  PARAD_CHECK(r.pos == bytes.size(),
+              "checkpoint deserialize: trailing bytes");
+  return cp;
+}
+
+}  // namespace parad::psim

@@ -199,6 +199,7 @@ void Fabric::barrier(int rank, WorkerCtx& w) {
     barrier_.count = 0;
     barrier_.present.assign(static_cast<std::size_t>(nranks_), 0);
     barrier_.generation++;
+    if (boundaryHook_) boundaryHook_(barrier_.releaseTime);
   } else {
     blocked_[static_cast<std::size_t>(rank)].op = BlockInfo::Op::Barrier;
     sched_.blockUntil(rank, [this, gen] { return barrier_.generation != gen; });
@@ -296,6 +297,7 @@ void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
         }
       }
     }
+    if (boundaryHook_) boundaryHook_(allred_.releaseTime);
   } else {
     BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
     b.op = BlockInfo::Op::Allreduce;

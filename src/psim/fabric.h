@@ -63,6 +63,39 @@ class Fabric {
       std::function<FailureReport(FailureReport::Kind, std::string)> b) {
     failureBuilder_ = std::move(b);
   }
+  /// Installs the collective-boundary hook (checkpoint/restart). Invoked by
+  /// the last-arriving rank of every barrier/allreduce, after the release
+  /// time is computed but before any rank observes it; the hook may push the
+  /// release time later (checkpoint write cost) through the reference.
+  void setBoundaryHook(std::function<void(double&)> h) {
+    boundaryHook_ = std::move(h);
+  }
+
+  /// True when the fabric holds no in-flight point-to-point state: every
+  /// request waited on, no buffered or unmatched messages. Checkpoints are
+  /// only taken at collective boundaries where this holds, so a snapshot
+  /// never needs to serialize message payloads (DESIGN.md §11).
+  bool quiescent() const {
+    for (const Request& r : reqs_)
+      if (!r.consumed) return false;
+    for (const auto& q : inbox_)
+      if (!q.empty()) return false;
+    for (const auto& v : pendingRecvs_)
+      if (!v.empty()) return false;
+    return true;
+  }
+
+  // Checkpoint surface: the per-flow sequence counters are the only fabric
+  // state that survives a quiesce point, so they are what a snapshot carries.
+  using SendSeqMap =
+      std::map<std::pair<std::pair<int, int>, int>, std::uint64_t>;
+  using RecvSeqMaps = std::vector<std::map<std::pair<int, int>, std::uint64_t>>;
+  const SendSeqMap& sendSeqState() const { return sendSeq_; }
+  const RecvSeqMaps& recvSeqState() const { return recvSeq_; }
+  void restoreSeqState(SendSeqMap send, RecvSeqMaps recv) {
+    sendSeq_ = std::move(send);
+    recvSeq_ = std::move(recv);
+  }
 
   /// Nonblocking send: the payload is captured immediately (buffered send).
   ReqId isend(int rank, WorkerCtx& w, const double* data, i64 count, int dest,
@@ -149,6 +182,7 @@ class Fabric {
   const FaultPlan* plan_ = nullptr;
   std::function<FailureReport(FailureReport::Kind, std::string)>
       failureBuilder_;
+  std::function<void(double&)> boundaryHook_;
 
   std::vector<std::deque<Message>> inbox_;          // per destination rank
   std::vector<std::vector<ReqId>> pendingRecvs_;    // per destination rank

@@ -8,6 +8,18 @@ namespace parad::psim {
 std::string FailureReport::render() const {
   std::ostringstream os;
   os << "virtual machine " << kindName() << ": " << detail;
+  if (kind == Kind::RankKilled) {
+    os << "\n  dead rank: " << killedRank << ", last checkpoint epoch: ";
+    if (lastEpoch >= 0)
+      os << lastEpoch;
+    else
+      os << "none";
+  }
+  for (const RestoreEvent& e : restoreTrail) {
+    os << "\n  restore: rank " << e.killedRank << " killed @ " << std::fixed
+       << std::setprecision(1) << e.killClock << "ns, rolled back to epoch "
+       << e.epoch << ", resumed @ " << e.resumeClock << "ns";
+  }
   for (const RankSnapshot& r : ranks) {
     os << "\n  rank " << r.rank << " @ " << std::fixed << std::setprecision(1)
        << r.clock << "ns: " << r.op;

@@ -28,17 +28,32 @@ struct RankSnapshot {
   std::size_t inboxDepth = 0;  // unmatched messages queued at this rank
 };
 
+/// One rollback performed by the checkpoint/restart machinery, recorded so a
+/// failure report (and tests) can show the full recovery history of a run.
+struct RestoreEvent {
+  int killedRank = -1;   // rank whose crash triggered the rollback
+  int epoch = -1;        // checkpoint epoch restored to
+  double killClock = 0;  // virtual ns at which the crash fired
+  double resumeClock = 0;  // virtual ns the replay resumed from
+};
+
 struct FailureReport {
-  enum class Kind { Deadlock, Watchdog, CollectiveMismatch };
+  enum class Kind { Deadlock, Watchdog, CollectiveMismatch, RankKilled };
   Kind kind = Kind::Deadlock;
   std::string detail;  // headline, e.g. "all 4 ranks blocked"
   std::vector<RankSnapshot> ranks;
+  // Checkpoint/restart context (meaningful when a checkpoint manager was
+  // active; killedRank/lastEpoch stay -1 otherwise).
+  int killedRank = -1;  // dead rank for Kind::RankKilled
+  int lastEpoch = -1;   // most recent checkpoint epoch (-1: none captured)
+  std::vector<RestoreEvent> restoreTrail;  // successful rollbacks before this
 
   const char* kindName() const {
     switch (kind) {
       case Kind::Deadlock: return "deadlock";
       case Kind::Watchdog: return "watchdog";
       case Kind::CollectiveMismatch: return "collective mismatch";
+      case Kind::RankKilled: return "rank killed";
     }
     return "?";
   }

@@ -1,6 +1,8 @@
 #include "src/psim/faults.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 namespace parad::psim {
 
@@ -14,6 +16,8 @@ enum : std::uint64_t {
   kSaltDelayAmt = 4,
   kSaltAlloc = 5,
   kSaltStraggle = 6,
+  kSaltKill = 7,
+  kSaltKillTime = 8,
 };
 
 double parseNumber(const std::string& key, const std::string& val) {
@@ -29,6 +33,53 @@ double parseRate(const std::string& key, const std::string& val) {
   PARAD_CHECK(v >= 0.0 && v <= 1.0, "fault spec: '", key,
               "' must be a probability in [0,1], got ", val);
   return v;
+}
+
+constexpr const char* kKeys[] = {
+    "seed",     "drop",   "dup",    "delay",         "delayns",
+    "allocfail", "straggle", "factor", "rto",         "maxretry",
+    "kill",     "killns", "ckpt_interval", "retry",
+};
+
+std::string keyList() {
+  std::string out;
+  for (const char* k : kKeys) {
+    if (!out.empty()) out += ", ";
+    out += k;
+  }
+  return out;
+}
+
+// Levenshtein distance, small strings only — used to turn an unknown key
+// into an actionable "did you mean" instead of a silent no-op.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string nearestKey(const std::string& key) {
+  std::string best;
+  std::size_t bestDist = std::string::npos;
+  for (const char* k : kKeys) {
+    std::size_t d = editDistance(key, k);
+    if (d < bestDist) {
+      bestDist = d;
+      best = k;
+    }
+  }
+  // Only suggest genuinely close keys: a distance-5 "match" is noise.
+  return bestDist <= 2 ? best : std::string();
 }
 
 }  // namespace
@@ -47,8 +98,7 @@ FaultConfig parseFaultSpec(const std::string& spec) {
     std::size_t eq = tok.find('=');
     PARAD_CHECK(eq != std::string::npos,
                 "fault spec: expected key=value, got '", tok,
-                "' (keys: seed, drop, dup, delay, delayns, allocfail, "
-                "straggle, factor, rto, maxretry)");
+                "' (keys: ", keyList(), ")");
     std::string key = tok.substr(0, eq), val = tok.substr(eq + 1);
     if (key == "seed") {
       cfg.seed = static_cast<std::uint64_t>(parseNumber(key, val));
@@ -76,10 +126,23 @@ FaultConfig parseFaultSpec(const std::string& spec) {
       cfg.maxRetransmits = static_cast<int>(parseNumber(key, val));
       PARAD_CHECK(cfg.maxRetransmits >= 0 && cfg.maxRetransmits <= 30,
                   "fault spec: maxretry must be in [0,30]");
+    } else if (key == "kill") {
+      cfg.killRate = parseRate(key, val);
+    } else if (key == "killns") {
+      cfg.killNs = parseNumber(key, val);
+      PARAD_CHECK(cfg.killNs > 0, "fault spec: killns must be > 0");
+    } else if (key == "ckpt_interval") {
+      cfg.ckptInterval = static_cast<int>(parseNumber(key, val));
+      PARAD_CHECK(cfg.ckptInterval >= 0,
+                  "fault spec: ckpt_interval must be >= 0");
+    } else if (key == "retry") {
+      cfg.retryBudget = static_cast<int>(parseNumber(key, val));
+      PARAD_CHECK(cfg.retryBudget >= 0, "fault spec: retry must be >= 0");
     } else {
-      fail("fault spec: unknown key '", key,
-           "' (keys: seed, drop, dup, delay, delayns, allocfail, straggle, "
-           "factor, rto, maxretry)");
+      std::string near = nearestKey(key);
+      fail("fault spec: unknown key '", key, "'",
+           near.empty() ? "" : " (did you mean '" + near + "'?)",
+           " (keys: ", keyList(), ")");
     }
   }
   return cfg;
@@ -120,6 +183,17 @@ double FaultPlan::slowdown(int rank) const {
 bool FaultPlan::allocFails(std::uint64_t allocIndex) const {
   if (!cfg_.enabled || cfg_.allocFailRate <= 0) return false;
   return unit(kSaltAlloc, allocIndex, 0, 0, 0) < cfg_.allocFailRate;
+}
+
+double FaultPlan::killTime(int rank, int index) const {
+  if (!cfg_.enabled || cfg_.killRate <= 0) return -1.0;
+  std::uint64_t r = static_cast<std::uint64_t>(rank);
+  std::uint64_t k = static_cast<std::uint64_t>(index);
+  if (unit(kSaltKill, r, k, 0, 0) >= cfg_.killRate) return -1.0;
+  // Crash k lands in the window [k + 1/4, k + 1) * killNs: strictly
+  // increasing in k, and never at virtual time zero.
+  double jitter = unit(kSaltKillTime, r, k, 0, 1);
+  return cfg_.killNs * (static_cast<double>(index) + 0.25 + 0.75 * jitter);
 }
 
 }  // namespace parad::psim

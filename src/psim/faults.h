@@ -32,13 +32,19 @@ struct FaultConfig {
   double straggleFactor = 4;  // clock dilation of a straggler rank
   double rtoNs = 4000;        // base retransmit timeout (exponential backoff)
   int maxRetransmits = 16;    // copies dropped before delivery is forced
+  double killRate = 0;        // P(a rank suffers its k-th crash), per k
+  double killNs = 20000;      // virtual-time window scale of crash instants
+  int ckptInterval = 0;       // checkpoint every k-th collective (0 = off)
+  int retryBudget = 3;        // restores allowed before the run gives up
 };
 
 /// Parses a comma-separated `key=value` fault spec, e.g.
 /// `seed=7,drop=0.2,dup=0.05,delay=0.3,delayns=1500,straggle=0.25,factor=3`.
 /// Keys: seed, drop, dup, delay, delayns, allocfail, straggle, factor, rto,
-/// maxretry. An empty spec yields a disabled config; unknown keys or
-/// malformed values raise parad::Error with the offending token.
+/// maxretry, kill, killns, ckpt_interval, retry. An empty spec yields a
+/// disabled config; unknown keys or malformed values raise parad::Error with
+/// the offending token (unknown keys additionally name the nearest valid key
+/// so a typo like `drp=0.1` cannot silently run fault-free).
 FaultConfig parseFaultSpec(const std::string& spec);
 
 /// The seeded decision oracle. Stateless: safe to query from any rank in any
@@ -69,6 +75,13 @@ class FaultPlan {
   /// Whether the `allocIndex`-th allocation of the run transiently fails
   /// (the runtime retries after a backoff; only time is lost).
   bool allocFails(std::uint64_t allocIndex) const;
+
+  /// Virtual time at which rank `rank` suffers its `index`-th crash, or a
+  /// negative value if it does not. Crash events form a contiguous prefix
+  /// per rank (the machine consumes index k only after recovering from it),
+  /// and successive kill times are strictly increasing, so a replay that has
+  /// survived k crashes deterministically meets crash k+1 or none at all.
+  double killTime(int rank, int index) const;
 
  private:
   // SplitMix64-style finalizer over a fold of the decision coordinates

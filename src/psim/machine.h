@@ -49,6 +49,11 @@ struct CostModel {
   double allreducePerStage = 420.0;  // per log2(ranks) stage
   // Allocation.
   double allocBase = 180.0, allocPerKb = 2.0;
+  // Checkpoint/restart (charged only when ckpt_interval > 0, so fault-free
+  // runs never see these terms). Write is charged to the collective's
+  // release time; restore is charged once per rollback.
+  double ckptWriteBase = 6000.0, ckptWritePerByte = 0.02;
+  double ckptRestoreBase = 9000.0, ckptRestorePerByte = 0.03;
   // Misc.
   double callCost = 12.0;  // direct call overhead
   double gcCost = 20.0;    // GC intrinsic bookkeeping (jlite)
@@ -136,6 +141,14 @@ struct RunStats {
   std::uint64_t droppedMsgs = 0;    // message copies lost in flight
   std::uint64_t dupDeliveries = 0;  // duplicate copies suppressed by seqnos
   std::uint64_t faultsInjected = 0; // total fault events fired by the plan
+  // Checkpoint/restart bookkeeping (zero unless ckpt_interval > 0). These
+  // four are *resilience* counters: a rollback restores every other field
+  // from the checkpointed stats, but preserves these so the final report
+  // still shows what the recovery machinery did.
+  std::uint64_t checkpoints = 0;    // snapshots captured at collectives
+  std::uint64_t restores = 0;       // rollbacks performed after a kill
+  std::uint64_t ranksKilled = 0;    // rank-crash events fired by the plan
+  std::uint64_t ckptBytes = 0;      // payload bytes written by checkpoints
   // Static decision counts from the AD plan stage (core::PlanCounts), filled
   // by the bench harnesses so ablations can report *which* decisions flipped
   // alongside the dynamic costs above. Zero when no gradient was generated.

@@ -137,6 +137,23 @@ class MemoryManager {
 
   std::size_t numObjects() const { return objects_.size(); }
 
+  // --- Checkpoint/restart surface (src/psim/checkpoint.cpp) ---------------
+  // Raw header+payload access by object index (including freed objects:
+  // restore must reinstate their cleared payloads and freed flags exactly).
+  MemObject& objectAt(std::size_t idx) {
+    PARAD_CHECK(idx < objects_.size(), "objectAt: bad object index ", idx);
+    return *objects_[idx];
+  }
+  /// Drops every object allocated after the first `n` — used when rolling
+  /// back to a snapshot taken before those allocations existed. Replay
+  /// re-allocates them deterministically, re-receiving the same object ids.
+  void truncateObjects(std::size_t n) {
+    PARAD_CHECK(n <= objects_.size(), "truncateObjects: growing is invalid");
+    objects_.resize(n);
+  }
+  std::uint64_t liveBytes() const { return liveBytes_; }
+  void setLiveBytes(std::uint64_t b) { liveBytes_ = b; }
+
  private:
   std::vector<std::unique_ptr<MemObject>> objects_;
   RunStats& stats_;

@@ -145,6 +145,17 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
   if (first) std::rethrow_exception(first);
 }
 
+void CoopScheduler::abortAll(std::exception_ptr e) {
+  PARAD_CHECK(impl_, "abortAll called outside a run");
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lk(impl.m);
+  impl.failed = true;
+  impl.current = -1;
+  for (std::size_t r = 0; r < impl.err.size(); ++r)
+    if (!impl.err[r] && impl.state[r] != Impl::State::Done) impl.err[r] = e;
+  impl.cv.notify_all();
+}
+
 void CoopScheduler::blockUntil(int rank, const std::function<bool()>& pred) {
   Impl& impl = *impl_;
   std::unique_lock<std::mutex> lk(impl.m);

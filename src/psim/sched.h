@@ -43,6 +43,13 @@ class CoopScheduler {
   /// simulation state without further locking.
   void blockUntil(int rank, const std::function<bool()>& pred);
 
+  /// Called from inside a running rank: coordinately aborts the run. Every
+  /// other live rank observes `e` (blocked ranks rethrow it from blockUntil;
+  /// not-yet-started ranks never run); the caller is expected to throw `e`'s
+  /// exception itself right after. Used by the checkpoint/restart machinery
+  /// to unwind all carrier threads to a clean state before a rollback.
+  void abortAll(std::exception_ptr e);
+
  private:
   struct Impl;
   Impl* impl_ = nullptr;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/psim/checkpoint.h"
 #include "src/psim/fabric.h"
 #include "src/psim/failure.h"
 #include "src/psim/faults.h"
@@ -72,6 +73,33 @@ class Machine {
   /// Same, for the virtual-time bound: catches a rank that keeps computing
   /// past the bound without ever yielding to the scheduler.
   [[noreturn]] void failWatchdogTime(int rank, double clock);
+
+  // ---- checkpoint/restart ----
+  /// The checkpoint manager of the most recent resilient run (nullptr when
+  /// ckpt_interval is 0). Kept alive after run() returns so tests can
+  /// inspect the final checkpoint and restore trail.
+  CheckpointManager* checkpoints() { return ckpt_.get(); }
+  const CheckpointManager* checkpoints() const { return ckpt_.get(); }
+  /// Effective virtual-time watchdog bound for the current attempt: the
+  /// configured bound plus the recovery slack accumulated by restores, so a
+  /// legitimate rollback-and-replay is not misdiagnosed as a livelock
+  /// (0 = watchdog disabled). The execution engines consult this, not the
+  /// raw config.
+  double watchdogTimeBound() const {
+    return cfg_.watchdogVirtualNs <= 0 ? 0
+                                       : cfg_.watchdogVirtualNs +
+                                             watchdogSlackNs_;
+  }
+  /// Kill probe, called by the execution engines from the root thread of a
+  /// rank at dispatch boundaries. Fires the pending crash of `rank` once its
+  /// virtual clock passes the fault plan's kill time: aborts every rank and
+  /// throws the (internal) RankKillSignal that run()'s recovery loop
+  /// handles. One branch when no kill schedule is armed.
+  void checkKill(int rank, double clock) {
+    if (!killArmed_) return;
+    double t = killAt_[static_cast<std::size_t>(rank)];
+    if (t >= 0 && clock >= t) fireKill(rank, clock);
+  }
 
   // ---- placement ----
   int coreOfRankThread(int rank, int tid) const {
@@ -159,6 +187,12 @@ class Machine {
   }
 
  private:
+  [[noreturn]] void fireKill(int rank, double clock);
+  /// Handles a caught RankKillSignal: either rolls back for a replay attempt
+  /// or throws the terminal VmError (no checkpoint yet / budget exhausted).
+  void recoverFromKill(const RankKillSignal& k);
+  [[noreturn]] void failKilled(const RankKillSignal& k, std::string detail);
+
   /// Folded 8-byte access charges for one home socket at a given sharer
   /// count (-1 = stale).
   struct MemCharge {
@@ -189,6 +223,12 @@ class Machine {
   FaultPlan faultPlan_;
   std::uint64_t allocSeq_ = 0;     // per-run allocation index for the plan
   std::vector<char> rankDone_;     // ranks whose fn returned normally
+  // Checkpoint/restart state (inert unless the fault plan kills ranks).
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::vector<double> killAt_;     // per-rank pending kill time (-1: none)
+  std::vector<int> killCursor_;    // crashes consumed (recovered) per rank
+  bool killArmed_ = false;
+  double watchdogSlackNs_ = 0;     // recovery time excused from the watchdog
 };
 
 }  // namespace parad::psim

@@ -1,0 +1,498 @@
+// Coordinated checkpoint/restart (DESIGN.md §11): rank crashes from the
+// fault plan's `kill=` class roll every rank back to the last collective-
+// boundary checkpoint and replay. The acceptance bar mirrors the chaos
+// sweep's: primal values and gradients bit-identical to the fault-free run,
+// only virtual time degrades — and unrecoverable crashes surface as
+// structured VmErrors naming the dead rank, never a hang or a wrong value.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/apps/lulesh/lulesh.h"
+#include "src/apps/minibude/minibude.h"
+#include "src/psim/checkpoint.h"
+#include "src/psim/failure.h"
+#include "src/psim/faults.h"
+#include "tests/test_util.h"
+
+using namespace parad;
+using namespace parad::test;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/// Restores the process-wide engine default on scope exit.
+struct EngineGuard {
+  interp::Engine saved = interp::defaultEngine();
+  ~EngineGuard() { interp::setDefaultEngine(saved); }
+};
+
+// Ring shift with a barrier closing every round: the barriers are the
+// collective boundaries checkpoints are taken at, and because each round ends
+// with both waits done, the fabric is quiescent there (no in-flight
+// messages), so every boundary is capture-eligible.
+ir::Module buildCkptRing(i64 n, i64 rounds) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "ring", {Type::PtrF64, Type::PtrF64});
+  auto sendbuf = b.param(0), recvbuf = b.param(1);
+  auto rank = b.mpRank();
+  auto size = b.mpSize();
+  auto right = b.irem(b.iadd(rank, b.constI(1)), size);
+  auto left = b.irem(b.iadd(b.isub(rank, b.constI(1)), size), size);
+  auto nn = b.constI(n);
+  auto tag = b.constI(7);
+  b.emitFor(b.constI(0), b.constI(rounds), [&](Value) {
+    auto r0 = b.mpIrecv(recvbuf, nn, left, tag);
+    auto s0 = b.mpIsend(sendbuf, nn, right, tag);
+    b.mpWait(r0);
+    b.mpWait(s0);
+    b.mpBarrier();
+  });
+  b.ret();
+  b.finish();
+  ir::verify(mod);
+  return mod;
+}
+
+struct RingOut {
+  std::vector<std::vector<double>> recv;
+  double makespan = 0;
+  psim::RunStats stats;
+};
+
+RingOut runCkptRing(int R, i64 N, psim::MachineConfig mc, i64 rounds = 8) {
+  ir::Module mod = buildCkptRing(N, rounds);
+  psim::Machine m(mc);
+  std::vector<psim::RtPtr> sendb(static_cast<std::size_t>(R)),
+      recvb(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    sendb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    recvb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    for (i64 k = 0; k < N; ++k)
+      m.mem().atF(sendb[(std::size_t)r], k) = 100.0 * r + static_cast<double>(k);
+  }
+  RingOut out;
+  out.makespan = m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ring"),
+           {interp::RtVal::P(sendb[(std::size_t)env.rank]),
+            interp::RtVal::P(recvb[(std::size_t)env.rank])},
+           env);
+  });
+  for (int r = 0; r < R; ++r)
+    out.recv.push_back(readF64(m, recvb[(std::size_t)r], N));
+  out.stats = m.stats();
+  return out;
+}
+
+// Every Checkpoint test sets faults.enabled explicitly (even for "clean"
+// baselines) so a PARAD_FAULTS environment spec — the CHAOS=1 CI job exports
+// one for the whole suite — can never leak into these runs.
+psim::MachineConfig cleanConfig(std::uint64_t seed) {
+  psim::MachineConfig mc;
+  mc.faults.enabled = true;
+  mc.faults.seed = seed;
+  return mc;
+}
+
+}  // namespace
+
+TEST(Checkpoint, RingKillRecoversBitExact) {
+  const int R = 8;
+  const i64 N = 32;
+  EngineGuard guard;
+  for (auto eng : {interp::Engine::Lowered, interp::Engine::TreeWalk}) {
+    SCOPED_TRACE(eng == interp::Engine::Lowered ? "lowered" : "treewalk");
+    interp::setDefaultEngine(eng);
+
+    // Clean baseline *with* checkpointing: same values as a fault-free run,
+    // and its makespan already includes the checkpoint write cost so the
+    // kill run's extra time is attributable to rollback alone.
+    psim::MachineConfig mcClean = cleanConfig(21);
+    mcClean.faults.ckptInterval = 1;
+    RingOut clean = runCkptRing(R, N, mcClean);
+    EXPECT_GT(clean.stats.checkpoints, 0u);
+    EXPECT_GT(clean.stats.ckptBytes, 0u);
+    EXPECT_EQ(clean.stats.ranksKilled, 0u);
+    EXPECT_EQ(clean.stats.restores, 0u);
+
+    psim::MachineConfig mcKill = mcClean;
+    mcKill.faults.killRate = 0.6;
+    // First-crash window is [0.25, 1.0) * killns per rank: land the crashes
+    // well after the first barrier but inside the run.
+    mcKill.faults.killNs = clean.makespan * 0.5;
+    mcKill.faults.retryBudget = 64;
+    RingOut faulty = runCkptRing(R, N, mcKill);
+    EXPECT_GT(faulty.stats.ranksKilled, 0u);
+    EXPECT_GT(faulty.stats.restores, 0u);
+    EXPECT_GT(faulty.stats.checkpoints, 0u);
+    EXPECT_GT(faulty.makespan, clean.makespan);  // only timing degrades
+    ASSERT_EQ(faulty.recv.size(), clean.recv.size());
+    for (std::size_t r = 0; r < clean.recv.size(); ++r)
+      EXPECT_EQ(faulty.recv[r], clean.recv[r]);  // values bit-exact
+
+    // Replay determinism: the same seed reproduces kills, restores, and the
+    // degraded timeline exactly.
+    RingOut replay = runCkptRing(R, N, mcKill);
+    EXPECT_EQ(replay.makespan, faulty.makespan);
+    EXPECT_EQ(replay.stats.ranksKilled, faulty.stats.ranksKilled);
+    EXPECT_EQ(replay.stats.restores, faulty.stats.restores);
+    EXPECT_EQ(replay.stats.ckptBytes, faulty.stats.ckptBytes);
+  }
+}
+
+TEST(Checkpoint, UnrecoverableWithoutCheckpointing) {
+  psim::MachineConfig mc = cleanConfig(5);
+  mc.faults.killRate = 1.0;
+  mc.faults.killNs = 2000;
+  // ckptInterval stays 0: crashes cannot be recovered.
+  try {
+    runCkptRing(4, 16, mc);
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled);
+    EXPECT_GE(e.report().killedRank, 0);
+    EXPECT_EQ(e.report().lastEpoch, -1);
+    EXPECT_TRUE(e.report().restoreTrail.empty());
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("killed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("checkpointing is disabled"), std::string::npos) << msg;
+  }
+}
+
+TEST(Checkpoint, UnrecoverableBeforeFirstCheckpoint) {
+  // The tree-walker probes for crashes at every dispatch, so a tiny killns
+  // reliably fires before any rank reaches the first barrier (the lowered
+  // engine's coarser flush-point probes can outrun such an early schedule).
+  EngineGuard guard;
+  interp::setDefaultEngine(interp::Engine::TreeWalk);
+  psim::MachineConfig mc = cleanConfig(5);
+  mc.faults.killRate = 1.0;
+  mc.faults.killNs = 5;  // crashes before any rank reaches the first barrier
+  mc.faults.ckptInterval = 1;
+  try {
+    runCkptRing(4, 16, mc);
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled);
+    EXPECT_GE(e.report().killedRank, 0);
+    EXPECT_EQ(e.report().lastEpoch, -1);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("before the first checkpoint"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Checkpoint, RetryBudgetExhaustedIsStructured) {
+  // killRate 1.0 draws a crash at every schedule index, so the run can never
+  // outlast its kill schedule: recovery must give up at the retry budget.
+  psim::MachineConfig mcClean = cleanConfig(9);
+  mcClean.faults.ckptInterval = 1;
+  RingOut clean = runCkptRing(4, 16, mcClean, /*rounds=*/16);
+
+  psim::MachineConfig mc = mcClean;
+  mc.faults.killRate = 1.0;
+  mc.faults.killNs = clean.makespan * 0.6;
+  mc.faults.retryBudget = 2;
+  try {
+    runCkptRing(4, 16, mc, /*rounds=*/16);
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled);
+    EXPECT_GE(e.report().killedRank, 0);
+    EXPECT_GE(e.report().lastEpoch, 0);  // checkpoints existed; budget ran out
+    EXPECT_EQ(e.report().restoreTrail.size(), 2u);
+    for (const psim::RestoreEvent& ev : e.report().restoreTrail) {
+      EXPECT_GE(ev.killedRank, 0);
+      EXPECT_GE(ev.epoch, 0);
+      EXPECT_GE(ev.resumeClock, ev.killClock);
+    }
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("retry budget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("restore: rank"), std::string::npos) << msg;
+  }
+}
+
+TEST(Checkpoint, SnapshotRoundTrip) {
+  const int R = 4;
+  const i64 N = 8;
+  const i64 rounds = 4;
+  ir::Module mod = buildCkptRing(N, rounds);
+  psim::MachineConfig mc = cleanConfig(13);
+  mc.faults.ckptInterval = 1;
+  psim::Machine m(mc);
+  std::vector<psim::RtPtr> sendb, recvb;
+  for (int r = 0; r < R; ++r) {
+    sendb.push_back(m.mem().alloc(Type::F64, N, 0));
+    recvb.push_back(m.mem().alloc(Type::F64, N, 0));
+    for (i64 k = 0; k < N; ++k)
+      m.mem().atF(sendb[(std::size_t)r], k) = 10.0 * r + static_cast<double>(k);
+  }
+  m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ring"),
+           {interp::RtVal::P(sendb[(std::size_t)env.rank]),
+            interp::RtVal::P(recvb[(std::size_t)env.rank])},
+           env);
+  });
+
+  psim::CheckpointManager* ckpt = m.checkpoints();
+  ASSERT_NE(ckpt, nullptr);
+  ASSERT_TRUE(ckpt->hasCheckpoint());
+  const psim::Checkpoint& cp = ckpt->latest();
+  EXPECT_EQ(cp.epoch, static_cast<int>(rounds) - 1);  // every barrier captured
+  EXPECT_GT(cp.payloadBytes, 0u);
+  EXPECT_FALSE(cp.sendSeq.empty());  // per-flow seqnos travel with the image
+
+  // Byte serialization round-trips exactly.
+  std::vector<std::uint8_t> bytes = ckpt->serialize(cp);
+  psim::Checkpoint back = ckpt->deserialize(bytes);
+  EXPECT_EQ(back.epoch, cp.epoch);
+  EXPECT_EQ(back.boundary, cp.boundary);
+  EXPECT_EQ(back.allocSeq, cp.allocSeq);
+  EXPECT_EQ(back.payloadBytes, cp.payloadBytes);
+  EXPECT_EQ(back.sendSeq, cp.sendSeq);
+  EXPECT_EQ(back.recvSeq, cp.recvSeq);
+  EXPECT_EQ(ckpt->serialize(back), bytes);
+
+  // The last boundary is the end of the final round, so the checkpoint's
+  // memory image equals the end-of-run state: scribble over live buffers,
+  // restore the deserialized snapshot, and every byte must come back.
+  std::vector<std::vector<double>> wantRecv, wantSend;
+  for (int r = 0; r < R; ++r) {
+    wantRecv.push_back(readF64(m, recvb[(std::size_t)r], N));
+    wantSend.push_back(readF64(m, sendb[(std::size_t)r], N));
+  }
+  for (int r = 0; r < R; ++r)
+    for (i64 k = 0; k < N; ++k) {
+      m.mem().atF(recvb[(std::size_t)r], k) = -1e9;
+      m.mem().atF(sendb[(std::size_t)r], k) = -1e9;
+    }
+  ckpt->restoreNow(back);
+  for (int r = 0; r < R; ++r) {
+    EXPECT_EQ(readF64(m, recvb[(std::size_t)r], N), wantRecv[(std::size_t)r]);
+    EXPECT_EQ(readF64(m, sendb[(std::size_t)r], N), wantSend[(std::size_t)r]);
+  }
+
+  // Truncated or padded streams are rejected, not misread.
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW(ckpt->deserialize(cut), parad::Error);
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(ckpt->deserialize(padded), parad::Error);
+}
+
+TEST(Checkpoint, SizeTracksCachePlanLiveSet) {
+  // Golden link between the AD cache plan and checkpoint size: with
+  // OpenMPOpt-style hoisting miniBUDE's gradient recomputes instead of
+  // caching (§VIII), so the plan's live set — and therefore every
+  // checkpoint — shrinks. Checkpoint *count* stays put (same collectives).
+  apps::minibude::Config cfg;
+  cfg.par = apps::minibude::Config::Par::Serial;
+  cfg.mp = true;
+  cfg.mpRanks = 4;
+  cfg.poses = 16;
+  cfg.ligAtoms = 4;
+  cfg.protAtoms = 6;
+
+  auto gradStats = [&](bool ompOpt) {
+    ir::Module mod = apps::minibude::build(cfg);
+    apps::minibude::prepare(mod, ompOpt);
+    core::GradInfo gi = apps::minibude::buildGradient(mod);
+    psim::MachineConfig mc = cleanConfig(2);
+    mc.faults.ckptInterval = 1;
+    return apps::minibude::runGradient(mod, gi, cfg, 1, mc).stats;
+  };
+  psim::RunStats cached = gradStats(/*ompOpt=*/false);
+  psim::RunStats hoisted = gradStats(/*ompOpt=*/true);
+  EXPECT_GT(cached.checkpoints, 0u);
+  EXPECT_EQ(cached.checkpoints, hoisted.checkpoints);
+  EXPECT_GT(cached.ckptBytes, hoisted.ckptBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Kill sweep: seeds x kill rates x both engines over the two MPI apps.
+// Recovered runs must be bit-identical to the fault-free run; crashes the
+// protocol cannot recover (before the first checkpoint) must surface as
+// structured RankKilled reports. PARAD_CHAOS=1 widens the seed set.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct KillCase {
+  std::uint64_t seed;
+  double rate;
+};
+
+std::vector<KillCase> killCases(std::vector<double> rates) {
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  const char* env = std::getenv("PARAD_CHAOS");
+  if (env && std::string(env) != "0") seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<KillCase> cases;
+  for (std::uint64_t s : seeds)
+    for (double rate : rates) cases.push_back({s, rate});
+  return cases;
+}
+
+psim::MachineConfig killMachine(const KillCase& c, double killNs) {
+  psim::MachineConfig mc;
+  mc.faults.enabled = true;
+  mc.faults.seed = c.seed;
+  mc.faults.killRate = c.rate;
+  mc.faults.killNs = killNs;
+  mc.faults.ckptInterval = 1;
+  mc.faults.retryBudget = 64;
+  return mc;
+}
+
+/// Tallies one faulty app run: recovered runs contribute their stats, and an
+/// unrecoverable crash must be a well-formed RankKilled report.
+struct SweepTally {
+  std::uint64_t killed = 0, restores = 0, checkpoints = 0;
+  int recovered = 0, unrecoverable = 0;
+
+  template <typename Run>
+  auto count(Run&& run) -> decltype(run()) {
+    try {
+      auto res = run();
+      killed += res.stats.ranksKilled;
+      restores += res.stats.restores;
+      checkpoints += res.stats.checkpoints;
+      if (res.stats.restores > 0) recovered++;
+      return res;
+    } catch (const psim::VmError& e) {
+      EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled)
+          << e.what();
+      EXPECT_GE(e.report().killedRank, 0) << e.what();
+      unrecoverable++;
+      return {};
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Checkpoint, KillSweepLuleshMp) {
+  apps::lulesh::Config cfg;
+  cfg.par = apps::lulesh::Config::Par::Serial;
+  cfg.mp = true;
+  cfg.rside = 2;
+  cfg.s = 3;
+  cfg.nsteps = 2;
+  ir::Module mod = apps::lulesh::build(cfg);
+  apps::lulesh::prepare(mod);
+  core::GradInfo gi = apps::lulesh::buildGradient(mod);
+
+  auto clean = apps::lulesh::runPrimal(mod, cfg, 1, cleanConfig(1));
+  auto cleanG = apps::lulesh::runGradient(mod, gi, cfg, 1, cleanConfig(1));
+  ASSERT_EQ(clean.stats.ranksKilled, 0u);
+
+  EngineGuard guard;
+  SweepTally tally;
+  std::size_t idx = 0;
+  for (const KillCase& c : killCases({0.25, 0.6})) {
+    SCOPED_TRACE("seed=" + std::to_string(c.seed) +
+                 " rate=" + std::to_string(c.rate));
+    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
+                                            : interp::Engine::TreeWalk);
+    auto p = tally.count([&] {
+      return apps::lulesh::runPrimal(mod, cfg, 1,
+                                     killMachine(c, clean.makespan * 0.5));
+    });
+    if (p.stats.restores > 0) {
+      EXPECT_EQ(p.objective, clean.objective);
+      EXPECT_GT(p.makespan, clean.makespan);
+    }
+    auto g = tally.count([&] {
+      return apps::lulesh::runGradient(mod, gi, cfg, 1,
+                                       killMachine(c, cleanG.makespan * 0.5));
+    });
+    if (g.stats.restores > 0) {
+      EXPECT_EQ(g.objective, cleanG.objective);
+      ASSERT_EQ(g.gradE.size(), cleanG.gradE.size());
+      EXPECT_EQ(g.gradE, cleanG.gradE);  // bit-identical, not just close
+      EXPECT_EQ(g.gradU, cleanG.gradU);
+    }
+  }
+  // The sweep exercised real recoveries, not just clean or doomed runs.
+  EXPECT_GT(tally.killed, 0u);
+  EXPECT_GT(tally.restores, 0u);
+  EXPECT_GT(tally.recovered, 0);
+}
+
+TEST(Checkpoint, KillSweepMinibudeMp) {
+  apps::minibude::Config cfg;
+  cfg.par = apps::minibude::Config::Par::Serial;
+  cfg.mp = true;
+  cfg.mpRanks = 8;
+  cfg.poses = 16;
+  cfg.ligAtoms = 4;
+  cfg.protAtoms = 6;
+  ir::Module mod = apps::minibude::build(cfg);
+  apps::minibude::prepare(mod);
+  core::GradInfo gi = apps::minibude::buildGradient(mod);
+
+  auto clean = apps::minibude::runPrimal(mod, cfg, 1, cleanConfig(1));
+  auto cleanG = apps::minibude::runGradient(mod, gi, cfg, 1, cleanConfig(1));
+  ASSERT_EQ(clean.stats.ranksKilled, 0u);
+
+  EngineGuard guard;
+  SweepTally tally;
+  std::size_t idx = 1;  // offset so this sweep alternates opposite to lulesh
+  for (const KillCase& c : killCases({0.25, 0.6})) {
+    SCOPED_TRACE("seed=" + std::to_string(c.seed) +
+                 " rate=" + std::to_string(c.rate));
+    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
+                                            : interp::Engine::TreeWalk);
+    auto p = tally.count([&] {
+      return apps::minibude::runPrimal(mod, cfg, 1,
+                                       killMachine(c, clean.makespan * 0.5));
+    });
+    if (p.stats.restores > 0) EXPECT_EQ(p.objective, clean.objective);
+    auto g = tally.count([&] {
+      return apps::minibude::runGradient(mod, gi, cfg, 1,
+                                         killMachine(c, cleanG.makespan * 0.5));
+    });
+    if (g.stats.restores > 0) {
+      EXPECT_EQ(g.objective, cleanG.objective);
+      EXPECT_EQ(g.gradPoses, cleanG.gradPoses);
+      EXPECT_EQ(g.gradLig, cleanG.gradLig);
+    }
+  }
+  EXPECT_GT(tally.killed, 0u);
+  EXPECT_GT(tally.restores, 0u);
+  EXPECT_GT(tally.recovered, 0);
+}
+
+TEST(Checkpoint, WatchdogBaselineResetsAcrossRestore) {
+  // A kill landing just under the virtual-time watchdog threshold: the
+  // rollback-and-replay pushes the finish past the configured bound, and the
+  // restore must re-baseline the watchdog (slack) so recovery is not
+  // misdiagnosed as a livelock.
+  const int R = 4;
+  const i64 N = 16;
+  psim::MachineConfig mcClean = cleanConfig(33);
+  mcClean.faults.ckptInterval = 2;
+  RingOut clean = runCkptRing(R, N, mcClean, /*rounds=*/12);
+
+  psim::MachineConfig mcKill = mcClean;
+  mcKill.faults.killRate = 0.9;
+  mcKill.faults.killNs = clean.makespan * 0.6;
+  mcKill.faults.retryBudget = 32;
+  // Any single restore costs more than this headroom, so without the slack
+  // fix the replayed run would trip the watchdog.
+  mcKill.watchdogVirtualNs = clean.makespan + 1000;
+  RingOut faulty = runCkptRing(R, N, mcKill, /*rounds=*/12);
+  EXPECT_GT(faulty.stats.restores, 0u);
+  EXPECT_GT(faulty.makespan, mcKill.watchdogVirtualNs);  // bound was exceeded
+  for (std::size_t r = 0; r < clean.recv.size(); ++r)
+    EXPECT_EQ(faulty.recv[r], clean.recv[r]);
+
+  // The bound still fires on a genuinely stalled clean run at this setting.
+  psim::MachineConfig mcTight = mcClean;
+  mcTight.watchdogVirtualNs = clean.makespan * 0.5;
+  EXPECT_THROW(runCkptRing(R, N, mcTight, /*rounds=*/12), psim::VmError);
+}

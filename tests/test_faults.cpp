@@ -115,6 +115,70 @@ TEST(Faults, ParseFaultSpec) {
   EXPECT_NE(errOf("drop").find("drop"), std::string::npos);
   EXPECT_NE(errOf("seed=xyz").find("xyz"), std::string::npos);
   EXPECT_NE(errOf("maxretry=40").find("maxretry"), std::string::npos);
+
+  // Unknown keys are rejected with a structured error, never silently
+  // ignored (a typo like `drp=0.1` must not run fault-free), and the error
+  // suggests the nearest valid key.
+  std::string typo = errOf("drp=0.1");
+  EXPECT_NE(typo.find("unknown key 'drp'"), std::string::npos) << typo;
+  EXPECT_NE(typo.find("did you mean 'drop'?"), std::string::npos) << typo;
+  std::string typo2 = errOf("kil=0.5");
+  EXPECT_NE(typo2.find("did you mean 'kill'?"), std::string::npos) << typo2;
+  std::string typo3 = errOf("ckptinterval=2");
+  EXPECT_NE(typo3.find("did you mean 'ckpt_interval'?"), std::string::npos)
+      << typo3;
+  // A key nothing like any knob gets the full key list but no bogus guess.
+  std::string far = errOf("zzzzzzzz=1");
+  EXPECT_EQ(far.find("did you mean"), std::string::npos) << far;
+  EXPECT_NE(far.find("ckpt_interval"), std::string::npos) << far;
+}
+
+TEST(Faults, ParseResilienceKeys) {
+  psim::FaultConfig fc = psim::parseFaultSpec(
+      "seed=9,kill=0.02,killns=50000,ckpt_interval=2,retry=5");
+  EXPECT_TRUE(fc.enabled);
+  EXPECT_DOUBLE_EQ(fc.killRate, 0.02);
+  EXPECT_DOUBLE_EQ(fc.killNs, 50000);
+  EXPECT_EQ(fc.ckptInterval, 2);
+  EXPECT_EQ(fc.retryBudget, 5);
+
+  auto errOf = [](const std::string& spec) -> std::string {
+    try {
+      psim::parseFaultSpec(spec);
+    } catch (const parad::Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(errOf("kill=2").find("kill"), std::string::npos);
+  EXPECT_NE(errOf("killns=0").find("killns"), std::string::npos);
+  EXPECT_NE(errOf("ckpt_interval=-1").find("ckpt_interval"),
+            std::string::npos);
+  EXPECT_NE(errOf("retry=-3").find("retry"), std::string::npos);
+}
+
+TEST(Faults, KillScheduleIsDeterministicAndIncreasing) {
+  psim::FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = 4;
+  fc.killRate = 0.8;
+  fc.killNs = 10000;
+  psim::FaultPlan a(fc), b(fc);
+  bool anyKill = false;
+  for (int r = 0; r < 8; ++r) {
+    double prev = 0;
+    for (int k = 0; k < 4; ++k) {
+      double ta = a.killTime(r, k), tb = b.killTime(r, k);
+      EXPECT_DOUBLE_EQ(ta, tb);  // pure hash: replayable from the seed
+      if (ta < 0) continue;
+      anyKill = true;
+      EXPECT_GT(ta, prev);  // successive crash times strictly increase
+      prev = ta;
+    }
+  }
+  EXPECT_TRUE(anyKill);
+  psim::FaultPlan off{psim::FaultConfig{}};
+  EXPECT_LT(off.killTime(0, 0), 0.0);  // disabled plan never kills
 }
 
 TEST(Faults, PlanIsDeterministicFromSeed) {
