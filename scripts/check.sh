@@ -7,6 +7,7 @@
 #   BUILD_DIR=out ./scripts/check.sh   # override the build directory
 #   SANITIZE=1 ./scripts/check.sh      # ASan+UBSan build (separate build dir)
 #   CHAOS=1 ./scripts/check.sh         # widened fault-injection chaos sweep
+#   SCALE=1 ./scripts/check.sh         # 4096-virtual-rank weak-scaling smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,4 +38,12 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
   PARAD_FAULTS='seed=9,drop=0.1,dup=0.05,delay=0.2' \
     ctest --test-dir "$BUILD_DIR" -E '^(Faults|Checkpoint)\.' \
     --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SCALE:-0}" == "1" ]]; then
+  # Weak-scaling smoke: drive the fabric/scheduler core from 64 up to 4096
+  # virtual ranks (bench/micro_scale.cpp). The binary exits non-zero unless
+  # per-rank simulator state stays flat and wall time per simulated step
+  # fits well under quadratic — the scale regressions this repo guards.
+  (cd "$BUILD_DIR" && bench/micro_scale --benchmark_filter='^$')
 fi

@@ -44,7 +44,7 @@ struct Reader {
   }
 };
 
-constexpr std::uint64_t kMagic = 0x70636b7074763131ull;  // "pckptv11"
+constexpr std::uint64_t kMagic = 0x70636b7074763132ull;  // "pckptv12"
 
 std::uint64_t objPayloadBytes(const ObjImage& o) {
   return o.freed ? 0 : static_cast<std::uint64_t>(o.count) * 8u;
@@ -162,6 +162,7 @@ void CheckpointManager::applyStats(const RunStats& snap) {
   stats_.restores = keep.restores;
   stats_.ranksKilled = keep.ranksKilled;
   stats_.ckptBytes = keep.ckptBytes;
+  stats_.elasticMigrations = keep.elasticMigrations;
 }
 
 void CheckpointManager::apply(const Checkpoint& cp) {
@@ -173,24 +174,38 @@ void CheckpointManager::apply(const Checkpoint& cp) {
 
 void CheckpointManager::restoreNow(const Checkpoint& cp) { apply(cp); }
 
-double CheckpointManager::planRecovery(const RankKillSignal& kill) {
+double CheckpointManager::planRecovery(const RankKillSignal& kill,
+                                       bool elastic, int nranks) {
   PARAD_CHECK(hasCheckpoint(), "planRecovery without a checkpoint");
   applyMemory(base_);
   applyStats(base_.stats);
   if (allocSeq_) *allocSeq_ = base_.allocSeq;
-  double restoreCost =
-      cost_.ckptRestoreBase +
-      cost_.ckptRestorePerByte * static_cast<double>(latest_.payloadBytes);
+  double recoveryCost;
+  if (elastic) {
+    // Shard migration: the dead rank's 1/nranks share of the checkpoint
+    // payload is shipped to its adopter instead of rolling every rank back
+    // through a full restore.
+    double shardBytes = static_cast<double>(latest_.payloadBytes) /
+                        static_cast<double>(nranks > 0 ? nranks : 1);
+    recoveryCost =
+        cost_.elasticMigrateBase + cost_.elasticMigratePerByte * shardBytes;
+    stats_.elasticMigrations++;
+  } else {
+    recoveryCost =
+        cost_.ckptRestoreBase +
+        cost_.ckptRestorePerByte * static_cast<double>(latest_.payloadBytes);
+    stats_.restores++;
+  }
   // The crash is detected no earlier than it fired and the snapshot cannot
   // be restored before it was written, so the resume clock is the max of the
-  // two plus the restore cost — monotone, which also guarantees forward
+  // two plus the recovery cost — monotone, which also guarantees forward
   // progress when a replay is killed again before reaching its target.
-  double resume = std::max(kill.clock, latest_.releaseClock) + restoreCost;
+  double resume = std::max(kill.clock, latest_.releaseClock) + recoveryCost;
   seeking_ = true;
   seekTarget_ = latest_.boundary;
   seekResumeClock_ = resume;
-  stats_.restores++;
-  trail_.push_back(RestoreEvent{kill.rank, latest_.epoch, kill.clock, resume});
+  trail_.push_back(
+      RestoreEvent{kill.rank, latest_.epoch, kill.clock, resume, elastic});
   return resume;
 }
 
@@ -243,13 +258,11 @@ std::vector<std::uint8_t> CheckpointManager::serialize(
     putU64(out, kv.second);
   }
   putU64(out, cp.recvSeq.size());
-  for (const auto& m : cp.recvSeq) {
-    putU64(out, m.size());
-    for (const auto& kv : m) {
-      putI64(out, kv.first.first);
-      putI64(out, kv.first.second);
-      putU64(out, kv.second);
-    }
+  for (const auto& kv : cp.recvSeq) {
+    putI64(out, std::get<0>(kv.first));  // dst
+    putI64(out, std::get<1>(kv.first));  // src
+    putI64(out, std::get<2>(kv.first));  // tag
+    putU64(out, kv.second);
   }
   return out;
 }
@@ -307,14 +320,12 @@ Checkpoint CheckpointManager::deserialize(
     int dest = static_cast<int>(r.i64v());
     cp.sendSeq[{{peer, tag}, dest}] = r.u64();
   }
-  cp.recvSeq.resize(r.u64());
-  for (auto& m : cp.recvSeq) {
-    std::uint64_t nkv = r.u64();
-    for (std::uint64_t k = 0; k < nkv; ++k) {
-      int src = static_cast<int>(r.i64v());
-      int tag = static_cast<int>(r.i64v());
-      m[{src, tag}] = r.u64();
-    }
+  std::uint64_t nrecv = r.u64();
+  for (std::uint64_t k = 0; k < nrecv; ++k) {
+    int dst = static_cast<int>(r.i64v());
+    int src = static_cast<int>(r.i64v());
+    int tag = static_cast<int>(r.i64v());
+    cp.recvSeq[std::make_tuple(dst, src, tag)] = r.u64();
   }
   PARAD_CHECK(r.pos == bytes.size(),
               "checkpoint deserialize: trailing bytes");

@@ -68,7 +68,7 @@ struct Checkpoint {
   std::uint64_t liveBytes = 0;  // memory-manager live-byte counter
   std::vector<ObjImage> objects;
   Fabric::SendSeqMap sendSeq;   // fabric per-flow sequence numbers
-  Fabric::RecvSeqMaps recvSeq;
+  Fabric::RecvSeqMap recvSeq;
   RunStats stats;
   // Payload accounting: bytes of *live* objects only — the checkpoint writes
   // exactly the plan-identified live set, so its size shrinks when the
@@ -110,6 +110,8 @@ class CheckpointManager {
 
   bool hasCheckpoint() const { return latest_.epoch >= 0; }
   const Checkpoint& latest() const { return latest_; }
+  /// Recovery events performed so far — full rollbacks *and* elastic
+  /// migrations; the retry budget bounds their total.
   int restores() const { return static_cast<int>(trail_.size()); }
   const std::vector<RestoreEvent>& trail() const { return trail_; }
 
@@ -117,7 +119,16 @@ class CheckpointManager {
   /// image, preserves the resilience counters, arms the seek to latest(),
   /// records the RestoreEvent, and returns the virtual clock the replay will
   /// resume from at the restore point (kill detection + restore cost).
-  double planRecovery(const RankKillSignal& kill);
+  ///
+  /// With `elastic` set the same deterministic replay-and-seek machinery is
+  /// reused, but the modeled cost is a shard *migration* — the dead rank's
+  /// 1/nranks share of the checkpoint payload moves to a survivor — instead
+  /// of a full restore, and the event is accounted as an elastic migration
+  /// (stats_.elasticMigrations) rather than a restore. The caller (Machine)
+  /// re-homes the dead rank's persona onto the surviving host, so the replay
+  /// continues on n-1 modeled ranks.
+  double planRecovery(const RankKillSignal& kill, bool elastic = false,
+                      int nranks = 1);
 
   /// Per-capture summary, for tests and the checkpoint bench.
   struct CaptureLog {

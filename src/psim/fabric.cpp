@@ -14,6 +14,32 @@ const char* reduceName(ir::ReduceKind k) {
   }
   return "?";
 }
+
+// Renders a member list for a mismatch report, capped so a 4096-rank report
+// stays readable.
+std::string listRanks(std::vector<int> members) {
+  std::sort(members.begin(), members.end());
+  constexpr std::size_t kMax = 8;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < members.size() && i < kMax; ++i)
+    os << " " << members[i];
+  if (members.size() > kMax)
+    os << " … and " << (members.size() - kMax) << " more";
+  return os.str();
+}
+
+// Integers in [0, x) whose bit `bit` is clear.
+i64 countBitClear(i64 x, i64 bit) {
+  return (x / (2 * bit)) * bit + std::min(x % (2 * bit), bit);
+}
+
+// Ranks holding an in-range partner (r ^ bit < n) in one binomial stage:
+// every rank pairs with the rank differing in that bit; ranks whose partner
+// falls past the end sit the stage out (non-power-of-two counts).
+i64 activeInStage(i64 n, i64 bit) {
+  i64 lo = std::max<i64>(0, n - bit);
+  return n - (countBitClear(n, bit) - countBitClear(lo, bit));
+}
 }  // namespace
 
 ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
@@ -56,29 +82,41 @@ ReqId Fabric::isend(int rank, WorkerCtx& w, const double* data, i64 count,
   }
 
   // If the destination already posted a matching receive, deliver into it.
-  auto& pend = pendingRecvs_[static_cast<std::size_t>(dest)];
-  for (std::size_t k = 0; k < pend.size(); ++k) {
-    Request& r = reqs_[static_cast<std::size_t>(pend[k])];
-    if (!r.complete && (r.src == rank || r.src == -1) &&
-        (r.tag == tag || r.tag == -1)) {
-      deliver(r, std::move(msg));
-      pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(k));
-      if (dup) inbox_[static_cast<std::size_t>(dest)].push_back(std::move(ghost));
-      Request sreq{Request::Kind::Send};
-      sreq.complete = true;
-      sreq.completeTime = w.clock;
-      reqs_.push_back(sreq);
-      return static_cast<ReqId>(reqs_.size() - 1);
+  auto pendIt = pendingRecvs_.find(dest);
+  if (pendIt != pendingRecvs_.end()) {
+    auto& pend = pendIt->second;
+    for (std::size_t k = 0; k < pend.size(); ++k) {
+      Request& r = reqs_[static_cast<std::size_t>(pend[k])];
+      if (!r.complete && (r.src == rank || r.src == -1) &&
+          (r.tag == tag || r.tag == -1)) {
+        deliver(r, std::move(msg));
+        pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(k));
+        --postedRecvs_;
+        if (pend.empty()) pendingRecvs_.erase(pendIt);
+        if (dup) pushInbox(dest, std::move(ghost));
+        Request sreq{Request::Kind::Send};
+        sreq.complete = true;
+        sreq.completeTime = w.clock;
+        reqs_.push_back(sreq);
+        ++unconsumedReqs_;
+        return static_cast<ReqId>(reqs_.size() - 1);
+      }
     }
   }
-  inbox_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
-  if (dup) inbox_[static_cast<std::size_t>(dest)].push_back(std::move(ghost));
+  pushInbox(dest, std::move(msg));
+  if (dup) pushInbox(dest, std::move(ghost));
 
   Request sreq{Request::Kind::Send};
   sreq.complete = true;  // buffered send completes locally at post time
   sreq.completeTime = w.clock;
   reqs_.push_back(sreq);
+  ++unconsumedReqs_;
   return static_cast<ReqId>(reqs_.size() - 1);
+}
+
+void Fabric::pushInbox(int dest, Message&& msg) {
+  inbox_[dest].push_back(std::move(msg));
+  ++inboxMsgs_;
 }
 
 void Fabric::deliver(Request& r, Message&& msg) {
@@ -91,8 +129,10 @@ void Fabric::deliver(Request& r, Message&& msg) {
   r.completeTime = std::max(r.postTime, msg.availTime) +
                    transferCost(msg.src, r.rank, r.count * 8);
   if (faultsOn())
-    recvSeq_[static_cast<std::size_t>(r.rank)][FlowKey{msg.src, msg.tag}] =
-        msg.seq + 1;
+    recvSeq_[std::make_tuple(r.rank, msg.src, msg.tag)] = msg.seq + 1;
+  // Event-keyed wake: if the receiving rank is parked in wait() on this
+  // request, exactly it is made runnable — no other rank is touched.
+  if (r.waiter >= 0) sched_.wake(r.waiter);
 }
 
 ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
@@ -120,32 +160,41 @@ ReqId Fabric::irecv(int rank, WorkerCtx& w, RtPtr dest, i64 count, int src,
   r.count = count;
   r.postTime = w.clock;
 
-  auto& box = inbox_[static_cast<std::size_t>(rank)];
-  for (auto it = box.begin(); it != box.end();) {
-    if ((it->src == src || src == -1) && (it->tag == tag || tag == -1)) {
-      if (it->dup) {
-        // Duplicate suppression: the original of this flow was already
-        // delivered (its seqno is below the flow's expected seqno), so the
-        // ghost copy is dropped without touching user memory.
-        auto& expected = recvSeq_[static_cast<std::size_t>(rank)];
-        auto ex = expected.find(FlowKey{it->src, it->tag});
-        PARAD_CHECK(ex != expected.end() && it->seq < ex->second,
-                    "duplicate message ahead of its original in flow (",
-                    it->src, " -> ", rank, ", tag ", it->tag, ")");
-        stats_.dupDeliveries++;
-        it = box.erase(it);
-        continue;
+  auto boxIt = inbox_.find(rank);
+  if (boxIt != inbox_.end()) {
+    auto& box = boxIt->second;
+    for (auto it = box.begin(); it != box.end();) {
+      if ((it->src == src || src == -1) && (it->tag == tag || tag == -1)) {
+        if (it->dup) {
+          // Duplicate suppression: the original of this flow was already
+          // delivered (its seqno is below the flow's expected seqno), so the
+          // ghost copy is dropped without touching user memory.
+          auto ex = recvSeq_.find(std::make_tuple(rank, it->src, it->tag));
+          PARAD_CHECK(ex != recvSeq_.end() && it->seq < ex->second,
+                      "duplicate message ahead of its original in flow (",
+                      it->src, " -> ", rank, ", tag ", it->tag, ")");
+          stats_.dupDeliveries++;
+          it = box.erase(it);
+          --inboxMsgs_;
+          continue;
+        }
+        deliver(r, std::move(*it));
+        box.erase(it);
+        --inboxMsgs_;
+        if (box.empty()) inbox_.erase(boxIt);
+        reqs_.push_back(std::move(r));
+        ++unconsumedReqs_;
+        return static_cast<ReqId>(reqs_.size() - 1);
       }
-      deliver(r, std::move(*it));
-      box.erase(it);
-      reqs_.push_back(std::move(r));
-      return static_cast<ReqId>(reqs_.size() - 1);
+      ++it;
     }
-    ++it;
+    if (box.empty()) inbox_.erase(boxIt);  // dup suppression drained it
   }
   reqs_.push_back(std::move(r));
+  ++unconsumedReqs_;
   ReqId id = static_cast<ReqId>(reqs_.size() - 1);
-  pendingRecvs_[static_cast<std::size_t>(rank)].push_back(id);
+  pendingRecvs_[rank].push_back(id);
+  ++postedRecvs_;
   return id;
 }
 
@@ -157,53 +206,117 @@ void Fabric::wait(int rank, WorkerCtx& w, ReqId id) {
          " has already been waited on; each request handle completes exactly "
          "once (was a stale ReqId reused?)");
   if (!reqs_[static_cast<std::size_t>(id)].complete) {
-    const Request& r0 = reqs_[static_cast<std::size_t>(id)];
-    BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
-    b.op = BlockInfo::Op::Wait;
-    b.peer = r0.kind == Request::Kind::Recv ? r0.src : -2;
-    b.tag = r0.tag;
-    b.req = id;
-    b.count = r0.count;
-    sched_.blockUntil(rank, [this, id] {
-      return reqs_[static_cast<std::size_t>(id)].complete;
-    });
-    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
+    {
+      const Request& r0 = reqs_[static_cast<std::size_t>(id)];
+      BlockInfo& b = blocked_[rank];
+      b.op = BlockInfo::Op::Wait;
+      b.peer = r0.kind == Request::Kind::Recv ? r0.src : -2;
+      b.tag = r0.tag;
+      b.req = id;
+      b.count = r0.count;
+    }
+    // Register on the request's wake list, then park. The matching isend
+    // wakes exactly this rank from deliver(). (Re-index after the block:
+    // reqs_ may have grown/reallocated while this rank slept.)
+    reqs_[static_cast<std::size_t>(id)].waiter = rank;
+    sched_.block(rank);
+    reqs_[static_cast<std::size_t>(id)].waiter = -1;
+    blocked_.erase(rank);
+    PARAD_CHECK(reqs_[static_cast<std::size_t>(id)].complete,
+                "wait: woken before request ", id, " completed");
   }
   Request& r = reqs_[static_cast<std::size_t>(id)];
   r.consumed = true;
+  --unconsumedReqs_;
   w.clock = std::max(w.clock, r.completeTime);
   w.advance(cfg_.cost.mpWaitCost);
+}
+
+double Fabric::treeRelease(double latest, int nstages, double baseStage,
+                           i64 bytesPerActiveRank) {
+  stats_.collectiveStages += static_cast<std::uint64_t>(nstages);
+  i64 n = nranks_;
+  for (int s = 0; s < nstages; ++s) {
+    i64 bit = i64{1} << s;
+    stats_.collectiveBytesOnWire +=
+        static_cast<std::uint64_t>(activeInStage(n, bit)) *
+        static_cast<std::uint64_t>(bytesPerActiveRank);
+  }
+  double gamma = cfg_.cost.collectiveLinkGamma;
+  // Homogeneous stages (the default calibration): one multiply, exactly the
+  // historical flat-rendezvous release expression.
+  if (gamma <= 0 || nstages == 0) return latest + baseStage * nstages;
+  // Per-stage link contention: flows of a stage that cross the socket
+  // interconnect share it; each extra concurrent cross-socket flow stretches
+  // the stage.
+  double total = 0;
+  for (int s = 0; s < nstages; ++s) {
+    i64 bit = i64{1} << s;
+    i64 cross = 0;
+    for (i64 r = 0; r < n; ++r) {
+      i64 p = r ^ bit;
+      if (p < n && socketOfRank_(static_cast<int>(r)) !=
+                       socketOfRank_(static_cast<int>(p)))
+        ++cross;
+    }
+    total +=
+        baseStage + gamma * static_cast<double>(std::max<i64>(0, cross - 1));
+  }
+  return latest + total;
+}
+
+double Fabric::ringRelease(double latest, i64 count) {
+  // Bandwidth-optimal ring: reduce-scatter then allgather, 2(n-1) stages of
+  // one count/n-element chunk per rank per stage.
+  int nstages = 2 * (nranks_ - 1);
+  i64 chunk = (count + nranks_ - 1) / nranks_;
+  stats_.collectiveStages += static_cast<std::uint64_t>(nstages);
+  stats_.collectiveBytesOnWire += static_cast<std::uint64_t>(nstages) *
+                                  static_cast<std::uint64_t>(nranks_) *
+                                  static_cast<std::uint64_t>(chunk) * 8u;
+  double base = cfg_.cost.allreducePerStage +
+                cfg_.cost.mpBetaPerByte * static_cast<double>(chunk) * 8.0;
+  double gamma = cfg_.cost.collectiveLinkGamma;
+  if (gamma > 0) {
+    i64 cross = 0;  // neighbor links crossing sockets, fixed across stages
+    for (int r = 0; r < nranks_; ++r)
+      if (socketOfRank_(r) != socketOfRank_((r + 1) % nranks_)) ++cross;
+    base += gamma * static_cast<double>(std::max<i64>(0, cross - 1));
+  }
+  return latest + base * nstages;
 }
 
 void Fabric::barrier(int rank, WorkerCtx& w) {
   if (allred_.count > 0) {
     std::ostringstream os;
-    os << "rank " << rank << " entered barrier while rank(s)";
-    for (int r = 0; r < nranks_; ++r)
-      if (allred_.present[static_cast<std::size_t>(r)]) os << " " << r;
-    os << " are inside allreduce(" << reduceName(allred_.kind) << ", count "
-       << allred_.elems << ")";
+    os << "rank " << rank << " entered barrier while rank(s)"
+       << listRanks(allred_.members) << " are inside allreduce("
+       << reduceName(allred_.kind) << ", count " << allred_.elems << ")";
     failCollective(os.str());
   }
-  std::uint64_t gen = barrier_.generation;
-  barrier_.arrive[static_cast<std::size_t>(rank)] = w.clock;
-  barrier_.present[static_cast<std::size_t>(rank)] = 1;
+  barrier_.members.push_back(rank);
+  barrier_.latest = std::max(barrier_.latest, w.clock);
   barrier_.count++;
   if (barrier_.count == nranks_) {
-    double latest = *std::max_element(barrier_.arrive.begin(),
-                                      barrier_.arrive.end());
     int stages = 1;
     while ((1 << stages) < nranks_) ++stages;
     barrier_.releaseTime =
-        latest + cfg_.cost.allreducePerStage * (nranks_ > 1 ? stages : 0);
+        treeRelease(barrier_.latest, nranks_ > 1 ? stages : 0,
+                    cfg_.cost.allreducePerStage, /*bytesPerActiveRank=*/0);
+    std::vector<int> members = std::move(barrier_.members);
+    barrier_.members.clear();
+    barrier_.latest = 0;
     barrier_.count = 0;
-    barrier_.present.assign(static_cast<std::size_t>(nranks_), 0);
     barrier_.generation++;
     if (boundaryHook_) boundaryHook_(barrier_.releaseTime);
+    // Collective-generation wake: the last arrival releases exactly the
+    // parked members.
+    for (int r : members)
+      if (r != rank) sched_.wake(r);
   } else {
-    blocked_[static_cast<std::size_t>(rank)].op = BlockInfo::Op::Barrier;
-    sched_.blockUntil(rank, [this, gen] { return barrier_.generation != gen; });
-    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
+    blocked_[rank].op = BlockInfo::Op::Barrier;
+    sched_.block(rank);
+    blocked_.erase(rank);
   }
   w.clock = std::max(w.clock, barrier_.releaseTime);
 }
@@ -214,61 +327,60 @@ void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
   if (barrier_.count > 0) {
     std::ostringstream os;
     os << "rank " << rank << " entered allreduce(" << reduceName(kind)
-       << ", count " << count << ") while rank(s)";
-    for (int r = 0; r < nranks_; ++r)
-      if (barrier_.present[static_cast<std::size_t>(r)]) os << " " << r;
-    os << " are inside barrier";
+       << ", count " << count << ") while rank(s)"
+       << listRanks(barrier_.members) << " are inside barrier";
     failCollective(os.str());
   }
-  std::uint64_t gen = allred_.generation;
   if (allred_.count == 0) {
     allred_.kind = kind;
     allred_.elems = count;
   } else if (allred_.kind != kind || allred_.elems != count) {
     std::ostringstream os;
     os << "rank " << rank << " called allreduce(" << reduceName(kind)
-       << ", count " << count << ") but rank(s)";
-    for (int r = 0; r < nranks_; ++r)
-      if (allred_.present[static_cast<std::size_t>(r)]) os << " " << r;
-    os << " are inside allreduce(" << reduceName(allred_.kind) << ", count "
+       << ", count " << count << ") but rank(s)" << listRanks(allred_.members)
+       << " are inside allreduce(" << reduceName(allred_.kind) << ", count "
        << allred_.elems << ")";
     failCollective(os.str());
   }
   allred_.contrib[static_cast<std::size_t>(rank)].assign(sendbuf,
                                                          sendbuf + count);
-  allred_.order.push_back(rank);
-  allred_.arrive[static_cast<std::size_t>(rank)] = w.clock;
-  allred_.present[static_cast<std::size_t>(rank)] = 1;
+  allred_.members.push_back(rank);
+  allred_.latest = std::max(allred_.latest, w.clock);
   allred_.count++;
   stats_.messages++;
   stats_.bytesSent += static_cast<std::uint64_t>(count) * 8u;
 
   if (allred_.count == nranks_) {
-    double latest =
-        *std::max_element(allred_.arrive.begin(), allred_.arrive.end());
-    int stages = 0;
-    while ((1 << stages) < nranks_) ++stages;
-    allred_.releaseTime =
-        latest + (cfg_.cost.allreducePerStage +
-                  cfg_.cost.mpBetaPerByte * static_cast<double>(count) * 8.0) *
-                     std::max(stages, 1);
+    if (cfg_.cost.allreduceRingMinBytes > 0 && nranks_ > 1 &&
+        static_cast<double>(count) * 8.0 >= cfg_.cost.allreduceRingMinBytes) {
+      allred_.releaseTime = ringRelease(allred_.latest, count);
+    } else {
+      int stages = 0;
+      while ((1 << stages) < nranks_) ++stages;
+      allred_.releaseTime = treeRelease(
+          allred_.latest, std::max(stages, 1),
+          cfg_.cost.allreducePerStage +
+              cfg_.cost.mpBetaPerByte * static_cast<double>(count) * 8.0,
+          /*bytesPerActiveRank=*/count * 8);
+    }
+    std::vector<int> members = std::move(allred_.members);
+    allred_.members.clear();
+    allred_.latest = 0;
     allred_.count = 0;
-    allred_.present.assign(static_cast<std::size_t>(nranks_), 0);
     allred_.generation++;
-    // Reduce the buffered contributions. Under an active fault plan the
-    // order is canonical rank order — a pure function of the contributed
+    // Reduce the buffered contributions. The staged schedule above models
+    // *time* only; the values are reduced sequentially — under an active
+    // fault plan in canonical rank order (a pure function of the contributed
     // values, independent of the fault-perturbed arrival times, with Min/Max
-    // ties to the lowest rank. Without faults the reduction follows arrival
-    // order (first arrival wins ties), matching the pre-fault-layer machine
-    // bit for bit.
+    // ties to the lowest rank), otherwise in arrival order (first arrival
+    // wins ties), matching the pre-fault-layer machine bit for bit.
     std::vector<int> order;
     if (faultsOn()) {
       order.resize(static_cast<std::size_t>(nranks_));
       for (int r = 0; r < nranks_; ++r) order[static_cast<std::size_t>(r)] = r;
     } else {
-      order = allred_.order;
+      order = members;
     }
-    allred_.order.clear();
     int r0 = order[0];
     allred_.result = allred_.contrib[static_cast<std::size_t>(r0)];
     allred_.resultWinner.assign(static_cast<std::size_t>(count),
@@ -298,13 +410,15 @@ void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
       }
     }
     if (boundaryHook_) boundaryHook_(allred_.releaseTime);
+    for (int r : members)
+      if (r != rank) sched_.wake(r);
   } else {
-    BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
+    BlockInfo& b = blocked_[rank];
     b.op = BlockInfo::Op::Allreduce;
     b.count = count;
     b.reduce = kind;
-    sched_.blockUntil(rank, [this, gen] { return allred_.generation != gen; });
-    blocked_[static_cast<std::size_t>(rank)] = BlockInfo{};
+    sched_.block(rank);
+    blocked_.erase(rank);
   }
   for (i64 k = 0; k < count; ++k)
     mem_.atF(recvbuf, k) = allred_.result[static_cast<std::size_t>(k)];
@@ -314,8 +428,14 @@ void Fabric::allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
 }
 
 void Fabric::describeRank(int rank, RankSnapshot& snap) const {
-  const BlockInfo& b = blocked_[static_cast<std::size_t>(rank)];
-  snap.inboxDepth = inbox_[static_cast<std::size_t>(rank)].size();
+  auto boxIt = inbox_.find(rank);
+  snap.inboxDepth = boxIt == inbox_.end() ? 0 : boxIt->second.size();
+  auto bIt = blocked_.find(rank);
+  if (bIt == blocked_.end()) {
+    snap.op = "running";
+    return;
+  }
+  const BlockInfo& b = bIt->second;
   switch (b.op) {
     case BlockInfo::Op::None:
       snap.op = "running";

@@ -7,6 +7,16 @@
 // Matching is FIFO per (destination, source, tag). Transfer times follow a
 // Hockney alpha-beta model with a larger alpha across the socket boundary.
 //
+// Collectives are *staged*: release times follow a binomial-tree schedule
+// (ceil(log2 n) stages) or, for large allreduce payloads, a ring schedule
+// (2(n-1) chunked stages), with optional per-stage link contention — while
+// the reduced *values* stay in rank/arrival order exactly as before, so
+// results are bit-identical to the flat-rendezvous model (DESIGN.md §12).
+// All per-rank bookkeeping is sparse (maps keyed by live flows / blocked
+// ranks) and blocking is event-keyed: a rank parks on the scheduler and is
+// woken precisely by the message delivery or collective release it waits
+// for, so idle ranks cost nothing per scheduling step.
+//
 // Under an active FaultPlan the fabric is self-healing: lost copies are
 // retransmitted with exponential backoff (modeled analytically — the
 // surviving copy's availability time absorbs the whole retry schedule, so
@@ -20,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -40,16 +51,7 @@ class Fabric {
          RunStats& stats, CoopScheduler& sched,
          std::function<int(int)> socketOfRank)
       : nranks_(nranks), cfg_(cfg), mem_(mem), stats_(stats), sched_(sched),
-        socketOfRank_(std::move(socketOfRank)),
-        barrier_{}, allred_{} {
-    inbox_.resize(static_cast<std::size_t>(nranks));
-    pendingRecvs_.resize(static_cast<std::size_t>(nranks));
-    recvSeq_.resize(static_cast<std::size_t>(nranks));
-    blocked_.resize(static_cast<std::size_t>(nranks));
-    barrier_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
-    barrier_.present.assign(static_cast<std::size_t>(nranks), 0);
-    allred_.arrive.assign(static_cast<std::size_t>(nranks), 0.0);
-    allred_.present.assign(static_cast<std::size_t>(nranks), 0);
+        socketOfRank_(std::move(socketOfRank)), barrier_{}, allred_{} {
     allred_.contrib.resize(static_cast<std::size_t>(nranks));
   }
 
@@ -74,25 +76,23 @@ class Fabric {
   /// True when the fabric holds no in-flight point-to-point state: every
   /// request waited on, no buffered or unmatched messages. Checkpoints are
   /// only taken at collective boundaries where this holds, so a snapshot
-  /// never needs to serialize message payloads (DESIGN.md §11).
+  /// never needs to serialize message payloads (DESIGN.md §11). O(1): the
+  /// fabric counts outstanding requests and buffered messages as they come
+  /// and go instead of scanning them.
   bool quiescent() const {
-    for (const Request& r : reqs_)
-      if (!r.consumed) return false;
-    for (const auto& q : inbox_)
-      if (!q.empty()) return false;
-    for (const auto& v : pendingRecvs_)
-      if (!v.empty()) return false;
-    return true;
+    return unconsumedReqs_ == 0 && inboxMsgs_ == 0 && postedRecvs_ == 0;
   }
 
   // Checkpoint surface: the per-flow sequence counters are the only fabric
   // state that survives a quiesce point, so they are what a snapshot carries.
   using SendSeqMap =
       std::map<std::pair<std::pair<int, int>, int>, std::uint64_t>;
-  using RecvSeqMaps = std::vector<std::map<std::pair<int, int>, std::uint64_t>>;
+  // Receive-side expected seqnos keyed by (dst, src, tag) — one sparse map
+  // over live flows, not a dense per-rank array.
+  using RecvSeqMap = std::map<std::tuple<int, int, int>, std::uint64_t>;
   const SendSeqMap& sendSeqState() const { return sendSeq_; }
-  const RecvSeqMaps& recvSeqState() const { return recvSeq_; }
-  void restoreSeqState(SendSeqMap send, RecvSeqMaps recv) {
+  const RecvSeqMap& recvSeqState() const { return recvSeq_; }
+  void restoreSeqState(SendSeqMap send, RecvSeqMap recv) {
     sendSeq_ = std::move(send);
     recvSeq_ = std::move(recv);
   }
@@ -117,11 +117,11 @@ class Fabric {
   void barrier(int rank, WorkerCtx& w);
 
   /// Allreduce over `count` elements. Contributions are buffered per rank
-  /// and reduced in rank order once the last rank arrives, so the result is
-  /// independent of the (fault-perturbed) arrival order and ties in Min/Max
-  /// genuinely go to the lowest rank. If `winners` is non-null and the kind
-  /// is Min/Max, it receives the winning rank per element, which the AD
-  /// engine caches to route min/max adjoints.
+  /// and reduced once the last rank arrives, so the result is independent of
+  /// the (fault-perturbed) arrival order and ties in Min/Max genuinely go to
+  /// the lowest rank. If `winners` is non-null and the kind is Min/Max, it
+  /// receives the winning rank per element, which the AD engine caches to
+  /// route min/max adjoints.
   void allreduce(int rank, WorkerCtx& w, ir::ReduceKind kind,
                  const double* sendbuf, RtPtr recvbuf, i64 count,
                  std::vector<i64>* winners = nullptr);
@@ -145,6 +145,7 @@ class Fabric {
     bool complete = false;
     bool consumed = false;  // a wait() already returned this request
     double completeTime = 0;
+    int waiter = -1;  // rank parked in wait() on this request, or -1
     // For pending receives:
     int rank = 0, src = 0, tag = 0;
     RtPtr dest;
@@ -171,7 +172,15 @@ class Fabric {
   bool faultsOn() const { return plan_ && plan_->enabled(); }
 
   void deliver(Request& r, Message&& msg);
+  void pushInbox(int dest, Message&& msg);
   [[noreturn]] void failCollective(std::string detail);
+
+  // Staged collective timing (values are reduced separately; see the
+  // allreduce implementation). Both return the release time and account the
+  // collectiveStages/collectiveBytesOnWire statistics.
+  double treeRelease(double latest, int nstages, double baseStage,
+                     i64 bytesPerActiveRank);
+  double ringRelease(double latest, i64 count);
 
   int nranks_;
   const MachineConfig& cfg_;
@@ -184,19 +193,27 @@ class Fabric {
       failureBuilder_;
   std::function<void(double&)> boundaryHook_;
 
-  std::vector<std::deque<Message>> inbox_;          // per destination rank
-  std::vector<std::vector<ReqId>> pendingRecvs_;    // per destination rank
+  // Sparse per-rank flow state: entries exist only for ranks that currently
+  // hold buffered messages / posted receives / are blocked. An idle rank
+  // costs no storage and no scan time.
+  std::map<int, std::deque<Message>> inbox_;       // keyed by destination rank
+  std::map<int, std::vector<ReqId>> pendingRecvs_; // keyed by destination rank
   std::vector<Request> reqs_;
-  std::vector<BlockInfo> blocked_;  // per rank, set while inside blockUntil
+  std::map<int, BlockInfo> blocked_;  // ranks parked inside the fabric
+
+  // O(1) quiescence accounting (see quiescent()).
+  std::uint64_t unconsumedReqs_ = 0;
+  std::uint64_t inboxMsgs_ = 0;
+  std::uint64_t postedRecvs_ = 0;
 
   // Per-flow sequence bookkeeping (touched only when a fault plan is on).
   using FlowKey = std::pair<int, int>;  // (peer rank, tag)
   std::map<std::pair<FlowKey, int>, std::uint64_t> sendSeq_;  // +dest rank
-  std::vector<std::map<FlowKey, std::uint64_t>> recvSeq_;     // (src,tag)
+  RecvSeqMap recvSeq_;  // (dst, src, tag) -> next expected seqno
 
   struct Rendezvous {
-    std::vector<double> arrive;
-    std::vector<char> present;  // which ranks are inside the collective
+    std::vector<int> members;  // ranks inside, in arrival order
+    double latest = 0;         // running max of member arrival clocks
     int count = 0;
     std::uint64_t generation = 0;
     double releaseTime = 0;
@@ -211,7 +228,6 @@ class Fabric {
     // without a fault layer), in canonical rank order under an active fault
     // plan (the order must not depend on fault-perturbed arrival times).
     std::vector<std::vector<double>> contrib;
-    std::vector<int> order;  // ranks in arrival sequence this generation
     // Snapshot written when the last rank arrives. Stable until every rank
     // has consumed it (the next allreduce cannot complete before then).
     std::vector<double> result;

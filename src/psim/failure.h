@@ -35,6 +35,7 @@ struct RestoreEvent {
   int epoch = -1;        // checkpoint epoch restored to
   double killClock = 0;  // virtual ns at which the crash fired
   double resumeClock = 0;  // virtual ns the replay resumed from
+  bool elastic = false;  // shard migration (continue on n-1) vs full restore
 };
 
 struct FailureReport {

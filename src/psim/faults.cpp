@@ -38,7 +38,7 @@ double parseRate(const std::string& key, const std::string& val) {
 constexpr const char* kKeys[] = {
     "seed",     "drop",   "dup",    "delay",         "delayns",
     "allocfail", "straggle", "factor", "rto",         "maxretry",
-    "kill",     "killns", "ckpt_interval", "retry",
+    "kill",     "killns", "ckpt_interval", "retry",  "elastic",
 };
 
 std::string keyList() {
@@ -138,6 +138,10 @@ FaultConfig parseFaultSpec(const std::string& spec) {
     } else if (key == "retry") {
       cfg.retryBudget = static_cast<int>(parseNumber(key, val));
       PARAD_CHECK(cfg.retryBudget >= 0, "fault spec: retry must be >= 0");
+    } else if (key == "elastic") {
+      double v = parseNumber(key, val);
+      PARAD_CHECK(v == 0.0 || v == 1.0, "fault spec: elastic must be 0 or 1");
+      cfg.elastic = v != 0.0;
     } else {
       std::string near = nearestKey(key);
       fail("fault spec: unknown key '", key, "'",

@@ -35,13 +35,17 @@ struct FaultConfig {
   double killRate = 0;        // P(a rank suffers its k-th crash), per k
   double killNs = 20000;      // virtual-time window scale of crash instants
   int ckptInterval = 0;       // checkpoint every k-th collective (0 = off)
-  int retryBudget = 3;        // restores allowed before the run gives up
+  int retryBudget = 3;        // recoveries allowed before the run gives up
+  // Elastic recovery: answer a kill by migrating the dead rank's checkpoint
+  // shard to a survivor and continuing on n-1 ranks, instead of rolling the
+  // whole machine back through a full restore. Requires ckpt_interval > 0.
+  bool elastic = false;
 };
 
 /// Parses a comma-separated `key=value` fault spec, e.g.
 /// `seed=7,drop=0.2,dup=0.05,delay=0.3,delayns=1500,straggle=0.25,factor=3`.
 /// Keys: seed, drop, dup, delay, delayns, allocfail, straggle, factor, rto,
-/// maxretry, kill, killns, ckpt_interval, retry. An empty spec yields a
+/// maxretry, kill, killns, ckpt_interval, retry, elastic. An empty spec yields a
 /// disabled config; unknown keys or malformed values raise parad::Error with
 /// the offending token (unknown keys additionally name the nearest valid key
 /// so a typo like `drp=0.1` cannot silently run fault-free).

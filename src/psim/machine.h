@@ -47,6 +47,17 @@ struct CostModel {
   double mpBetaPerByte = 0.055;  // ~18 GB/s effective point-to-point
   double mpWaitCost = 120.0;
   double allreducePerStage = 420.0;  // per log2(ranks) stage
+  // Hierarchical collectives. Stage costs are charged per tree/ring stage;
+  // `collectiveLinkGamma` adds contention when several of a stage's flows
+  // share the socket interconnect (cost per extra concurrent cross-socket
+  // flow). 0 keeps the historical calibration: every stage costs the same
+  // regardless of flow count, so release times match the flat-rendezvous
+  // model bit for bit. `allreduceRingMinBytes` switches allreduce to a
+  // bandwidth-optimal ring schedule (2(n-1) stages of count/n-element
+  // chunks) once the payload reaches that size; 0 disables the ring and the
+  // binomial tree is always used.
+  double collectiveLinkGamma = 0.0;
+  double allreduceRingMinBytes = 0.0;
   // Allocation.
   double allocBase = 180.0, allocPerKb = 2.0;
   // Checkpoint/restart (charged only when ckpt_interval > 0, so fault-free
@@ -54,6 +65,10 @@ struct CostModel {
   // release time; restore is charged once per rollback.
   double ckptWriteBase = 6000.0, ckptWritePerByte = 0.02;
   double ckptRestoreBase = 9000.0, ckptRestorePerByte = 0.03;
+  // Elastic recovery (FaultConfig::elastic): instead of a full rollback
+  // restore, the dead rank's shard of the last checkpoint (payload / ranks)
+  // is migrated to a survivor. Cheaper than a restore by design.
+  double elasticMigrateBase = 2500.0, elasticMigratePerByte = 0.01;
   // Misc.
   double callCost = 12.0;  // direct call overhead
   double gcCost = 20.0;    // GC intrinsic bookkeeping (jlite)
@@ -132,6 +147,10 @@ struct RunStats {
   std::uint64_t atomicOps = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytesSent = 0;
+  // Hierarchical-collective accounting: stages executed by the staged
+  // tree/ring schedules and the modeled wire traffic they put on the links.
+  std::uint64_t collectiveStages = 0;
+  std::uint64_t collectiveBytesOnWire = 0;
   std::uint64_t allocBytes = 0;
   std::uint64_t cacheBytes = 0;   // bytes allocated by the AD cache planner
   std::uint64_t tapeBytes = 0;    // bytes recorded by the cotape baseline
@@ -142,13 +161,14 @@ struct RunStats {
   std::uint64_t dupDeliveries = 0;  // duplicate copies suppressed by seqnos
   std::uint64_t faultsInjected = 0; // total fault events fired by the plan
   // Checkpoint/restart bookkeeping (zero unless ckpt_interval > 0). These
-  // four are *resilience* counters: a rollback restores every other field
+  // five are *resilience* counters: a rollback restores every other field
   // from the checkpointed stats, but preserves these so the final report
   // still shows what the recovery machinery did.
   std::uint64_t checkpoints = 0;    // snapshots captured at collectives
   std::uint64_t restores = 0;       // rollbacks performed after a kill
   std::uint64_t ranksKilled = 0;    // rank-crash events fired by the plan
   std::uint64_t ckptBytes = 0;      // payload bytes written by checkpoints
+  std::uint64_t elasticMigrations = 0;  // shard migrations (elastic=1 kills)
   // Static decision counts from the AD plan stage (core::PlanCounts), filled
   // by the bench harnesses so ablations can report *which* decisions flipped
   // alongside the dynamic costs above. Zero when no gradient was generated.

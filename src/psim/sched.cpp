@@ -3,7 +3,9 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/support/common.h"
@@ -14,15 +16,25 @@ struct CoopScheduler::Impl {
   enum class State { Ready, Running, Blocked, Done };
 
   std::mutex m;
-  std::condition_variable cv;
+  // One condition variable per rank: a hand-off touches exactly the chosen
+  // rank instead of broadcasting to every parked carrier thread.
+  std::vector<std::condition_variable> cv;
   int current = -1;
   bool failed = false;
   std::vector<State> state;
-  std::vector<std::function<bool()>> pred;
   std::vector<std::exception_ptr> err;
+  // Ready ranks keyed by (frozen virtual clock, rank). A rank's clock only
+  // advances while it runs, so the key recorded at the Ready transition stays
+  // valid until the rank is popped; the lexicographic min reproduces the
+  // historical scan order (smallest clock, ties to the lowest rank index).
+  using HeapEntry = std::pair<double, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      ready;
   std::function<double(int)> clockOf;
   FailureBuilder failureBuilder;
   double virtualNsBound = 0;
+  Telemetry telemetry;
 
   std::exception_ptr buildFailure(FailureReport::Kind kind, int rank) {
     if (failureBuilder) return failureBuilder(kind, rank);
@@ -35,39 +47,37 @@ struct CoopScheduler::Impl {
   }
 
   // Marks the run failed and hands every live rank a structured error; the
-  // blocked ranks wake in blockUntil and rethrow it.
+  // blocked ranks wake in block() and rethrow it.
   void failAll(FailureReport::Kind kind) {
     failed = true;
     current = -1;
     for (std::size_t r = 0; r < err.size(); ++r)
       if (!err[r] && state[r] != State::Done)
         err[r] = buildFailure(kind, static_cast<int>(r));
+    for (auto& c : cv) c.notify_all();
   }
 
   // Picks the next rank to run; called with the lock held while no rank runs.
   void pickNext() {
     current = -1;
-    double best = 0;
-    for (int r = 0; r < static_cast<int>(state.size()); ++r) {
-      bool runnable =
-          state[static_cast<std::size_t>(r)] == State::Ready ||
-          (state[static_cast<std::size_t>(r)] == State::Blocked &&
-           pred[static_cast<std::size_t>(r)] && pred[static_cast<std::size_t>(r)]());
-      if (!runnable) continue;
-      double c = clockOf(r);
-      if (current < 0 || c < best) {
-        current = r;
-        best = c;
+    if (failed) return;
+    while (!ready.empty()) {
+      auto [c, r] = ready.top();
+      if (state[static_cast<std::size_t>(r)] != State::Ready) {
+        ready.pop();  // stale entry from an aborted run segment
+        continue;
       }
-    }
-    if (current >= 0) {
       // Virtual-time watchdog: a livelock (e.g. runaway retransmits) keeps
       // ranks runnable forever while their clocks climb; bound the makespan.
-      if (virtualNsBound > 0 && best > virtualNsBound) {
+      if (virtualNsBound > 0 && c > virtualNsBound) {
         failAll(FailureReport::Kind::Watchdog);
         return;
       }
-      state[static_cast<std::size_t>(current)] = State::Running;
+      ready.pop();
+      current = r;
+      state[static_cast<std::size_t>(r)] = State::Running;
+      ++telemetry.steps;
+      cv[static_cast<std::size_t>(r)].notify_one();
       return;
     }
     // No runnable rank: either everyone is done, or we deadlocked.
@@ -84,15 +94,19 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
   PARAD_CHECK(nranks >= 1, "need at least one rank");
   Impl impl;
   impl_ = &impl;
+  impl.cv = std::vector<std::condition_variable>(
+      static_cast<std::size_t>(nranks));
   impl.state.assign(static_cast<std::size_t>(nranks), Impl::State::Ready);
-  impl.pred.resize(static_cast<std::size_t>(nranks));
   impl.err.resize(static_cast<std::size_t>(nranks));
   impl.clockOf = clockOf;
   impl.failureBuilder = failureBuilder_;
   impl.virtualNsBound = virtualNsBound_;
+  impl.telemetry.wakes.assign(static_cast<std::size_t>(nranks), 0);
+  impl.telemetry.steps = 0;
 
   {
     std::lock_guard<std::mutex> lk(impl.m);
+    for (int r = 0; r < nranks; ++r) impl.ready.emplace(clockOf(r), r);
     impl.pickNext();
   }
 
@@ -102,10 +116,10 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
     threads.emplace_back([&impl, &fn, r] {
       {
         std::unique_lock<std::mutex> lk(impl.m);
-        impl.cv.wait(lk, [&] { return impl.current == r || impl.failed; });
+        impl.cv[static_cast<std::size_t>(r)].wait(
+            lk, [&] { return impl.current == r || impl.failed; });
         if (impl.failed && impl.current != r) {
           impl.state[static_cast<std::size_t>(r)] = Impl::State::Done;
-          impl.cv.notify_all();
           return;
         }
       }
@@ -118,12 +132,12 @@ void CoopScheduler::run(int nranks, const std::function<void(int)>& fn,
         std::lock_guard<std::mutex> lk(impl.m);
         impl.state[static_cast<std::size_t>(r)] = Impl::State::Done;
         if (impl.current == r) impl.pickNext();
-        impl.cv.notify_all();
       }
     });
   }
   for (auto& t : threads) t.join();
   impl_ = nullptr;
+  telemetry_ = std::move(impl.telemetry);
   // Rethrow the most informative error: a rank that failed for a concrete
   // reason (an app error, a watchdog trip, a collective mismatch) beats the
   // consequent deadlock reports of the ranks it stranded.
@@ -153,27 +167,35 @@ void CoopScheduler::abortAll(std::exception_ptr e) {
   impl.current = -1;
   for (std::size_t r = 0; r < impl.err.size(); ++r)
     if (!impl.err[r] && impl.state[r] != Impl::State::Done) impl.err[r] = e;
-  impl.cv.notify_all();
+  for (auto& c : impl.cv) c.notify_all();
 }
 
-void CoopScheduler::blockUntil(int rank, const std::function<bool()>& pred) {
+void CoopScheduler::block(int rank) {
   Impl& impl = *impl_;
   std::unique_lock<std::mutex> lk(impl.m);
-  PARAD_CHECK(impl.current == rank, "blockUntil called by non-running rank");
-  if (pred()) return;  // condition already satisfied; keep running
+  PARAD_CHECK(impl.current == rank, "block called by non-running rank");
   impl.state[static_cast<std::size_t>(rank)] = Impl::State::Blocked;
-  impl.pred[static_cast<std::size_t>(rank)] = pred;
   impl.pickNext();
-  impl.cv.notify_all();
-  impl.cv.wait(lk, [&] { return impl.current == rank || impl.failed; });
-  impl.pred[static_cast<std::size_t>(rank)] = nullptr;
+  impl.cv[static_cast<std::size_t>(rank)].wait(
+      lk, [&] { return impl.current == rank || impl.failed; });
   if (impl.failed && impl.current != rank) {
     impl.state[static_cast<std::size_t>(rank)] = Impl::State::Done;
     std::exception_ptr e = impl.err[static_cast<std::size_t>(rank)];
     if (!e) e = impl.buildFailure(FailureReport::Kind::Deadlock, rank);
-    impl.cv.notify_all();
     std::rethrow_exception(e);
   }
+}
+
+void CoopScheduler::wake(int rank) {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lk(impl.m);
+  if (impl.failed) return;
+  PARAD_CHECK(impl.state[static_cast<std::size_t>(rank)] ==
+                  Impl::State::Blocked,
+              "wake on a rank that is not blocked");
+  impl.state[static_cast<std::size_t>(rank)] = Impl::State::Ready;
+  impl.ready.emplace(impl.clockOf(rank), rank);
+  ++impl.telemetry.wakes[static_cast<std::size_t>(rank)];
 }
 
 }  // namespace parad::psim

@@ -5,13 +5,23 @@
 // condition. The scheduler always resumes the runnable rank with the
 // smallest virtual clock, so simulated executions are deterministic and
 // message completion times are exact (a receive can only complete once the
-// matching send has been posted). Deadlocks (all ranks blocked) and
-// virtual-time watchdog trips are detected and reported as structured
-// VmErrors (see failure.h) rather than hanging.
+// matching send has been posted).
+//
+// Blocking is event-driven: a rank that cannot make progress registers
+// itself on a wake list owned by the subsystem it waits on (the fabric keys
+// wake lists by flow request and by collective generation) and parks via
+// block(); the rank that produces the event calls wake(). The scheduler
+// never re-evaluates predicates, so one scheduling step costs O(log n) for
+// the ready-heap pop plus O(woken) for the event — independent of how many
+// ranks sit idle. Deadlocks (all ranks blocked) and virtual-time watchdog
+// trips are detected and reported as structured VmErrors (see failure.h)
+// rather than hanging.
 #pragma once
 
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <vector>
 
 #include "src/psim/failure.h"
 
@@ -24,6 +34,13 @@ class CoopScheduler {
   /// the exception is delivered to.
   using FailureBuilder =
       std::function<std::exception_ptr(FailureReport::Kind kind, int rank)>;
+
+  /// Per-run scheduling telemetry, used by scale regression tests to assert
+  /// that idle ranks are never touched by a scheduling step.
+  struct Telemetry {
+    std::vector<std::uint64_t> wakes;  // wake() deliveries per rank
+    std::uint64_t steps = 0;           // ready-heap pops (context switches)
+  };
 
   /// Installs the failure builder and the virtual-time watchdog bound
   /// (0 disables the bound) for subsequent run() calls.
@@ -38,23 +55,34 @@ class CoopScheduler {
   void run(int nranks, const std::function<void(int)>& fn,
            const std::function<double(int)>& clockOf);
 
-  /// Called from inside a running rank: blocks until pred() holds. pred is
-  /// evaluated only while all ranks are quiescent, so it may read shared
-  /// simulation state without further locking.
-  void blockUntil(int rank, const std::function<bool()>& pred);
+  /// Called from inside the running rank: parks it until another rank calls
+  /// wake(rank) (or the run aborts, in which case the pending error is
+  /// rethrown here). The caller must have registered itself on the wake list
+  /// of the event it waits for *before* blocking — the scheduler polls
+  /// nothing on its behalf.
+  void block(int rank);
+
+  /// Called from inside the running rank: moves a Blocked `rank` back to
+  /// Ready. The woken rank resumes when the smallest-clock pick reaches it;
+  /// the caller keeps running.
+  void wake(int rank);
 
   /// Called from inside a running rank: coordinately aborts the run. Every
-  /// other live rank observes `e` (blocked ranks rethrow it from blockUntil;
+  /// other live rank observes `e` (blocked ranks rethrow it from block();
   /// not-yet-started ranks never run); the caller is expected to throw `e`'s
   /// exception itself right after. Used by the checkpoint/restart machinery
   /// to unwind all carrier threads to a clean state before a rollback.
   void abortAll(std::exception_ptr e);
+
+  /// Telemetry of the most recent run() (valid after run returns or throws).
+  const Telemetry& lastRunTelemetry() const { return telemetry_; }
 
  private:
   struct Impl;
   Impl* impl_ = nullptr;
   FailureBuilder failureBuilder_;
   double virtualNsBound_ = 0;
+  Telemetry telemetry_;
 };
 
 }  // namespace parad::psim

@@ -23,6 +23,11 @@ double Machine::run(const Launch& launch,
   faultPlan_ = FaultPlan(fc);
   watchdogSlackNs_ = 0;
   killCursor_.assign(static_cast<std::size_t>(launch.ranks), 0);
+  hostOf_.resize(static_cast<std::size_t>(launch.ranks));
+  for (int r = 0; r < launch.ranks; ++r)
+    hostOf_[static_cast<std::size_t>(r)] = r;
+  hostAlive_.assign(static_cast<std::size_t>(launch.ranks), 1);
+  hostLoad_.assign(static_cast<std::size_t>(launch.ranks), 1);
   ckpt_.reset();
   if (fc.enabled && fc.ckptInterval > 0) {
     ckpt_ = std::make_unique<CheckpointManager>(fc, cfg_.cost, mem_, stats_);
@@ -67,6 +72,9 @@ double Machine::run(const Launch& launch,
           stats_.faultsInjected++;  // one straggler event per dilated rank
         }
       }
+      // A survivor hosting adopted personas time-shares its cores among them.
+      int load = hostLoad(r);
+      if (load > 1) e.main.dilation *= static_cast<double>(load);
       addWorkers(e.main.socket, 1);
     }
     fabric_ = std::make_unique<Fabric>(
@@ -157,10 +165,38 @@ void Machine::recoverFromKill(const RankKillSignal& k) {
        << " epoch " << ckpt_->latest().epoch;
     failKilled(k, os.str());
   }
+  bool elastic = faultPlan_.config().elastic;
+  if (elastic) {
+    // Node-failure model: the crashed persona's *host* dies for good. Every
+    // persona it hosted (its own, plus any adopted earlier) is re-homed onto
+    // the next surviving rank; the machine continues on n-1 hosts. The
+    // deterministic replay-and-seek below keeps values bit-exact — the
+    // adopted personas re-execute on the survivor's cores, merely dilated.
+    int victim = hostOf_[static_cast<std::size_t>(k.rank)];
+    hostAlive_[static_cast<std::size_t>(victim)] = 0;
+    int survivor = -1;
+    for (int step = 1; step <= launch_.ranks; ++step) {
+      int c = (victim + step) % launch_.ranks;
+      if (hostAlive_[static_cast<std::size_t>(c)]) {
+        survivor = c;
+        break;
+      }
+    }
+    if (survivor < 0) {
+      os << "; no surviving rank can adopt its shard";
+      failKilled(k, os.str());
+    }
+    for (int p = 0; p < launch_.ranks; ++p)
+      if (hostOf_[static_cast<std::size_t>(p)] == victim)
+        hostOf_[static_cast<std::size_t>(p)] = survivor;
+    hostLoad_.assign(static_cast<std::size_t>(launch_.ranks), 0);
+    for (int p = 0; p < launch_.ranks; ++p)
+      hostLoad_[static_cast<std::size_t>(hostOf_[static_cast<std::size_t>(p)])]++;
+  }
   // Consume the crash: the replay has survived it, so the next kill drawn
   // for this rank (if any) is the following index of the schedule.
   killCursor_[static_cast<std::size_t>(k.rank)]++;
-  double resume = ckpt_->planRecovery(k);
+  double resume = ckpt_->planRecovery(k, elastic, launch_.ranks);
   // Excuse the recovery penalty (rollback + replay shift) from the
   // virtual-time watchdog: the replayed suffix runs `resume - releaseClock`
   // later than the original attempt did.

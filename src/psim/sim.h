@@ -61,8 +61,12 @@ class Machine {
   /// The fault oracle of the current run (inert when faults are disabled).
   const FaultPlan& faultPlan() const { return faultPlan_; }
   /// Extra clock dilation of `rank` under the active fault plan (1.0 when
-  /// the rank is not a straggler or faults are off).
-  double rankSlowdown(int rank) const { return faultPlan_.slowdown(rank); }
+  /// the rank is not a straggler or faults are off), times the load of its
+  /// hosting rank after elastic migrations (a survivor that adopted dead
+  /// ranks' personas runs them all on its own cores).
+  double rankSlowdown(int rank) const {
+    return faultPlan_.slowdown(rank) * static_cast<double>(hostLoad(rank));
+  }
   /// Captures a machine-wide per-rank failure snapshot (clocks, blocked
   /// message-passing operations, inbox depths). Valid during a run.
   FailureReport buildFailureReport(FailureReport::Kind kind,
@@ -102,8 +106,26 @@ class Machine {
   }
 
   // ---- placement ----
+  /// Hosting rank of a (possibly migrated) rank persona: identity until an
+  /// elastic recovery re-homes a dead rank's work onto a survivor.
+  int hostOf(int rank) const {
+    return hostOf_.empty() ? rank : hostOf_[static_cast<std::size_t>(rank)];
+  }
+  /// Rank personas hosted by `rank`'s host (1 unless elastic migrations
+  /// piled personas onto a survivor).
+  int hostLoad(int rank) const {
+    return hostLoad_.empty()
+               ? 1
+               : hostLoad_[static_cast<std::size_t>(hostOf(rank))];
+  }
+  /// Hosts still alive after elastic kills (== launch ranks until one dies).
+  int aliveHosts() const {
+    int n = 0;
+    for (char a : hostAlive_) n += a ? 1 : 0;
+    return hostAlive_.empty() ? launch_.ranks : n;
+  }
   int coreOfRankThread(int rank, int tid) const {
-    return (rank * launch_.threadsPerRank + tid) % cfg_.totalCores();
+    return (hostOf(rank) * launch_.threadsPerRank + tid) % cfg_.totalCores();
   }
   int socketOfCore(int core) const { return cfg_.socketOfCore(core); }
   int socketOfRank(int rank) const {
@@ -229,6 +251,13 @@ class Machine {
   std::vector<int> killCursor_;    // crashes consumed (recovered) per rank
   bool killArmed_ = false;
   double watchdogSlackNs_ = 0;     // recovery time excused from the watchdog
+  // Elastic recovery placement: persona -> hosting rank, per-host alive flag
+  // and persona load. Identity/all-alive/1 until an elastic kill re-homes a
+  // dead rank's persona onto a survivor (persists across replay attempts of
+  // one run).
+  std::vector<int> hostOf_;
+  std::vector<char> hostAlive_;
+  std::vector<int> hostLoad_;
 };
 
 }  // namespace parad::psim

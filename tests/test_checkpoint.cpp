@@ -496,3 +496,162 @@ TEST(Checkpoint, WatchdogBaselineResetsAcrossRestore) {
   mcTight.watchdogVirtualNs = clean.makespan * 0.5;
   EXPECT_THROW(runCkptRing(R, N, mcTight, /*rounds=*/12), psim::VmError);
 }
+
+namespace {
+
+/// Like runCkptRing, but keeps the Machine alive so a test can inspect
+/// elastic placement (aliveHosts) after the run.
+struct ElasticRingOut : RingOut {
+  int aliveHosts = 0;
+};
+
+ElasticRingOut runElasticRing(int R, i64 N, const psim::MachineConfig& mc,
+                              i64 rounds = 8) {
+  ir::Module mod = buildCkptRing(N, rounds);
+  psim::Machine m(mc);
+  std::vector<psim::RtPtr> sendb(static_cast<std::size_t>(R)),
+      recvb(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    sendb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    recvb[(std::size_t)r] = m.mem().alloc(Type::F64, N, 0);
+    for (i64 k = 0; k < N; ++k)
+      m.mem().atF(sendb[(std::size_t)r], k) =
+          100.0 * r + static_cast<double>(k);
+  }
+  ElasticRingOut out;
+  out.makespan = m.run({R, 1}, [&](psim::RankEnv& env) {
+    interp::Interpreter it(mod, m);
+    it.run(mod.get("ring"),
+           {interp::RtVal::P(sendb[(std::size_t)env.rank]),
+            interp::RtVal::P(recvb[(std::size_t)env.rank])},
+           env);
+  });
+  for (int r = 0; r < R; ++r)
+    out.recv.push_back(readF64(m, recvb[(std::size_t)r], N));
+  out.stats = m.stats();
+  out.aliveHosts = m.aliveHosts();
+  return out;
+}
+
+}  // namespace
+
+TEST(Checkpoint, ElasticKillContinuesOnSurvivors) {
+  // DESIGN.md §12: with elastic=1, a rank crash kills its *host* for good.
+  // Instead of retrying on the full machine, the dead host's rank personas
+  // are re-homed onto the next surviving rank (which time-shares its cores,
+  // so those personas merely dilate) and the run continues on n-1 hosts —
+  // values stay bit-exact, no full-rollback restore is ever recorded.
+  const int R = 8;
+  const i64 N = 32;
+  EngineGuard guard;
+  for (auto eng : {interp::Engine::Lowered, interp::Engine::TreeWalk}) {
+    SCOPED_TRACE(eng == interp::Engine::Lowered ? "lowered" : "treewalk");
+    interp::setDefaultEngine(eng);
+
+    psim::MachineConfig mcClean = cleanConfig(21);
+    mcClean.faults.ckptInterval = 1;
+    RingOut clean = runCkptRing(R, N, mcClean);
+
+    // Moderate kill pressure: unlike rollback recovery, every elastic kill
+    // permanently retires a host, so a rate that merely slows a rollback
+    // sweep would grind this machine down to zero survivors (that path is
+    // covered below as a structured failure, not a hang).
+    psim::MachineConfig mcKill = mcClean;
+    mcKill.faults.killRate = 0.2;
+    mcKill.faults.killNs = clean.makespan * 0.5;
+    mcKill.faults.retryBudget = 64;
+    mcKill.faults.elastic = true;
+    ElasticRingOut faulty = runElasticRing(R, N, mcKill);
+    EXPECT_GT(faulty.stats.ranksKilled, 0u);
+    EXPECT_GT(faulty.stats.elasticMigrations, 0u);
+    EXPECT_EQ(faulty.stats.restores, 0u);  // migrations, not rollbacks
+    // Each migration permanently retires exactly one host.
+    EXPECT_EQ(faulty.aliveHosts,
+              R - static_cast<int>(faulty.stats.elasticMigrations));
+    EXPECT_GT(faulty.makespan, clean.makespan);  // only timing degrades
+    ASSERT_EQ(faulty.recv.size(), clean.recv.size());
+    for (std::size_t r = 0; r < clean.recv.size(); ++r)
+      EXPECT_EQ(faulty.recv[r], clean.recv[r]);  // values bit-exact
+
+    // Elastic recovery is as deterministic as rollback recovery.
+    ElasticRingOut replay = runElasticRing(R, N, mcKill);
+    EXPECT_EQ(replay.makespan, faulty.makespan);
+    EXPECT_EQ(replay.stats.elasticMigrations, faulty.stats.elasticMigrations);
+    EXPECT_EQ(replay.aliveHosts, faulty.aliveHosts);
+  }
+}
+
+TEST(Checkpoint, ElasticKillSweepLuleshMpGradients) {
+  // The elastic path must meet the same bar as full rollback: across a
+  // seed/rate sweep on both engines, every recovered gradient run produces
+  // bit-identical gradients to the fault-free baseline, while continuing on
+  // fewer hosts.
+  apps::lulesh::Config cfg;
+  cfg.par = apps::lulesh::Config::Par::Serial;
+  cfg.mp = true;
+  cfg.rside = 2;
+  cfg.s = 3;
+  cfg.nsteps = 2;
+  ir::Module mod = apps::lulesh::build(cfg);
+  apps::lulesh::prepare(mod);
+  core::GradInfo gi = apps::lulesh::buildGradient(mod);
+
+  auto clean = apps::lulesh::runPrimal(mod, cfg, 1, cleanConfig(1));
+  auto cleanG = apps::lulesh::runGradient(mod, gi, cfg, 1, cleanConfig(1));
+
+  EngineGuard guard;
+  std::uint64_t migrations = 0;
+  int recovered = 0, unrecoverable = 0;
+  std::size_t idx = 0;
+  for (const KillCase& c : killCases({0.25, 0.6})) {
+    SCOPED_TRACE("seed=" + std::to_string(c.seed) +
+                 " rate=" + std::to_string(c.rate));
+    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
+                                            : interp::Engine::TreeWalk);
+    psim::MachineConfig mc = killMachine(c, cleanG.makespan * 0.5);
+    mc.faults.elastic = true;
+    try {
+      auto g = apps::lulesh::runGradient(mod, gi, cfg, 1, mc);
+      migrations += g.stats.elasticMigrations;
+      EXPECT_EQ(g.stats.restores, 0u);
+      if (g.stats.elasticMigrations > 0) {
+        recovered++;
+        EXPECT_EQ(g.objective, cleanG.objective);
+        ASSERT_EQ(g.gradE.size(), cleanG.gradE.size());
+        EXPECT_EQ(g.gradE, cleanG.gradE);  // bit-identical, not just close
+        EXPECT_EQ(g.gradU, cleanG.gradU);
+      }
+    } catch (const psim::VmError& e) {
+      EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled)
+          << e.what();
+      unrecoverable++;
+    }
+  }
+  EXPECT_GT(migrations, 0u);
+  EXPECT_GT(recovered, 0);
+  (void)clean;
+}
+
+TEST(Checkpoint, ElasticExhaustionIsStructuredFailure) {
+  // Sustained kills under elastic recovery retire host after host; when the
+  // last survivor's own persona is killed there is nobody left to adopt the
+  // shard. That must surface as a structured RankKilled report naming the
+  // exhaustion, never a hang or a silent wrong answer.
+  psim::MachineConfig mc = cleanConfig(21);
+  mc.faults.ckptInterval = 1;
+  mc.faults.killRate = 0.95;
+  mc.faults.killNs = 4000;
+  mc.faults.retryBudget = 1024;
+  mc.faults.elastic = true;
+  try {
+    runElasticRing(4, 16, mc);
+    FAIL() << "expected a VmError";
+  } catch (const psim::VmError& e) {
+    EXPECT_EQ(e.report().kind, psim::FailureReport::Kind::RankKilled);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("no surviving rank can adopt its shard"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("elastic migration"), std::string::npos) << msg;
+  }
+}

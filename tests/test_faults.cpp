@@ -135,12 +135,14 @@ TEST(Faults, ParseFaultSpec) {
 
 TEST(Faults, ParseResilienceKeys) {
   psim::FaultConfig fc = psim::parseFaultSpec(
-      "seed=9,kill=0.02,killns=50000,ckpt_interval=2,retry=5");
+      "seed=9,kill=0.02,killns=50000,ckpt_interval=2,retry=5,elastic=1");
   EXPECT_TRUE(fc.enabled);
   EXPECT_DOUBLE_EQ(fc.killRate, 0.02);
   EXPECT_DOUBLE_EQ(fc.killNs, 50000);
   EXPECT_EQ(fc.ckptInterval, 2);
   EXPECT_EQ(fc.retryBudget, 5);
+  EXPECT_TRUE(fc.elastic);
+  EXPECT_FALSE(psim::parseFaultSpec("kill=0.1").elastic);
 
   auto errOf = [](const std::string& spec) -> std::string {
     try {
@@ -155,6 +157,10 @@ TEST(Faults, ParseResilienceKeys) {
   EXPECT_NE(errOf("ckpt_interval=-1").find("ckpt_interval"),
             std::string::npos);
   EXPECT_NE(errOf("retry=-3").find("retry"), std::string::npos);
+  EXPECT_NE(errOf("elastic=0.5").find("elastic must be 0 or 1"),
+            std::string::npos);
+  EXPECT_NE(errOf("elastc=1").find("did you mean 'elastic'?"),
+            std::string::npos);
 }
 
 TEST(Faults, KillScheduleIsDeterministicAndIncreasing) {
