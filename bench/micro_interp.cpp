@@ -1,15 +1,25 @@
 // Micro-benchmark (google-benchmark): real-time dispatch throughput of the
-// two execution engines — the lowered flat-program executor vs the recursive
-// tree-walker (DESIGN.md §9). Unlike the figure harnesses, the quantity of
-// interest here is *wall* time per executed IR instruction; the virtual
-// clocks of the two engines are bit-identical by construction (test_exec.cpp)
-// so only host-side dispatch cost differs.
+// execution engines — the lowered flat-program executor and the native
+// codegen backend vs the recursive tree-walker (DESIGN.md §9, §13). Unlike
+// the figure harnesses, the quantity of interest here is *wall* time per
+// executed IR instruction; the virtual clocks of the engines are
+// bit-identical by construction (test_exec.cpp) so only host-side dispatch
+// cost differs.
+//
+// The codegen lane is opt-in (PARAD_BENCH_CODEGEN=1): it invokes the host
+// compiler at warm-up, and keeping it out of the default run leaves
+// BENCH_micro_interp.json byte-identical for existing consumers.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/interp/interp.h"
@@ -21,6 +31,11 @@ using ir::Type;
 using ir::Value;
 
 namespace {
+
+bool codegenLaneEnabled() {
+  const char* v = std::getenv("PARAD_BENCH_CODEGEN");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
 
 // Straight-line arithmetic in a hot serial loop: the pure dispatch path.
 ir::Module scalarLoopModule() {
@@ -96,15 +111,16 @@ struct Throughput {
 };
 
 /// One engine's measurement lane: a dedicated Machine plus input buffer,
-/// warmed up once so the lowered engine's one-time lowering cost (amortized
-/// across runs in practice, and cached process-wide) does not skew the rate.
+/// warmed up once so one-time costs (lowering, and for codegen the host
+/// compile — both amortized across runs in practice, and cached
+/// process-wide) do not skew the rate.
 class Lane {
  public:
-  Lane(const ir::Module& mod, i64 len, interp::Engine engine)
-      : mod_(mod), len_(len), engine_(engine) {
+  Lane(const ir::Module& mod, i64 len, std::string engine)
+      : mod_(mod), len_(len), engine_(std::move(engine)) {
     p_ = m_.mem().alloc(Type::F64, len, 0);
     for (i64 k = 0; k < len; ++k) m_.mem().atF(p_, k) = 0.5 + 1e-3 * double(k);
-    runOnce();  // warm-up (also populates the program cache)
+    runOnce();  // warm-up (also populates the program/artifact caches)
   }
 
   /// Repeats the run until ~windowNs of wall time has accumulated and folds
@@ -142,29 +158,29 @@ class Lane {
 
   const ir::Module& mod_;
   i64 len_;
-  interp::Engine engine_;
+  std::string engine_;
   psim::Machine m_;
   psim::RtPtr p_;
   Throughput t_;
 };
 
-/// Measures both engines with interleaved short windows and reports each
-/// engine's best window. External interference (this is a shared host, not a
-/// quiet lab machine) can only ever slow a window down, so the max over
-/// several windows estimates the undisturbed throughput; alternating the
-/// engines window-by-window keeps slow drift from favoring either side.
-void measurePair(const ir::Module& mod, i64 len, Throughput& lo,
-                 Throughput& tw) {
+/// Measures one lane per engine with interleaved short windows and reports
+/// each engine's best window. External interference (this is a shared host,
+/// not a quiet lab machine) can only ever slow a window down, so the max
+/// over several windows estimates the undisturbed throughput; alternating
+/// the engines window-by-window keeps slow drift from favoring any side.
+std::vector<Throughput> measure(const ir::Module& mod, i64 len,
+                                const std::vector<std::string>& engines) {
   constexpr int kWindows = 6;
   constexpr double kWindowNs = 6e7;
-  Lane lowered(mod, len, interp::Engine::Lowered);
-  Lane treewalk(mod, len, interp::Engine::TreeWalk);
-  for (int r = 0; r < kWindows; ++r) {
-    lowered.window(kWindowNs);
-    treewalk.window(kWindowNs);
-  }
-  lo = lowered.result();
-  tw = treewalk.result();
+  std::vector<std::unique_ptr<Lane>> lanes;
+  for (const std::string& e : engines)
+    lanes.push_back(std::make_unique<Lane>(mod, len, e));
+  for (int r = 0; r < kWindows; ++r)
+    for (auto& lane : lanes) lane->window(kWindowNs);
+  std::vector<Throughput> out;
+  for (auto& lane : lanes) out.push_back(lane->result());
+  return out;
 }
 
 void BM_DispatchLowered(benchmark::State& state) {
@@ -175,7 +191,7 @@ void BM_DispatchLowered(benchmark::State& state) {
   for (auto _ : state) {
     std::uint64_t before = m.stats().instsExecuted;
     m.run({1, 1}, [&](psim::RankEnv& env) {
-      interp::Interpreter it(mod, m, interp::Engine::Lowered);
+      interp::Interpreter it(mod, m, "exec");
       it.run(mod.get("f"), {interp::RtVal::P(p), interp::RtVal::I(4096)}, env);
     });
     state.SetItemsProcessed(state.items_processed() +
@@ -192,7 +208,7 @@ void BM_DispatchTreeWalk(benchmark::State& state) {
   for (auto _ : state) {
     std::uint64_t before = m.stats().instsExecuted;
     m.run({1, 1}, [&](psim::RankEnv& env) {
-      interp::Interpreter it(mod, m, interp::Engine::TreeWalk);
+      interp::Interpreter it(mod, m, "tree");
       it.run(mod.get("f"), {interp::RtVal::P(p), interp::RtVal::I(4096)}, env);
     });
     state.SetItemsProcessed(state.items_processed() +
@@ -206,6 +222,8 @@ BENCHMARK(BM_DispatchTreeWalk);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  const bool withCodegen = codegenLaneEnabled();
 
   struct Kernel {
     const char* name;
@@ -221,14 +239,23 @@ int main(int argc, char** argv) {
   parad::bench::header(
       "micro_interp", "wall-time dispatch throughput, lowered vs tree-walker",
       "lowered executor >= 2x tree-walker instructions/second");
+  if (withCodegen)
+    std::printf(
+        "codegen lane enabled (PARAD_BENCH_CODEGEN=1); codegen criterion: "
+        ">= 2x lowered instructions/second on the dispatch-bound kernel\n");
+
+  std::vector<std::string> engines = {"exec", "tree"};
+  if (withCodegen) engines.push_back("codegen");
 
   parad::bench::BenchJson json("micro_interp");
   double logSum = 0;
   double dispatchSpeedup = 0;
+  double codegenDispatchSpeedup = 0;
   int n = 0;
   for (Kernel& k : kernels) {
-    Throughput lo, tw;
-    measurePair(k.mod, k.len, lo, tw);
+    std::vector<Throughput> t = measure(k.mod, k.len, engines);
+    const Throughput& lo = t[0];
+    const Throughput& tw = t[1];
     double speedup = lo.instsPerSec / tw.instsPerSec;
     logSum += std::log(speedup);
     ++n;
@@ -237,7 +264,8 @@ int main(int argc, char** argv) {
     // time in call-frame and fork/workshare machinery shared (by design —
     // identical observable behavior) with the tree-walker, so their ratios
     // measure that machinery, not dispatch.
-    if (std::strcmp(k.name, "scalar_loop") == 0) dispatchSpeedup = speedup;
+    bool isDispatchKernel = std::strcmp(k.name, "scalar_loop") == 0;
+    if (isDispatchKernel) dispatchSpeedup = speedup;
     std::printf(
         "%-15s lowered %8.2f Minst/s (%d reps)   treewalk %8.2f Minst/s "
         "(%d reps)   speedup %.2fx\n",
@@ -254,14 +282,36 @@ int main(int argc, char** argv) {
     json.num("treewalk_wall_ns", tw.wallNs);
     json.num("treewalk_reps", tw.reps);
     json.num("speedup", speedup);
+    if (withCodegen) {
+      const Throughput& cg = t[2];
+      double cgVsLowered = cg.instsPerSec / lo.instsPerSec;
+      if (isDispatchKernel) codegenDispatchSpeedup = cgVsLowered;
+      std::printf(
+          "%-15s codegen %8.2f Minst/s (%d reps)   vs lowered %.2fx   "
+          "vs treewalk %.2fx\n",
+          k.name, cg.instsPerSec / 1e6, cg.reps, cgVsLowered,
+          cg.instsPerSec / tw.instsPerSec);
+      json.num("codegen_insts_per_sec", cg.instsPerSec);
+      json.num("codegen_insts", double(cg.insts));
+      json.num("codegen_wall_ns", cg.wallNs);
+      json.num("codegen_reps", cg.reps);
+      json.num("codegen_speedup_vs_lowered", cgVsLowered);
+    }
   }
   double geomean = std::exp(logSum / n);
   std::printf("geomean speedup: %.2fx\n", geomean);
   std::printf("dispatch throughput (scalar_loop): %.2fx (criterion: >= 2x)\n",
               dispatchSpeedup);
+  if (withCodegen)
+    std::printf(
+        "codegen dispatch throughput vs lowered (scalar_loop): %.2fx "
+        "(criterion: >= 2x)\n",
+        codegenDispatchSpeedup);
   json.row("geomean");
   json.num("speedup", geomean);
   json.num("dispatch_speedup", dispatchSpeedup);
+  if (withCodegen)
+    json.num("codegen_dispatch_speedup", codegenDispatchSpeedup);
   json.write();
   return 0;
 }

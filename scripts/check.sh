@@ -8,6 +8,8 @@
 #   SANITIZE=1 ./scripts/check.sh      # ASan+UBSan build (separate build dir)
 #   CHAOS=1 ./scripts/check.sh         # widened fault-injection chaos sweep
 #   SCALE=1 ./scripts/check.sh         # 4096-virtual-rank weak-scaling smoke
+#   CODEGEN=1 ./scripts/check.sh       # whole suite under the codegen engine
+#                                      # + dispatch-throughput criterion check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +40,19 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
   PARAD_FAULTS='seed=9,drop=0.1,dup=0.05,delay=0.2' \
     ctest --test-dir "$BUILD_DIR" -E '^(Faults|Checkpoint)\.' \
     --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${CODEGEN:-0}" == "1" ]]; then
+  # The whole suite executed by the native codegen backend (every engine is
+  # bit-identical by contract, so nothing but wall time may change), against
+  # a private artifact directory so runs can't poison each other's caches.
+  # Then the dispatch micro-benchmark with the codegen lane enabled: the JSON
+  # gains codegen_* rows and the >= 2x-over-exec headline.
+  PARAD_ENGINE=codegen \
+  PARAD_CODEGEN_DIR="$BUILD_DIR/codegen-cache" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  (cd "$BUILD_DIR" && PARAD_BENCH_CODEGEN=1 bench/micro_interp \
+    --benchmark_filter='^$')
 fi
 
 if [[ "${SCALE:-0}" == "1" ]]; then

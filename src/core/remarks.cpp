@@ -7,6 +7,7 @@ const char* remarkKindName(RemarkKind k) {
     case RemarkKind::Accum: return "accum";
     case RemarkKind::Cache: return "cache";
     case RemarkKind::Reversal: return "reversal";
+    case RemarkKind::Backend: return "backend";
   }
   return "?";
 }

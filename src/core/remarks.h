@@ -19,6 +19,7 @@ enum class RemarkKind {
   Accum,     // shadow-accumulation kind selection (§VI-A1)
   Cache,     // recompute-vs-cache strategy (§IV-C, §VI-B)
   Reversal,  // parallelism-DAG mirroring, MPI request pairing (§IV-A/B)
+  Backend,   // execution-backend decisions (codegen compile/reuse/fallback)
 };
 
 const char* remarkKindName(RemarkKind k);

@@ -1,0 +1,92 @@
+// Pluggable execution backends (DESIGN.md §13).
+//
+// The Interpreter facade no longer hard-codes a two-engine enum: engines are
+// ExecBackend implementations registered by name in a process-wide
+// BackendRegistry. `PARAD_ENGINE=<name>` selects the default; unknown names
+// are rejected with a structured error that lists the registered backends
+// (with a did-you-mean suggestion, matching PARAD_FAULTS= key rejection).
+//
+// Built-in backends:
+//   exec     tight dispatch loop over lowered ExecPrograms (default;
+//            alias: "lowered")
+//   tree     recursive reference interpreter (alias: "treewalk")
+//   codegen  lowered programs emitted as C++, compiled by the host compiler
+//            into a dlopen'd shared object; falls back to exec with a
+//            Backend remark when no host compiler is available
+//
+// Every backend honors the same contract: bit-identical values, memory,
+// RunStats and virtual clocks for the same (module, function, machine, env).
+// The differential suites in tests/ sweep the full registry to enforce it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/interp/interp.h"
+
+namespace parad::interp {
+
+/// One execution engine. Implementations must be stateless across runs (a
+/// backend instance is shared by every Interpreter that names it, across
+/// ranks and threads); per-run state lives in locals or in caches with their
+/// own locking.
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Canonical registry name ("exec", "tree", "codegen", ...).
+  virtual std::string_view name() const = 0;
+
+  /// One-line description for error messages and docs.
+  virtual std::string_view description() const = 0;
+
+  /// Runs `fn` as the given rank's program. Same contract as
+  /// Interpreter::run.
+  virtual RtVal run(const ir::Module& mod, const ir::Function& fn,
+                    std::vector<RtVal> args, psim::Machine& machine,
+                    psim::RankEnv& env) const = 0;
+};
+
+/// Process-wide name -> backend registry. The built-in backends are
+/// registered lazily on first access (explicit factory calls, so no
+/// static-initialization-order or linker-dead-stripping hazards); additional
+/// backends can be registered at runtime.
+class BackendRegistry {
+ public:
+  static BackendRegistry& global();
+
+  /// Registers (or replaces, by name) a backend.
+  void add(std::unique_ptr<ExecBackend> backend);
+
+  /// Removes a backend by canonical name (tests). Removing a built-in is
+  /// allowed but unwise.
+  void remove(std::string_view name);
+
+  /// Exact lookup by canonical name; nullptr when absent. Aliases are not
+  /// resolved here — use resolve().
+  const ExecBackend* find(std::string_view name) const;
+
+  /// Resolves a user-supplied engine spec (canonical name or alias, e.g.
+  /// "lowered" -> exec, "treewalk" -> tree) to a registered backend. Unknown
+  /// names fail with a structured error listing the registered backends and
+  /// a did-you-mean suggestion.
+  const ExecBackend& resolve(std::string_view spec) const;
+
+  /// Canonical names of every registered backend, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Built-in backend factories (also used by tests to restore a pristine
+/// registry entry).
+std::unique_ptr<ExecBackend> makeExecBackend();
+std::unique_ptr<ExecBackend> makeTreeWalkBackend();
+std::unique_ptr<ExecBackend> makeCodegenBackend();
+
+}  // namespace parad::interp

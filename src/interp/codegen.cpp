@@ -1,0 +1,1078 @@
+#include "src/interp/codegen.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "codegen_abi_embed.h"
+#include "src/interp/backend.h"
+#include "src/interp/codegen_abi.h"
+#include "src/interp/exec.h"
+#include "src/support/common.h"
+
+namespace parad::interp {
+
+using ir::Op;
+
+// Bumped whenever the emitter changes what it prints for the same closure:
+// part of the artifact fingerprint, so stale on-disk objects never load.
+constexpr std::uint64_t kGeneratorVersion = 1;
+
+// The generated code's structs must alias the host's exactly — every frame,
+// worker and return-value pointer crosses the ABI as a reinterpret_cast.
+static_assert(sizeof(parad_cg_ptr) == sizeof(psim::RtPtr) &&
+                  offsetof(parad_cg_ptr, obj) == offsetof(psim::RtPtr, obj) &&
+                  offsetof(parad_cg_ptr, off) == offsetof(psim::RtPtr, off),
+              "parad_cg_ptr must mirror psim::RtPtr");
+static_assert(sizeof(parad_cg_val) == sizeof(RtVal),
+              "parad_cg_val must mirror interp::RtVal");
+static_assert(sizeof(parad_cg_worker) == sizeof(psim::WorkerCtx) &&
+                  offsetof(parad_cg_worker, clock) ==
+                      offsetof(psim::WorkerCtx, clock) &&
+                  offsetof(parad_cg_worker, core) ==
+                      offsetof(psim::WorkerCtx, core) &&
+                  offsetof(parad_cg_worker, socket) ==
+                      offsetof(psim::WorkerCtx, socket) &&
+                  offsetof(parad_cg_worker, dilation) ==
+                      offsetof(psim::WorkerCtx, dilation),
+              "parad_cg_worker must mirror psim::WorkerCtx");
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Range enumeration, shared between the emitter and the host-side id lookup
+// so generated function ids and execRange interceptions always agree.
+
+struct CgRange {
+  int prog;
+  std::int32_t begin, end, trailing;
+};
+
+std::vector<CgRange> buildRangeTable(const ExecModule& xm) {
+  std::vector<CgRange> t;
+  for (std::size_t pi = 0; pi < xm.programs.size(); ++pi) {
+    const ExecProgram& p = xm.programs[pi];
+    for (const ExecBlock& b : p.blocks)
+      t.push_back({static_cast<int>(pi), b.begin, b.end, b.trailingConsts});
+    for (const ExecSegment& s : p.segments)
+      t.push_back({static_cast<int>(pi), s.begin, s.end, s.trailingConsts});
+  }
+  return t;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Source emitter. Every emitted op mirrors the exec engine's case exactly:
+// the same advance-then-compute order, the same member writes, the same
+// dispatch counting — so virtual clocks, values and RunStats stay
+// bit-identical. Double and i64 constants are emitted as bit patterns to
+// survive the text round-trip unchanged.
+
+class SourceEmitter {
+ public:
+  explicit SourceEmitter(const ExecModule& xm) : xm_(xm) {
+    int id = 0;
+    for (const ExecProgram& p : xm.programs) {
+      progBase_.push_back(id);
+      id += static_cast<int>(p.blocks.size() + p.segments.size());
+    }
+    table_ = buildRangeTable(xm);
+  }
+
+  std::string emit(std::uint64_t fp) {
+    out_ += "// parad codegen output (generator v" +
+            std::to_string(kGeneratorVersion) + ") for closure @" +
+            xm_.programs[0].name + " — do not edit\n";
+    out_ += "#include <cmath>\n#include <cstring>\n";
+    out_ += kCodegenAbiHeader;
+    out_ +=
+        "\nstatic inline double pd_f64(unsigned long long b) {"
+        " double v; std::memcpy(&v, &b, 8); return v; }\n"
+        "static inline long long pd_i64(unsigned long long b) {"
+        " long long v; std::memcpy(&v, &b, 8); return v; }\n"
+        "#define AV(k) (W->clock += c->ct[k] * W->dilation)\n\n";
+    for (std::size_t id = 0; id < table_.size(); ++id)
+      out_ += "static int r" + std::to_string(id) +
+              "(parad_cg_ctx*, parad_cg_val*, parad_cg_worker*);\n";
+    out_ += "\n";
+    for (std::size_t id = 0; id < table_.size(); ++id)
+      emitRange(static_cast<int>(id), table_[id]);
+    out_ += "extern \"C\" unsigned long long parad_cg_abi(void) { return "
+            "PARAD_CG_ABI_VERSION; }\n";
+    out_ += "extern \"C\" unsigned long long parad_cg_fp(void) { return 0x" +
+            hex64(fp) + "ull; }\n";
+    out_ += "extern \"C\" int parad_cg_range(parad_cg_ctx* c, int id, "
+            "parad_cg_val* F) {\n  parad_cg_worker* W = c->w;\n"
+            "  switch (id) {\n";
+    for (std::size_t id = 0; id < table_.size(); ++id)
+      out_ += "    case " + std::to_string(id) + ": return r" +
+              std::to_string(id) + "(c, F, W);\n";
+    out_ += "  }\n  return -2;\n}\n";
+    return std::move(out_);
+  }
+
+ private:
+  int blockRangeId(int prog, std::int32_t blockId) const {
+    return progBase_[static_cast<std::size_t>(prog)] + blockId;
+  }
+
+  static std::string slot(std::int32_t s) {
+    return "F[" + std::to_string(s) + "]";
+  }
+  static std::string f64bits(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, 8);
+    return "pd_f64(0x" + hex64(b) + "ull)";
+  }
+  static std::string i64bits(i64 v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, 8);
+    return "pd_i64(0x" + hex64(b) + "ull)";
+  }
+
+  void line(const std::string& s) { out_ += "  " + s + "\n"; }
+  void av(const char* idx) {
+    out_ += "  AV(PARAD_CG_CT_";
+    out_ += idx;
+    out_ += ");\n";
+  }
+  // Flushes the range's partial dispatch count and propagates Return —
+  // exactly `rr.insts += nd; return Flow::Return;` in the exec loop.
+  static constexpr const char* kPropagate = "{ *c->insts += nd; return 1; }";
+
+  /// Emits a pure frame-only op (the fusable-superinstruction set plus a few
+  /// more). `res` is the result slot, `o` the resolved operand slots.
+  /// Returns false when `op` is not in the pure set.
+  bool emitPure(Op op, std::int32_t res, const std::int32_t* o) {
+    const std::string R = slot(res);
+    auto F = [&](int i) { return slot(o[i]) + ".u.f"; };
+    auto I = [&](int i) { return slot(o[i]) + ".u.i"; };
+    auto binF = [&](const char* cost, const char* sym) {
+      av(cost);
+      line(R + ".u.f = " + F(0) + " " + sym + " " + F(1) + ";");
+    };
+    auto callF1 = [&](const char* cost, const char* fn) {
+      av(cost);
+      line(R + ".u.f = " + fn + "(" + F(0) + ");");
+    };
+    auto binI = [&](const char* sym) {
+      av("INTOP");
+      line(R + ".u.i = " + I(0) + " " + sym + " " + I(1) + ";");
+    };
+    auto cmp = [&](const std::string& a, const char* sym,
+                   const std::string& b) {
+      av("INTOP");
+      line(R + ".u.i = (" + a + " " + sym + " " + b + ") ? 1 : 0;");
+    };
+    switch (op) {
+      case Op::FAdd: binF("FLOP", "+"); break;
+      case Op::FSub: binF("FLOP", "-"); break;
+      case Op::FMul: binF("FLOP", "*"); break;
+      case Op::FDiv: binF("FDIV", "/"); break;
+      case Op::FNeg:
+        av("FLOP");
+        line(R + ".u.f = -" + F(0) + ";");
+        break;
+      case Op::Sqrt: callF1("SPECIAL", "std::sqrt"); break;
+      case Op::Sin: callF1("SPECIAL", "std::sin"); break;
+      case Op::Cos: callF1("SPECIAL", "std::cos"); break;
+      case Op::Exp: callF1("SPECIAL", "std::exp"); break;
+      case Op::Log: callF1("SPECIAL", "std::log"); break;
+      case Op::Cbrt: callF1("SPECIAL", "std::cbrt"); break;
+      case Op::Pow:
+        av("POW");
+        line(R + ".u.f = std::pow(" + F(0) + ", " + F(1) + ");");
+        break;
+      case Op::FAbs: callF1("MINMAX", "std::fabs"); break;
+      // std::min(a,b) is (b<a)?b:a and std::max(a,b) is (a<b)?b:a — spelled
+      // out so NaN propagation matches the exec engine bit for bit.
+      case Op::FMin:
+        av("MINMAX");
+        line(R + ".u.f = (" + F(1) + " < " + F(0) + ") ? " + F(1) + " : " +
+             F(0) + ";");
+        break;
+      case Op::FMax:
+        av("MINMAX");
+        line(R + ".u.f = (" + F(0) + " < " + F(1) + ") ? " + F(1) + " : " +
+             F(0) + ";");
+        break;
+      case Op::IAdd: binI("+"); break;
+      case Op::ISub: binI("-"); break;
+      case Op::IMul: binI("*"); break;
+      case Op::IDiv:
+        av("INTDIV");
+        line("if (" + I(1) +
+             " == 0) c->api->die(c, \"integer division by zero\");");
+        line(R + ".u.i = " + I(0) + " / " + I(1) + ";");
+        break;
+      case Op::IRem:
+        av("INTDIV");
+        line("if (" + I(1) +
+             " == 0) c->api->die(c, \"integer remainder by zero\");");
+        line(R + ".u.i = " + I(0) + " % " + I(1) + ";");
+        break;
+      case Op::IMinOp:
+        av("INTOP");
+        line(R + ".u.i = (" + I(1) + " < " + I(0) + ") ? " + I(1) + " : " +
+             I(0) + ";");
+        break;
+      case Op::IMaxOp:
+        av("INTOP");
+        line(R + ".u.i = (" + I(0) + " < " + I(1) + ") ? " + I(1) + " : " +
+             I(0) + ";");
+        break;
+      case Op::ICmpEq: cmp(I(0), "==", I(1)); break;
+      case Op::ICmpNe: cmp(I(0), "!=", I(1)); break;
+      case Op::ICmpLt: cmp(I(0), "<", I(1)); break;
+      case Op::ICmpLe: cmp(I(0), "<=", I(1)); break;
+      case Op::ICmpGt: cmp(I(0), ">", I(1)); break;
+      case Op::ICmpGe: cmp(I(0), ">=", I(1)); break;
+      case Op::FCmpLt: cmp(F(0), "<", F(1)); break;
+      case Op::FCmpLe: cmp(F(0), "<=", F(1)); break;
+      case Op::FCmpGt: cmp(F(0), ">", F(1)); break;
+      case Op::FCmpGe: cmp(F(0), ">=", F(1)); break;
+      case Op::FCmpEq: cmp(F(0), "==", F(1)); break;
+      case Op::BAnd:
+        av("INTOP");
+        line(R + ".u.i = (" + I(0) + " && " + I(1) + ") ? 1 : 0;");
+        break;
+      case Op::BOr:
+        av("INTOP");
+        line(R + ".u.i = (" + I(0) + " || " + I(1) + ") ? 1 : 0;");
+        break;
+      case Op::BNot:
+        av("INTOP");
+        line(R + ".u.i = (!" + I(0) + ") ? 1 : 0;");
+        break;
+      case Op::Select:
+        av("INTOP");
+        line(R + " = " + I(0) + " ? " + slot(o[1]) + " : " + slot(o[2]) + ";");
+        break;
+      case Op::IToF:
+        av("INTOP");
+        line(R + ".u.f = (double)" + I(0) + ";");
+        break;
+      case Op::FToI:
+        av("INTOP");
+        line(R + ".u.i = (long long)" + F(0) + ";");
+        break;
+      case Op::PtrOffset:
+        av("INTOP");
+        line("{ parad_cg_ptr cg_t = " + slot(o[0]) + ".u.p; cg_t.off += " +
+             I(1) + "; " + R + ".u.p = cg_t; }");
+        break;
+      default:
+        return false;
+    }
+    return true;
+  }
+
+  void emitInst(const ExecProgram& p, int prog, std::int32_t pc) {
+    const ExecInst& in = p.code[static_cast<std::size_t>(pc)];
+    line("nd += " + std::to_string(1 + in.constsBefore) + "ull;");
+    std::int32_t opsBuf[16];
+    const std::int32_t* src = in.poolBase >= 0
+                                  ? p.pool.data() + in.poolBase
+                                  : in.a.data();
+    int nInline = std::min<int>(in.nOps, 16);
+    for (int i = 0; i < nInline; ++i) opsBuf[i] = src[i];
+    const std::int32_t* o = in.poolBase >= 0 ? src : opsBuf;
+    auto body = [&](std::int32_t blockId) {
+      return "r" + std::to_string(blockRangeId(prog, blockId));
+    };
+    auto argSlot = [&](std::int32_t blockId) {
+      return p.blocks[static_cast<std::size_t>(blockId)].arg;
+    };
+
+    switch (in.op) {
+      case Op::ConstF:
+        line(slot(in.result) + ".u.f = " + f64bits(in.fconst) + ";");
+        break;
+      case Op::ConstI:
+      case Op::ConstB:
+        line(slot(in.result) + ".u.i = " + i64bits(in.iconst) + ";");
+        break;
+
+      case Op::Load:
+        line("c->api->load(c, &" + slot(in.result) + ", " + slot(o[0]) +
+             ", " + slot(o[1]) + ".u.i);");
+        break;
+      case Op::Store:
+        line("c->api->store(c, " + slot(o[0]) + ", " + slot(o[1]) +
+             ".u.i, " + slot(o[2]) + ");");
+        break;
+
+      case Op::Call: {
+        if (in.trap >= 0) {
+          line("c->api->trap(c, " + std::to_string(in.trap) + ");");
+          break;
+        }
+        out_ += "  {\n";
+        std::string argsExpr = "(const parad_cg_val*)0";
+        if (in.nOps > 0) {
+          std::string init;
+          for (int i = 0; i < static_cast<int>(in.nOps); ++i) {
+            if (!init.empty()) init += ", ";
+            init += slot(src[i]);
+          }
+          line("  parad_cg_val cg_as[" + std::to_string(in.nOps) + "] = { " +
+               init + " };");
+          argsExpr = "cg_as";
+        }
+        line("  parad_cg_val cg_out;");
+        line("  c->api->call(c, &cg_out, " + std::to_string(in.callee) +
+             ", " + argsExpr + ", " + std::to_string(in.nOps) + ");");
+        if (in.result >= 0) line("  " + slot(in.result) + " = cg_out;");
+        out_ += "  }\n";
+        break;
+      }
+      case Op::CallIndirect:
+      case Op::OmpParallelFor:
+        line("c->api->trap(c, " + std::to_string(in.trap) + ");");
+        break;
+
+      case Op::Return:
+        if (in.nOps > 0) line("*c->ret = " + slot(o[0]) + ";");
+        line("*c->insts += nd;");
+        line("return 1;");
+        break;
+
+      case Op::For:
+        out_ += "  { long long cg_lo = " + slot(o[0]) +
+                ".u.i, cg_hi = " + slot(o[1]) + ".u.i;\n";
+        out_ += "  for (long long cg_i = cg_lo; cg_i < cg_hi; ++cg_i) {\n";
+        line("  " + slot(argSlot(in.blockA)) + ".u.i = cg_i;");
+        line("  AV(PARAD_CG_CT_LOOPITER);");
+        line("  if (" + body(in.blockA) + "(c, F, W)) " + kPropagate);
+        out_ += "  } }\n";
+        break;
+      case Op::While:
+        out_ += "  { for (long long cg_it = 0;; ++cg_it) {\n";
+        line("  if (cg_it >= (1ll << 32)) c->api->die(c, \"runaway while "
+             "loop\");");
+        line("  " + slot(argSlot(in.blockA)) + ".u.i = cg_it;");
+        line("  AV(PARAD_CG_CT_LOOPITER);");
+        line("  *c->yield = 0;");
+        line("  if (" + body(in.blockA) + "(c, F, W)) " + kPropagate);
+        line("  if (!*c->yield) break;");
+        out_ += "  } }\n";
+        break;
+      case Op::Yield:
+        line("*c->yield = (" + slot(o[0]) + ".u.i != 0) ? 1 : 0;");
+        break;
+      case Op::If:
+        av("INTOP");
+        line("if (" + slot(o[0]) + ".u.i) {");
+        line("  if (" + body(in.blockA) + "(c, F, W)) " + kPropagate);
+        if (in.blockB >= 0) {
+          line("} else {");
+          line("  if (" + body(in.blockB) + "(c, F, W)) " + kPropagate);
+        }
+        line("}");
+        break;
+
+      case Op::Workshare: {
+        out_ += "  { long long cg_lo = " + slot(o[0]) +
+                ".u.i, cg_hi = " + slot(o[1]) + ".u.i;\n";
+        line("int cg_tid = c->api->tid(c), cg_n = c->api->nthreads(c);");
+        line("AV(PARAD_CG_CT_WORKSHARE);");
+        line("long long cg_len = cg_hi - cg_lo;");
+        line("if (cg_len > 0) {");
+        line("  long long cg_chunk = (cg_len + cg_n - 1) / cg_n;");
+        line("  long long cg_b = cg_lo + (long long)cg_tid * cg_chunk;");
+        line("  long long cg_e = (cg_b + cg_chunk < cg_hi) ? cg_b + cg_chunk "
+             ": cg_hi;");
+        line("  for (long long cg_k = cg_b; cg_k < cg_e; ++cg_k) {");
+        line(std::string("    ") + slot(argSlot(in.blockA)) + ".u.i = " +
+             (in.iconst != 0 ? "cg_e - 1 - (cg_k - cg_b)" : "cg_k") + ";");
+        line("    AV(PARAD_CG_CT_LOOPITER);");
+        line("    if (" + body(in.blockA) +
+             "(c, F, W)) c->api->die(c, \"return out of a workshare "
+             "body\");");
+        line("  }");
+        line("} }");
+        break;
+      }
+      case Op::BarrierOp:
+        line("c->api->die(c, \"barrier outside fork segmentation\");");
+        break;
+      case Op::ThreadIdOp:
+        line(slot(in.result) + ".u.i = c->api->tid(c);");
+        break;
+      case Op::NumThreadsOp:
+        line(slot(in.result) + ".u.i = c->api->nthreads_default(c);");
+        break;
+      case Op::MpRank:
+        line(slot(in.result) + ".u.i = c->rank;");
+        break;
+      case Op::MpSize:
+        line(slot(in.result) + ".u.i = c->ranks;");
+        break;
+      case Op::GcPreserveBegin:
+        av("GC");
+        line(slot(in.result) + ".u.i = 0;");
+        break;
+      case Op::GcPreserveEnd:
+        av("GC");
+        break;
+
+      // Machine-state instructions: executed host-side through the exec
+      // engine's own execComplexInst, bit-identical by construction.
+      case Op::Alloc:
+      case Op::Free:
+      case Op::AtomicAddF:
+      case Op::Memset0:
+      case Op::Spawn:
+      case Op::SyncOp:
+      case Op::MpIsend:
+      case Op::MpIrecv:
+      case Op::MpWaitOp:
+      case Op::MpSend:
+      case Op::MpRecv:
+      case Op::MpAllreduce:
+      case Op::MpBarrier:
+      case Op::JlAllocArray:
+      case Op::ParallelFor:
+      case Op::Fork:
+        line("if (c->api->complex_op(c, F, " + std::to_string(prog) + ", " +
+             std::to_string(pc) + ")) " + kPropagate);
+        break;
+
+      default: {
+        bool ok = emitPure(in.op, in.result, o);
+        PARAD_CHECK(ok, "codegen: unhandled op in emitter");
+        break;
+      }
+    }
+
+    if (in.op2 >= 0) {
+      line("nd += " + std::to_string(1 + in.consts2) + "ull;");
+      bool ok = emitPure(static_cast<Op>(in.op2), in.result2, in.a2.data());
+      PARAD_CHECK(ok, "codegen: non-arithmetic op in fused slot");
+    }
+  }
+
+  void emitRange(int id, const CgRange& r) {
+    const ExecProgram& p = xm_.programs[static_cast<std::size_t>(r.prog)];
+    out_ += "// prog " + std::to_string(r.prog) + " (@" + p.name +
+            ") range [" + std::to_string(r.begin) + ", " +
+            std::to_string(r.end) + ")\n";
+    out_ += "static int r" + std::to_string(id) +
+            "(parad_cg_ctx* c, parad_cg_val* F, parad_cg_worker* W) {\n";
+    out_ += "  (void)c; (void)F; (void)W;\n";
+    out_ += "  unsigned long long nd = 0;\n";
+    for (std::int32_t pc = r.begin; pc < r.end; ++pc)
+      emitInst(p, r.prog, pc);
+    out_ += "  *c->insts += nd + " + std::to_string(r.trailing) + "ull;\n";
+    out_ += "  if (c->probe_flags) c->api->probe(c);\n";
+    out_ += "  return 0;\n}\n\n";
+  }
+
+  const ExecModule& xm_;
+  std::vector<int> progBase_;
+  std::vector<CgRange> table_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::uint64_t closureFingerprint(const ExecModule& xm) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mixByte = [&](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mixByte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  mix(PARAD_CG_ABI_VERSION);
+  mix(kGeneratorVersion);
+  mix(xm.programs.size());
+  for (const ExecProgram& p : xm.programs) {
+    mix(p.fingerprint);
+    mix(p.name.size());
+    for (char ch : p.name) mixByte(static_cast<unsigned char>(ch));
+    mix(p.code.size());
+    mix(p.blocks.size());
+    mix(p.segments.size());
+  }
+  return h;
+}
+
+std::string emitClosureSource(const ExecModule& xm) {
+  PARAD_CHECK(!xm.programs.empty(), "codegen: empty closure");
+  return SourceEmitter(xm).emit(closureFingerprint(xm));
+}
+
+// ---------------------------------------------------------------------------
+// Artifact: a dlopen'd generated library plus the (prog, begin, end,
+// trailing) -> range-id table that execRange interception resolves through.
+
+class CodegenArtifact {
+ public:
+  using RangeFn = int (*)(parad_cg_ctx*, int, parad_cg_val*);
+
+  CodegenArtifact(void* handle, RangeFn fn, const ExecModule& xm)
+      : handle_(handle), fn_(fn) {
+    std::vector<CgRange> t = buildRangeTable(xm);
+    ids_.reserve(t.size());
+    for (std::size_t id = 0; id < t.size(); ++id)
+      ids_.emplace(Key{t[id].prog, t[id].begin, t[id].end, t[id].trailing},
+                   static_cast<int>(id));
+  }
+  ~CodegenArtifact() {
+    if (handle_ != nullptr) dlclose(handle_);
+  }
+  CodegenArtifact(const CodegenArtifact&) = delete;
+  CodegenArtifact& operator=(const CodegenArtifact&) = delete;
+
+  RangeFn range() const { return fn_; }
+  int rangeId(int prog, std::int32_t begin, std::int32_t end,
+              std::int32_t trailing) const {
+    auto it = ids_.find(Key{prog, begin, end, trailing});
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+ private:
+  struct Key {
+    int prog;
+    std::int32_t begin, end, trailing;
+    bool operator==(const Key& o) const {
+      return prog == o.prog && begin == o.begin && end == o.end &&
+             trailing == o.trailing;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = 14695981039346656037ull;
+      for (std::uint64_t v :
+           {std::uint64_t(k.prog), std::uint64_t(std::uint32_t(k.begin)),
+            std::uint64_t(std::uint32_t(k.end)),
+            std::uint64_t(std::uint32_t(k.trailing))}) {
+        h ^= v;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  void* handle_;
+  RangeFn fn_;
+  std::unordered_map<Key, int, KeyHash> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// CodegenExecutor: the exec engine with compiled ranges swapped in. Derives
+// from Executor so run setup, calls, fork/parallel-for orchestration and
+// every machine-state instruction are literally the same code as the exec
+// backend; only frame-local dispatch is replaced.
+
+class CodegenExecutor final : public Executor {
+ public:
+  CodegenExecutor(const ExecModule& xm, psim::Machine& machine,
+                  std::shared_ptr<const CodegenArtifact> art)
+      : Executor(xm, machine), art_(std::move(art)) {}
+
+ protected:
+  void beginRun(RankRun& rr) override {
+    costs_[PARAD_CG_CT_FLOP] = ct_.flop;
+    costs_[PARAD_CG_CT_FDIV] = ct_.fdiv;
+    costs_[PARAD_CG_CT_INTOP] = ct_.intOp;
+    costs_[PARAD_CG_CT_INTDIV] = ct_.intDiv;
+    costs_[PARAD_CG_CT_SPECIAL] = ct_.special;
+    costs_[PARAD_CG_CT_POW] = ct_.powCost;
+    costs_[PARAD_CG_CT_MINMAX] = ct_.minmax;
+    costs_[PARAD_CG_CT_LOOPITER] = ct_.loopIter;
+    costs_[PARAD_CG_CT_WORKSHARE] = ct_.workshareInit;
+    costs_[PARAD_CG_CT_GC] = ct_.gcCost;
+    rr_ = &rr;
+    ctx_.api = &kApi;
+    ctx_.ct = costs_;
+    static_assert(sizeof(rr.insts) == sizeof(unsigned long long),
+                  "dispatch counter crosses the ABI as unsigned long long");
+    ctx_.insts = reinterpret_cast<unsigned long long*>(&rr.insts);
+    ctx_.ret = reinterpret_cast<parad_cg_val*>(&rr.retVal);
+    // The yield flag is one per-run bool threaded through every nested call
+    // (exec semantics); generated code reads and writes it in place so host
+    // and native ranges always observe the same value.
+    static_assert(sizeof(bool) == 1, "yield flag crosses the ABI as a byte");
+    ctx_.yield = reinterpret_cast<unsigned char*>(&rr.yield);
+    ctx_.rank = rr.env->rank;
+    ctx_.ranks = rr.env->ranks;
+    // Fixed for the whole run: kill schedules are armed before rank programs
+    // start, and the watchdog config never changes mid-attempt (recovery
+    // slack is applied between attempts, each with a fresh executor).
+    ctx_.probe_flags = (machine_.killArmed() ? 1 : 0) |
+                       (machine_.config().watchdogInsts != 0 ? 2 : 0) |
+                       (machine_.watchdogTimeBound() > 0 ? 4 : 0);
+    ctx_.host = this;
+  }
+
+  Flow execRange(const ExecProgram& p, std::int32_t pc, std::int32_t end,
+                 std::int32_t trailingConsts, Frame& f, RankRun& rr) override {
+    int prog = static_cast<int>(&p - xm_.programs.data());
+    int id = art_->rangeId(prog, pc, end, trailingConsts);
+    if (id < 0)  // defensive: every lowered range is in the table
+      return Executor::execRange(p, pc, end, trailingConsts, f, rr);
+    Frame* savedFrame = frame_;
+    frame_ = &f;
+    ctx_.w = reinterpret_cast<parad_cg_worker*>(&rr.ts->w);
+    int fl = art_->range()(&ctx_, id,
+                           reinterpret_cast<parad_cg_val*>(f.data()));
+    frame_ = savedFrame;
+    return fl != 0 ? Flow::Return : Flow::Normal;
+  }
+
+ private:
+  static CodegenExecutor& self(parad_cg_ctx* c) {
+    return *static_cast<CodegenExecutor*>(c->host);
+  }
+  static psim::RtPtr toPtr(parad_cg_val v) {
+    psim::RtPtr p;
+    p.obj = v.u.p.obj;
+    p.off = v.u.p.off;
+    return p;
+  }
+
+  // Each callback mirrors the corresponding exec-engine case exactly (same
+  // charge order, same bounds-check messages).
+  static void cgLoad(parad_cg_ctx* c, parad_cg_val* dst, parad_cg_val ptr,
+                     long long idx) {
+    CodegenExecutor& e = self(c);
+    psim::RtPtr rp = toPtr(ptr);
+    psim::MemObject& o = e.machine_.mem().get(rp);
+    e.machine_.chargeMem(e.rr_->ts->w, o.homeSocket, 8);
+    i64 k = rp.off + idx;
+    PARAD_CHECK(k >= 0 && k < o.count, "access out of bounds: index ", k,
+                " of ", o.count);
+    switch (o.elem) {
+      case ir::Type::F64: dst->u.f = o.f[static_cast<std::size_t>(k)]; break;
+      case ir::Type::I64: dst->u.i = o.i[static_cast<std::size_t>(k)]; break;
+      case ir::Type::PtrF64: {
+        psim::RtPtr v = o.p[static_cast<std::size_t>(k)];
+        dst->u.p.obj = v.obj;
+        dst->u.p.off = v.off;
+        break;
+      }
+      default: PARAD_UNREACHABLE("bad load elem");
+    }
+  }
+  static void cgStore(parad_cg_ctx* c, parad_cg_val ptr, long long idx,
+                      parad_cg_val v) {
+    CodegenExecutor& e = self(c);
+    psim::RtPtr rp = toPtr(ptr);
+    psim::MemObject& o = e.machine_.mem().get(rp);
+    e.machine_.chargeMem(e.rr_->ts->w, o.homeSocket, 8);
+    i64 k = rp.off + idx;
+    PARAD_CHECK(k >= 0 && k < o.count, "access out of bounds: index ", k,
+                " of ", o.count);
+    switch (o.elem) {
+      case ir::Type::F64: o.f[static_cast<std::size_t>(k)] = v.u.f; break;
+      case ir::Type::I64: o.i[static_cast<std::size_t>(k)] = v.u.i; break;
+      case ir::Type::PtrF64:
+        o.p[static_cast<std::size_t>(k)] = toPtr(v);
+        break;
+      default: PARAD_UNREACHABLE("bad store elem");
+    }
+  }
+  static void cgCall(parad_cg_ctx* c, parad_cg_val* out, int callee,
+                     const parad_cg_val* args, int nargs) {
+    CodegenExecutor& e = self(c);
+    const ExecProgram& cp = e.xm_.programs[static_cast<std::size_t>(callee)];
+    RtVal r = e.callProgram(cp, reinterpret_cast<const RtVal*>(args),
+                            static_cast<std::size_t>(nargs), *e.rr_);
+    std::memcpy(out, &r, sizeof r);
+  }
+  static int cgComplex(parad_cg_ctx* c, parad_cg_val* frame, int prog,
+                       int inst) {
+    CodegenExecutor& e = self(c);
+    (void)frame;  // e.frame_ aliases it (asserted by construction)
+    const ExecProgram& p = e.xm_.programs[static_cast<std::size_t>(prog)];
+    const ExecInst& in = p.code[static_cast<std::size_t>(inst)];
+    Flow fl = e.execComplexInst(p, in, *e.frame_, *e.rr_);
+    return fl == Flow::Return ? 1 : 0;
+  }
+  static int cgTid(parad_cg_ctx* c) { return self(c).rr_->ts->tid; }
+  static int cgNthreads(parad_cg_ctx* c) { return self(c).rr_->ts->nthreads; }
+  static int cgNthreadsDefault(parad_cg_ctx* c) {
+    CodegenExecutor& e = self(c);
+    int n = e.rr_->ts->nthreads;
+    return n > 1 ? n : e.rr_->env->threadsPerRank;
+  }
+  static void cgTrap(parad_cg_ctx* c, int trapIndex) {
+    CodegenExecutor& e = self(c);
+    fail(e.xm_.trapMsgs[static_cast<std::size_t>(trapIndex)]);
+  }
+  static void cgDie(parad_cg_ctx* c, const char* msg) {
+    (void)c;
+    fail(msg);
+  }
+  static void cgProbe(parad_cg_ctx* c) {
+    CodegenExecutor& e = self(c);
+    RankRun& rr = *e.rr_;
+    // Same order as the exec engine's range exit: kill probe (root thread
+    // only), then the dispatch watchdog, then the virtual-time watchdog.
+    if (rr.ts == rr.root) e.machine_.checkKill(rr.env->rank, rr.ts->w.clock);
+    std::uint64_t wd = e.machine_.config().watchdogInsts;
+    if (wd != 0 && rr.insts > wd)
+      e.machine_.failWatchdog(rr.env->rank, rr.insts);
+    double tb = e.machine_.watchdogTimeBound();
+    if (tb > 0 && rr.ts->w.clock > tb)
+      e.machine_.failWatchdogTime(rr.env->rank, rr.ts->w.clock);
+  }
+
+  static const parad_cg_api kApi;
+
+  std::shared_ptr<const CodegenArtifact> art_;
+  parad_cg_ctx ctx_{};
+  double costs_[PARAD_CG_CT_COUNT] = {};
+  RankRun* rr_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+const parad_cg_api CodegenExecutor::kApi = {
+    &CodegenExecutor::cgLoad,    &CodegenExecutor::cgStore,
+    &CodegenExecutor::cgCall,    &CodegenExecutor::cgComplex,
+    &CodegenExecutor::cgTid,     &CodegenExecutor::cgNthreads,
+    &CodegenExecutor::cgNthreadsDefault, &CodegenExecutor::cgTrap,
+    &CodegenExecutor::cgDie,     &CodegenExecutor::cgProbe,
+};
+
+// ---------------------------------------------------------------------------
+// Cache: memory -> disk -> compile, with graceful fallback.
+
+struct CodegenCache::Impl {
+  mutable std::mutex mu;
+  CodegenConfig cfg;
+  CodegenCounters counters;
+  core::RemarkStream remarks;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CodegenArtifact>>
+      mem;
+  std::unordered_set<std::uint64_t> failed;  // fingerprints that won't compile
+  std::unordered_map<std::string, bool> compilerOk;  // probe memo
+  bool warnedNoCompiler = false;
+};
+
+CodegenCache::Impl& CodegenCache::impl() const {
+  static Impl* instance = new Impl;
+  return *instance;
+}
+
+CodegenCache& CodegenCache::global() {
+  static CodegenCache cache;
+  return cache;
+}
+
+namespace {
+
+std::string shellQuote(const std::string& s) { return "'" + s + "'"; }
+
+bool makeDirs(const std::string& path) {
+  std::string cur;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    cur += path[i];
+    if (path[i] == '/' || i + 1 == path.size()) {
+      if (cur == "/" || cur.empty()) continue;
+      std::string d = cur;
+      while (!d.empty() && d.back() == '/') d.pop_back();
+      if (d.empty()) continue;
+      if (::mkdir(d.c_str(), 0700) != 0 && errno != EEXIST) return false;
+    }
+  }
+  return true;
+}
+
+std::string resolveCacheDir(const CodegenConfig& cfg) {
+  if (!cfg.cacheDir.empty()) return cfg.cacheDir;
+  if (const char* d = std::getenv("PARAD_CODEGEN_DIR"); d != nullptr && *d)
+    return d;
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp) ? tmp : "/tmp";
+  return base + "/parad-codegen-v" + std::to_string(PARAD_CG_ABI_VERSION) +
+         "-u" + std::to_string(static_cast<unsigned long>(::getuid()));
+}
+
+std::string resolveCompiler(const CodegenConfig& cfg) {
+  if (!cfg.compiler.empty()) return cfg.compiler;
+  if (const char* s = std::getenv("PARAD_CXX"); s != nullptr && *s) return s;
+#ifdef PARAD_HOST_CXX
+  return PARAD_HOST_CXX;
+#else
+  return "c++";
+#endif
+}
+
+std::string firstLineOf(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return "";
+}
+
+/// dlopens a generated object and validates its ABI version and fingerprint.
+/// Returns nullptr (with a reason) on any mismatch — the caller recompiles.
+std::shared_ptr<const CodegenArtifact> tryOpen(const std::string& path,
+                                               std::uint64_t fp,
+                                               const ExecModule& xm,
+                                               std::string* reason) {
+  void* h = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) {
+    const char* err = dlerror();
+    *reason = err != nullptr ? err : "dlopen failed";
+    return nullptr;
+  }
+  auto abiFn =
+      reinterpret_cast<unsigned long long (*)()>(dlsym(h, "parad_cg_abi"));
+  auto fpFn =
+      reinterpret_cast<unsigned long long (*)()>(dlsym(h, "parad_cg_fp"));
+  auto rangeFn =
+      reinterpret_cast<CodegenArtifact::RangeFn>(dlsym(h, "parad_cg_range"));
+  if (abiFn == nullptr || fpFn == nullptr || rangeFn == nullptr) {
+    *reason = "missing export";
+    dlclose(h);
+    return nullptr;
+  }
+  if (abiFn() != PARAD_CG_ABI_VERSION) {
+    *reason = "ABI version mismatch";
+    dlclose(h);
+    return nullptr;
+  }
+  if (fpFn() != fp) {
+    *reason = "fingerprint mismatch (stale artifact)";
+    dlclose(h);
+    return nullptr;
+  }
+  return std::make_shared<CodegenArtifact>(h, rangeFn, xm);
+}
+
+}  // namespace
+
+std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
+    const ExecModule& xm) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::uint64_t fp = closureFingerprint(xm);
+  if (auto it = im.mem.find(fp); it != im.mem.end()) {
+    ++im.counters.memHits;
+    return it->second;
+  }
+  if (im.failed.count(fp) != 0) {
+    ++im.counters.fallbacks;
+    return nullptr;
+  }
+  const std::string entry = "@" + xm.programs[0].name;
+  const std::string hex = hex64(fp);
+
+  std::string dir = resolveCacheDir(im.cfg);
+  if (!makeDirs(dir)) {
+    ++im.counters.fallbacks;
+    im.failed.insert(fp);
+    im.remarks.emit(core::RemarkKind::Backend,
+                    "codegen: cannot create cache dir " + dir +
+                        ": falling back to exec engine for " + entry);
+    return nullptr;
+  }
+  std::string base = dir + "/parad_cg_" + hex;
+  std::string soPath = base + ".so";
+
+  // Disk reuse: an artifact with this fingerprint compiled by any process.
+  std::string reason;
+  if (::access(soPath.c_str(), F_OK) == 0) {
+    if (auto art = tryOpen(soPath, fp, xm, &reason)) {
+      ++im.counters.diskHits;
+      im.mem.emplace(fp, art);
+      im.remarks.emit(core::RemarkKind::Backend,
+                      "codegen: reused on-disk artifact for " + entry +
+                          " (fp " + hex + ")");
+      return art;
+    }
+    im.remarks.emit(core::RemarkKind::Backend,
+                    "codegen: discarding stale artifact for " + entry + ": " +
+                        reason);
+  }
+
+  // Compile.
+  std::string cxx = resolveCompiler(im.cfg);
+  auto okIt = im.compilerOk.find(cxx);
+  if (okIt == im.compilerOk.end()) {
+    int rc = std::system(
+        (shellQuote(cxx) + " --version > /dev/null 2>&1").c_str());
+    okIt = im.compilerOk.emplace(cxx, rc == 0).first;
+  }
+  if (!okIt->second) {
+    ++im.counters.fallbacks;
+    im.failed.insert(fp);
+    std::string msg = "codegen: no usable host compiler ('" + cxx +
+                      "'): falling back to exec engine";
+    im.remarks.emit(core::RemarkKind::Backend, msg);
+    if (!im.warnedNoCompiler) {
+      im.warnedNoCompiler = true;
+      std::fprintf(stderr, "parad: %s\n", msg.c_str());
+    }
+    return nullptr;
+  }
+
+  std::string srcPath = base + ".cpp";
+  {
+    std::ofstream src(srcPath, std::ios::trunc);
+    if (!src) {
+      ++im.counters.fallbacks;
+      im.failed.insert(fp);
+      im.remarks.emit(core::RemarkKind::Backend,
+                      "codegen: cannot write " + srcPath +
+                          ": falling back to exec engine for " + entry);
+      return nullptr;
+    }
+    src << SourceEmitter(xm).emit(fp);
+  }
+  // Unique temp output + atomic rename: concurrent processes compiling the
+  // same fingerprint race benignly (last rename wins, both objects
+  // identical). -ffp-contract=off and no -march keep the generated FP
+  // arithmetic rounding exactly like the host-compiled engines.
+  std::string tmpPath = base + ".tmp" +
+                        std::to_string(static_cast<long>(::getpid())) + ".so";
+  std::string logPath = base + ".log";
+  std::string flags = " -std=c++17 -O2 -fPIC -shared -ffp-contract=off";
+  if (!im.cfg.extraFlags.empty()) flags += " " + im.cfg.extraFlags;
+  if (const char* ef = std::getenv("PARAD_CODEGEN_FLAGS");
+      ef != nullptr && *ef)
+    flags += std::string(" ") + ef;
+  std::string cmd = shellQuote(cxx) + flags + " -o " + shellQuote(tmpPath) +
+                    " " + shellQuote(srcPath) + " -lm 2> " +
+                    shellQuote(logPath);
+  int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    ::remove(tmpPath.c_str());
+    ++im.counters.fallbacks;
+    im.failed.insert(fp);
+    std::string err = firstLineOf(logPath);
+    im.remarks.emit(core::RemarkKind::Backend,
+                    "codegen: compile failed for " + entry +
+                        (err.empty() ? "" : " (" + err + ")") +
+                        ": falling back to exec engine");
+    return nullptr;
+  }
+  if (::rename(tmpPath.c_str(), soPath.c_str()) != 0) {
+    ::remove(tmpPath.c_str());
+    ++im.counters.fallbacks;
+    im.failed.insert(fp);
+    im.remarks.emit(core::RemarkKind::Backend,
+                    "codegen: cannot install artifact for " + entry +
+                        ": falling back to exec engine");
+    return nullptr;
+  }
+  ++im.counters.compiles;
+  auto art = tryOpen(soPath, fp, xm, &reason);
+  if (art == nullptr) {
+    ++im.counters.fallbacks;
+    im.failed.insert(fp);
+    im.remarks.emit(core::RemarkKind::Backend,
+                    "codegen: compiled artifact failed to load for " + entry +
+                        ": " + reason + ": falling back to exec engine");
+    return nullptr;
+  }
+  im.mem.emplace(fp, art);
+  im.remarks.emit(core::RemarkKind::Backend,
+                  "codegen: compiled " + entry + " (fp " + hex + ", " +
+                      std::to_string(buildRangeTable(xm).size()) +
+                      " ranges)");
+  return art;
+}
+
+void CodegenCache::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.mem.clear();  // dlcloses via artifact destructors
+  im.failed.clear();
+  im.compilerOk.clear();
+  im.warnedNoCompiler = false;
+}
+
+CodegenCounters CodegenCache::counters() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.counters;
+}
+
+CodegenConfig CodegenCache::config() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.cfg;
+}
+
+void CodegenCache::setConfig(CodegenConfig cfg) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.cfg = std::move(cfg);
+}
+
+std::string CodegenCache::remarksDump() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.remarks.dump();
+}
+
+void CodegenCache::clearRemarks() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.remarks.clear();
+}
+
+std::string CodegenCache::cacheDirInUse() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return resolveCacheDir(im.cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Backend.
+
+namespace {
+
+class CodegenBackend final : public ExecBackend {
+ public:
+  std::string_view name() const override { return "codegen"; }
+  std::string_view description() const override {
+    return "lowered programs compiled to native code by the host compiler "
+           "(falls back to exec)";
+  }
+  RtVal run(const ir::Module& mod, const ir::Function& fn,
+            std::vector<RtVal> args, psim::Machine& machine,
+            psim::RankEnv& env) const override {
+    std::shared_ptr<const ExecModule> xm = compileClosure(mod, fn);
+    std::shared_ptr<const CodegenArtifact> art =
+        CodegenCache::global().lookup(*xm);
+    if (art == nullptr) {
+      // Graceful fallback (no compiler / compile failure): run the same
+      // lowered program on the exec engine — bit-identical by contract.
+      Executor ex(*xm, machine);
+      return ex.run(std::move(args), env);
+    }
+    CodegenExecutor ex(*xm, machine, std::move(art));
+    return ex.run(std::move(args), env);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ExecBackend> makeCodegenBackend() {
+  return std::make_unique<CodegenBackend>();
+}
+
+}  // namespace parad::interp

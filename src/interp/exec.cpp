@@ -43,6 +43,7 @@ RtVal Executor::run(std::vector<RtVal> args, psim::RankEnv& env) {
   for (std::size_t i = 0; i < args.size(); ++i)
     f[static_cast<std::size_t>(entry.paramSlots[i])] = args[i];
   initConsts(entry, f);
+  beginRun(rr);
   execBlock(entry, entry.entryBlock, f, rr);
   env.main = main.w;
   machine_.stats().instsExecuted += rr.insts;
@@ -451,19 +452,6 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
         setI(static_cast<i64>(V(0).u.f));
         break;
 
-      case Op::Alloc: {
-        i64 count = V(0).u.i;
-        machine_.chargeAlloc(w, count * 8);
-        RtPtr ptr = mem.alloc(static_cast<Type>(in.iconst), count, w.socket,
-                              (in.flags & ir::kFlagCacheAlloc) != 0,
-                              (in.flags & ir::kFlagShadowAlloc) != 0);
-        setP(ptr);
-        break;
-      }
-      case Op::Free:
-        w.advance(ct_.freeCost);
-        mem.free(V(0).u.p);
-        break;
       case Op::Load: {
         // Single object lookup: the at*() accessors would re-run get() and
         // the element-type check the switch below already establishes.
@@ -503,43 +491,6 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
         setP(ptr);
         break;
       }
-      case Op::AtomicAddF: {
-        RtPtr ptr = V(0).u.p;
-        psim::MemObject& o = mem.get(ptr);
-        i64 k = ptr.off + V(1).u.i;
-        machine_.chargeAtomic(w, o, k);
-        PARAD_CHECK(o.elem == Type::F64 && k >= 0 && k < o.count,
-                    "access out of bounds: index ", k, " of ", o.count);
-        o.f[static_cast<std::size_t>(k)] += V(2).u.f;
-        break;
-      }
-      case Op::Memset0: {
-        RtPtr ptr = V(0).u.p;
-        i64 count = V(1).u.i;
-        psim::MemObject& o = mem.get(ptr);
-        machine_.chargeMem(w, o.homeSocket, count * 8);
-        if (count > 0) {
-          PARAD_CHECK(ptr.off >= 0 && ptr.off + count <= o.count,
-                      "access out of bounds: index ", ptr.off + count - 1,
-                      " of ", o.count);
-          std::size_t b = static_cast<std::size_t>(ptr.off);
-          std::size_t e = b + static_cast<std::size_t>(count);
-          switch (o.elem) {
-            case Type::F64:
-              std::fill(o.f.begin() + b, o.f.begin() + e, 0.0);
-              break;
-            case Type::I64:
-              std::fill(o.i.begin() + b, o.i.begin() + e, i64{0});
-              break;
-            case Type::PtrF64:
-              std::fill(o.p.begin() + b, o.p.begin() + e, RtPtr{});
-              break;
-            default: PARAD_UNREACHABLE("bad memset elem");
-          }
-        }
-        break;
-      }
-
       case Op::Call: {
         if (in.trap >= 0) fail(xm_.trapMsgs[static_cast<std::size_t>(in.trap)]);
         const ExecProgram& callee =
@@ -611,18 +562,6 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
         break;
       }
 
-      case Op::ParallelFor:
-        if (execParallelFor(p, in, f, rr) == Flow::Return) {
-          rr.insts += nd;
-          return Flow::Return;
-        }
-        break;
-      case Op::Fork:
-        if (execFork(p, in, f, rr) == Flow::Return) {
-          rr.insts += nd;
-          return Flow::Return;
-        }
-        break;
       case Op::Workshare: {
         i64 lo = V(0).u.i, hi = V(1).u.i;
         const ExecBlock& body = p.blocks[static_cast<std::size_t>(in.blockA)];
@@ -654,121 +593,36 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
         setI(rr.ts->nthreads > 1 ? rr.ts->nthreads : rr.env->threadsPerRank);
         break;
 
-      case Op::Spawn: {
-        // Eager (serial-elision) execution with list-scheduled virtual
-        // timing.
-        w.advance(ct_.spawnCost);
-        auto& free = rr.taskWorkerFree;
-        std::size_t best = 0;
-        for (std::size_t k = 1; k < free.size(); ++k)
-          if (free[k] < free[best]) best = k;
-        ThreadState ts;
-        ts.w.clock = std::max(w.clock, free[best]);
-        ts.w.core =
-            machine_.coreOfRankThread(rr.env->rank, static_cast<int>(best));
-        ts.w.socket = machine_.socketOfCore(ts.w.core);
-        ts.w.dilation = w.dilation;
-        ts.tid = static_cast<int>(best);
-        ts.nthreads = static_cast<int>(free.size());
-        ThreadState* parent = rr.ts;
-        rr.ts = &ts;
-        Flow fl = execBlock(p, in.blockA, f, rr);
-        PARAD_CHECK(fl == Flow::Normal, "return out of a spawned task");
-        rr.ts = parent;
-        free[best] = ts.w.clock;
-        rr.tasks.push_back(TaskRec{ts.w.clock});
-        F[static_cast<std::size_t>(in.result)].u.task =
-            static_cast<std::int32_t>(rr.tasks.size() - 1);
-        break;
-      }
-      case Op::SyncOp: {
-        std::int32_t id = V(0).u.task;
-        PARAD_CHECK(id >= 0 && static_cast<std::size_t>(id) < rr.tasks.size(),
-                    "sync on invalid task");
-        w.clock =
-            std::max(w.clock, rr.tasks[static_cast<std::size_t>(id)].endTime);
-        w.advance(ct_.syncCost);
-        break;
-      }
-
       case Op::MpRank: setI(rr.env->rank); break;
       case Op::MpSize: setI(rr.env->ranks); break;
-      case Op::MpIsend: {
-        RtPtr ptr = V(0).u.p;
-        i64 count = V(1).u.i;
-        psim::MemObject& o = mem.get(ptr);
-        PARAD_CHECK(o.elem == Type::F64 && ptr.off + count <= o.count,
-                    "isend buffer out of bounds");
-        psim::ReqId id = machine_.fabric()->isend(
-            rr.env->rank, w, o.f.data() + ptr.off, count,
-            static_cast<int>(V(2).u.i), static_cast<int>(V(3).u.i));
-        F[static_cast<std::size_t>(in.result)].u.req = id;
-        break;
-      }
-      case Op::MpIrecv: {
-        RtPtr ptr = V(0).u.p;
-        i64 count = V(1).u.i;
-        psim::ReqId id = machine_.fabric()->irecv(
-            rr.env->rank, w, ptr, count, static_cast<int>(V(2).u.i),
-            static_cast<int>(V(3).u.i));
-        F[static_cast<std::size_t>(in.result)].u.req = id;
-        break;
-      }
-      case Op::MpWaitOp:
-        machine_.fabric()->wait(rr.env->rank, w, V(0).u.req);
-        break;
-      case Op::MpSend: {
-        RtPtr ptr = V(0).u.p;
-        i64 count = V(1).u.i;
-        psim::MemObject& o = mem.get(ptr);
-        PARAD_CHECK(o.elem == Type::F64 && ptr.off + count <= o.count,
-                    "send buffer out of bounds");
-        machine_.fabric()->send(rr.env->rank, w, o.f.data() + ptr.off, count,
-                                static_cast<int>(V(2).u.i),
-                                static_cast<int>(V(3).u.i));
-        break;
-      }
-      case Op::MpRecv:
-        machine_.fabric()->recv(rr.env->rank, w, V(0).u.p, V(1).u.i,
-                                static_cast<int>(V(2).u.i),
-                                static_cast<int>(V(3).u.i));
-        break;
-      case Op::MpAllreduce: {
-        RtPtr sp = V(0).u.p;
-        i64 count = V(2).u.i;
-        psim::MemObject& so = mem.get(sp);
-        PARAD_CHECK(so.elem == Type::F64 && sp.off + count <= so.count,
-                    "allreduce send buffer out of bounds");
-        std::vector<i64> winners;
-        machine_.fabric()->allreduce(
-            rr.env->rank, w, static_cast<ir::ReduceKind>(in.iconst),
-            so.f.data() + sp.off, V(1).u.p, count,
-            in.nOps == 4 ? &winners : nullptr);
-        if (in.nOps == 4) {
-          RtPtr wp = V(3).u.p;
-          for (i64 k = 0; k < count; ++k)
-            mem.atI(wp, k) = winners[static_cast<std::size_t>(k)];
-        }
-        break;
-      }
-      case Op::MpBarrier:
-        machine_.fabric()->barrier(rr.env->rank, w);
-        break;
 
       case Op::OmpParallelFor:
         fail(xm_.trapMsgs[static_cast<std::size_t>(in.trap)]);
 
-      case Op::JlAllocArray: {
-        // GC'd boxed array: a 1-slot descriptor object pointing at the data.
-        i64 count = V(0).u.i;
-        machine_.chargeAlloc(w, count * 8 + 8);
-        w.advance(ct_.gcCost);
-        RtPtr data = mem.alloc(Type::F64, count, w.socket);
-        RtPtr desc = mem.alloc(Type::PtrF64, 1, w.socket);
-        mem.atP(desc, 0) = data;
-        setP(desc);
+      // Machine-state instructions: one implementation shared with the
+      // codegen backend's complex-op callback (see exec.h).
+      case Op::Alloc:
+      case Op::Free:
+      case Op::AtomicAddF:
+      case Op::Memset0:
+      case Op::Spawn:
+      case Op::SyncOp:
+      case Op::MpIsend:
+      case Op::MpIrecv:
+      case Op::MpWaitOp:
+      case Op::MpSend:
+      case Op::MpRecv:
+      case Op::MpAllreduce:
+      case Op::MpBarrier:
+      case Op::JlAllocArray:
+      case Op::ParallelFor:
+      case Op::Fork:
+        if (execComplexInst(p, in, f, rr) == Flow::Return) {
+          rr.insts += nd;
+          return Flow::Return;
+        }
         break;
-      }
+
       case Op::GcPreserveBegin:
         w.advance(ct_.gcCost);
         setI(0);
@@ -796,6 +650,193 @@ Executor::Flow Executor::execRange(const ExecProgram& p, std::int32_t pc,
   if (wd != 0 && rr.insts > wd) machine_.failWatchdog(rr.env->rank, rr.insts);
   double tb = machine_.watchdogTimeBound();
   if (tb > 0 && w.clock > tb) machine_.failWatchdogTime(rr.env->rank, w.clock);
+  return Flow::Normal;
+}
+
+Executor::Flow Executor::execComplexInst(const ExecProgram& p,
+                                         const ExecInst& in, Frame& f,
+                                         RankRun& rr) {
+  psim::MemoryManager& mem = machine_.mem();
+  psim::WorkerCtx& w = rr.ts->w;
+  RtVal* const F = f.data();
+  const std::int32_t* ops =
+      in.poolBase >= 0 ? p.pool.data() + in.poolBase : in.a.data();
+  auto V = [&](std::size_t i) -> RtVal& {
+    return F[static_cast<std::size_t>(ops[i])];
+  };
+  auto setP = [&](RtPtr ptr) {
+    F[static_cast<std::size_t>(in.result)].u.p = ptr;
+  };
+
+  switch (in.op) {
+    case Op::Alloc: {
+      i64 count = V(0).u.i;
+      machine_.chargeAlloc(w, count * 8);
+      RtPtr ptr = mem.alloc(static_cast<Type>(in.iconst), count, w.socket,
+                            (in.flags & ir::kFlagCacheAlloc) != 0,
+                            (in.flags & ir::kFlagShadowAlloc) != 0);
+      setP(ptr);
+      break;
+    }
+    case Op::Free:
+      w.advance(ct_.freeCost);
+      mem.free(V(0).u.p);
+      break;
+    case Op::AtomicAddF: {
+      RtPtr ptr = V(0).u.p;
+      psim::MemObject& o = mem.get(ptr);
+      i64 k = ptr.off + V(1).u.i;
+      machine_.chargeAtomic(w, o, k);
+      PARAD_CHECK(o.elem == Type::F64 && k >= 0 && k < o.count,
+                  "access out of bounds: index ", k, " of ", o.count);
+      o.f[static_cast<std::size_t>(k)] += V(2).u.f;
+      break;
+    }
+    case Op::Memset0: {
+      RtPtr ptr = V(0).u.p;
+      i64 count = V(1).u.i;
+      psim::MemObject& o = mem.get(ptr);
+      machine_.chargeMem(w, o.homeSocket, count * 8);
+      if (count > 0) {
+        PARAD_CHECK(ptr.off >= 0 && ptr.off + count <= o.count,
+                    "access out of bounds: index ", ptr.off + count - 1,
+                    " of ", o.count);
+        std::size_t b = static_cast<std::size_t>(ptr.off);
+        std::size_t e = b + static_cast<std::size_t>(count);
+        switch (o.elem) {
+          case Type::F64:
+            std::fill(o.f.begin() + b, o.f.begin() + e, 0.0);
+            break;
+          case Type::I64:
+            std::fill(o.i.begin() + b, o.i.begin() + e, i64{0});
+            break;
+          case Type::PtrF64:
+            std::fill(o.p.begin() + b, o.p.begin() + e, RtPtr{});
+            break;
+          default: PARAD_UNREACHABLE("bad memset elem");
+        }
+      }
+      break;
+    }
+
+    case Op::Spawn: {
+      // Eager (serial-elision) execution with list-scheduled virtual timing.
+      w.advance(ct_.spawnCost);
+      auto& free = rr.taskWorkerFree;
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < free.size(); ++k)
+        if (free[k] < free[best]) best = k;
+      ThreadState ts;
+      ts.w.clock = std::max(w.clock, free[best]);
+      ts.w.core =
+          machine_.coreOfRankThread(rr.env->rank, static_cast<int>(best));
+      ts.w.socket = machine_.socketOfCore(ts.w.core);
+      ts.w.dilation = w.dilation;
+      ts.tid = static_cast<int>(best);
+      ts.nthreads = static_cast<int>(free.size());
+      ThreadState* parent = rr.ts;
+      rr.ts = &ts;
+      Flow fl = execBlock(p, in.blockA, f, rr);
+      PARAD_CHECK(fl == Flow::Normal, "return out of a spawned task");
+      rr.ts = parent;
+      free[best] = ts.w.clock;
+      rr.tasks.push_back(TaskRec{ts.w.clock});
+      F[static_cast<std::size_t>(in.result)].u.task =
+          static_cast<std::int32_t>(rr.tasks.size() - 1);
+      break;
+    }
+    case Op::SyncOp: {
+      std::int32_t id = V(0).u.task;
+      PARAD_CHECK(id >= 0 && static_cast<std::size_t>(id) < rr.tasks.size(),
+                  "sync on invalid task");
+      w.clock =
+          std::max(w.clock, rr.tasks[static_cast<std::size_t>(id)].endTime);
+      w.advance(ct_.syncCost);
+      break;
+    }
+
+    case Op::MpIsend: {
+      RtPtr ptr = V(0).u.p;
+      i64 count = V(1).u.i;
+      psim::MemObject& o = mem.get(ptr);
+      PARAD_CHECK(o.elem == Type::F64 && ptr.off + count <= o.count,
+                  "isend buffer out of bounds");
+      psim::ReqId id = machine_.fabric()->isend(
+          rr.env->rank, w, o.f.data() + ptr.off, count,
+          static_cast<int>(V(2).u.i), static_cast<int>(V(3).u.i));
+      F[static_cast<std::size_t>(in.result)].u.req = id;
+      break;
+    }
+    case Op::MpIrecv: {
+      RtPtr ptr = V(0).u.p;
+      i64 count = V(1).u.i;
+      psim::ReqId id = machine_.fabric()->irecv(
+          rr.env->rank, w, ptr, count, static_cast<int>(V(2).u.i),
+          static_cast<int>(V(3).u.i));
+      F[static_cast<std::size_t>(in.result)].u.req = id;
+      break;
+    }
+    case Op::MpWaitOp:
+      machine_.fabric()->wait(rr.env->rank, w, V(0).u.req);
+      break;
+    case Op::MpSend: {
+      RtPtr ptr = V(0).u.p;
+      i64 count = V(1).u.i;
+      psim::MemObject& o = mem.get(ptr);
+      PARAD_CHECK(o.elem == Type::F64 && ptr.off + count <= o.count,
+                  "send buffer out of bounds");
+      machine_.fabric()->send(rr.env->rank, w, o.f.data() + ptr.off, count,
+                              static_cast<int>(V(2).u.i),
+                              static_cast<int>(V(3).u.i));
+      break;
+    }
+    case Op::MpRecv:
+      machine_.fabric()->recv(rr.env->rank, w, V(0).u.p, V(1).u.i,
+                              static_cast<int>(V(2).u.i),
+                              static_cast<int>(V(3).u.i));
+      break;
+    case Op::MpAllreduce: {
+      RtPtr sp = V(0).u.p;
+      i64 count = V(2).u.i;
+      psim::MemObject& so = mem.get(sp);
+      PARAD_CHECK(so.elem == Type::F64 && sp.off + count <= so.count,
+                  "allreduce send buffer out of bounds");
+      std::vector<i64> winners;
+      machine_.fabric()->allreduce(
+          rr.env->rank, w, static_cast<ir::ReduceKind>(in.iconst),
+          so.f.data() + sp.off, V(1).u.p, count,
+          in.nOps == 4 ? &winners : nullptr);
+      if (in.nOps == 4) {
+        RtPtr wp = V(3).u.p;
+        for (i64 k = 0; k < count; ++k)
+          mem.atI(wp, k) = winners[static_cast<std::size_t>(k)];
+      }
+      break;
+    }
+    case Op::MpBarrier:
+      machine_.fabric()->barrier(rr.env->rank, w);
+      break;
+
+    case Op::JlAllocArray: {
+      // GC'd boxed array: a 1-slot descriptor object pointing at the data.
+      i64 count = V(0).u.i;
+      machine_.chargeAlloc(w, count * 8 + 8);
+      w.advance(ct_.gcCost);
+      RtPtr data = mem.alloc(Type::F64, count, w.socket);
+      RtPtr desc = mem.alloc(Type::PtrF64, 1, w.socket);
+      mem.atP(desc, 0) = data;
+      setP(desc);
+      break;
+    }
+
+    case Op::ParallelFor:
+      return execParallelFor(p, in, f, rr);
+    case Op::Fork:
+      return execFork(p, in, f, rr);
+
+    default:
+      PARAD_UNREACHABLE("non-complex op in execComplexInst");
+  }
   return Flow::Normal;
 }
 

@@ -9,6 +9,12 @@
 // across tree nodes, defined-set map lookups) is gone: operands are inline
 // slots, fork barrier segments and per-thread value sets are precompiled,
 // and callees are pre-resolved program indices.
+//
+// The codegen backend (src/interp/codegen.*) derives from Executor and
+// overrides execRange to dispatch into natively-compiled range functions;
+// everything structural (run setup, calls, fork/parallel-for orchestration,
+// machine-state instructions via execComplexInst) is shared, which is what
+// keeps the backends bit-identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +29,12 @@ class Executor {
  public:
   Executor(const ExecModule& xm, psim::Machine& machine)
       : xm_(xm), machine_(machine), ct_(machine.config().cost) {}
+  virtual ~Executor() = default;
 
   /// Runs the module's entry program as the given rank's program.
   RtVal run(std::vector<RtVal> args, psim::RankEnv& env);
 
- private:
+ protected:
   struct ThreadState {
     psim::WorkerCtx w;
     int tid = 0;
@@ -51,11 +58,17 @@ class Executor {
   };
   enum class Flow { Normal, Return };
 
+  /// Hook for derived engines: called once per run after the RankRun is set
+  /// up and before the entry block executes.
+  virtual void beginRun(RankRun& rr) { (void)rr; }
+
   /// Executes [pc, end); `trailingConsts` is the number of folded constant
   /// instructions after the last kept one, counted on normal exit so the
-  /// dispatch counter matches the tree-walker exactly.
-  Flow execRange(const ExecProgram& p, std::int32_t pc, std::int32_t end,
-                 std::int32_t trailingConsts, Frame& f, RankRun& rr);
+  /// dispatch counter matches the tree-walker exactly. Virtual: the codegen
+  /// backend redirects ranges it compiled into native functions.
+  virtual Flow execRange(const ExecProgram& p, std::int32_t pc,
+                         std::int32_t end, std::int32_t trailingConsts,
+                         Frame& f, RankRun& rr);
   Flow execBlock(const ExecProgram& p, std::int32_t blockId, Frame& f,
                  RankRun& rr) {
     const ExecBlock& b = p.blocks[static_cast<std::size_t>(blockId)];
@@ -67,6 +80,15 @@ class Executor {
                        RankRun& rr);
   RtVal callProgram(const ExecProgram& callee, const RtVal* args,
                     std::size_t nArgs, RankRun& rr);
+
+  /// Executes one machine-state instruction (alloc/free/atomics/memset,
+  /// spawn/sync, message passing, fork, parallel for, boxed allocs) — the
+  /// single implementation both the dispatch loop's switch and the codegen
+  /// backend's complex-op callback funnel through, so every backend charges
+  /// and mutates machine state identically. Does NOT touch rr.insts: the
+  /// caller owns dispatch counting.
+  Flow execComplexInst(const ExecProgram& p, const ExecInst& in, Frame& f,
+                       RankRun& rr);
 
   const ExecModule& xm_;
   psim::Machine& machine_;

@@ -13,22 +13,28 @@
 //   * message-passing ops call into the fabric, cooperatively yielding the
 //     rank when a wait cannot complete yet.
 //
-// Execution is staged (DESIGN.md §9): src/interp/lower.* compiles a function
-// closure once into a flat ExecProgram (pre-resolved operand slots, folded
-// cost charges, pre-split fork barrier segments, jump-addressed blocks);
-// src/interp/exec.* is a tight dispatch loop over that program. The original
-// recursive tree-walker survives in src/interp/treewalk.* as the reference
-// engine for differential testing; both engines produce bit-identical
+// Execution is staged (DESIGN.md §9, §13): src/interp/lower.* compiles a
+// function closure once into a flat ExecProgram (pre-resolved operand slots,
+// folded cost charges, pre-split fork barrier segments, jump-addressed
+// blocks). Engines are pluggable ExecBackend implementations behind a
+// process-wide registry (src/interp/backend.h): "exec" dispatches the
+// lowered program, "tree" is the recursive reference engine, and "codegen"
+// emits the lowered program as C++ and runs it natively through the host
+// compiler (src/interp/codegen.*). All engines produce bit-identical
 // results, memory, statistics and virtual clocks.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/ir/inst.h"
 #include "src/psim/sim.h"
 
 namespace parad::interp {
+
+class ExecBackend;
 
 /// Runtime value: untagged union (the IR's static types select the member).
 struct RtVal {
@@ -45,38 +51,35 @@ struct RtVal {
   static RtVal P(psim::RtPtr v) { RtVal x; x.u.p = v; return x; }
 };
 
-/// Which execution engine a run uses.
-enum class Engine {
-  Lowered,   // lower once to a flat ExecProgram, then dispatch (default)
-  TreeWalk,  // recursive reference interpreter (debug / differential testing)
-};
+/// Process-wide default engine, by canonical registry name. Initialized from
+/// the PARAD_ENGINE environment variable on first use ("exec" when unset);
+/// an unknown value fails with a structured error listing the registered
+/// backends. setDefaultEngine accepts aliases ("lowered", "treewalk") and
+/// stores the canonical name.
+std::string defaultEngine();
+void setDefaultEngine(std::string_view engine);
 
-/// Process-wide default engine. Initialized from the PARAD_ENGINE environment
-/// variable ("tree" or "lowered") on first use; Lowered otherwise.
-Engine defaultEngine();
-void setDefaultEngine(Engine e);
-
-/// Facade over the two engines. Construction is cheap; lowered programs are
-/// cached process-wide per function (see lower.h) so per-rank construction
-/// inside Machine::run does not re-lower.
+/// Facade over the backend registry. Construction is cheap; lowered programs
+/// are cached process-wide per function (see lower.h) so per-rank
+/// construction inside Machine::run does not re-lower.
 class Interpreter {
  public:
-  Interpreter(const ir::Module& mod, psim::Machine& machine)
-      : Interpreter(mod, machine, defaultEngine()) {}
-  Interpreter(const ir::Module& mod, psim::Machine& machine, Engine engine)
-      : mod_(mod), machine_(machine), engine_(engine) {}
+  Interpreter(const ir::Module& mod, psim::Machine& machine);
+  Interpreter(const ir::Module& mod, psim::Machine& machine,
+              std::string_view engine);
 
   /// Runs `fn` as the given rank's program (on the rank's main worker).
   /// Returns the function's return value (undefined content for void).
   RtVal run(const ir::Function& fn, std::vector<RtVal> args,
             psim::RankEnv& env);
 
-  Engine engine() const { return engine_; }
+  /// Canonical name of the backend this facade dispatches to.
+  std::string_view engine() const;
 
  private:
   const ir::Module& mod_;
   psim::Machine& machine_;
-  Engine engine_;
+  const ExecBackend* backend_;  // owned by the registry
 };
 
 }  // namespace parad::interp

@@ -351,6 +351,15 @@ std::shared_ptr<const ExecModule> lower(const ir::Module& mod,
   return xm;
 }
 
+std::shared_ptr<const ExecModule> compileClosure(const ir::Module& mod,
+                                                 const ir::Function& fn) {
+  if (mod.has(fn.name) && &mod.get(fn.name) == &fn)
+    return ProgramCache::global().lookup(mod, fn);
+  // A function object not registered in the module (e.g. a locally-built
+  // kernel passed by reference): lower uncached.
+  return lower(mod, fn);
+}
+
 // ---------------------------------------------------------------------------
 // ProgramCache.
 

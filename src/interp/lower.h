@@ -126,6 +126,14 @@ std::uint64_t fingerprint(const ir::Function& fn);
 std::shared_ptr<const ExecModule> lower(const ir::Module& mod,
                                         const ir::Function& entry);
 
+/// Backend-agnostic compile-artifact entry point: returns a valid lowered
+/// closure for `fn`, through the process-wide ProgramCache when `fn` is a
+/// module-registered function, uncached otherwise (e.g. a locally-built
+/// kernel passed by reference). Every lowered-program backend (exec,
+/// codegen) obtains its artifact here.
+std::shared_ptr<const ExecModule> compileClosure(const ir::Module& mod,
+                                                 const ir::Function& fn);
+
 /// Process-wide cache of lowered closures, keyed by (module, entry name).
 /// Hits are revalidated against the fingerprints of every function in the
 /// closure; mismatches (a pass rewrote IR in place, or a module address was

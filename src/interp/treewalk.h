@@ -1,11 +1,13 @@
 // Recursive tree-walking reference interpreter (the pre-lowering engine).
 //
-// Demoted to a debug/differential-testing engine: Interpreter (interp.h)
-// dispatches here only for Engine::TreeWalk. The lowered executor (lower.h +
-// exec.h) must stay observationally identical to this engine — results,
+// Demoted to a debug/differential-testing engine: it is registered with the
+// backend registry (backend.h) as "tree" (alias "treewalk") and selected via
+// PARAD_ENGINE=tree or an explicit engine name on the Interpreter facade. The
+// lowered executor (lower.h + exec.h) and the native codegen backend
+// (codegen.h) must stay observationally identical to this engine — results,
 // memory, RunStats and virtual clocks bit for bit — which the differential
 // tests in tests/test_exec.cpp and the app sweep in tests/test_property.cpp
-// enforce.
+// enforce across the full engine matrix.
 //
 // A TreeWalker is single-run state: the facade constructs a fresh one per
 // run, so the defined-value cache (keyed by Inst pointers) can never outlive

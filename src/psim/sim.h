@@ -104,6 +104,10 @@ class Machine {
     double t = killAt_[static_cast<std::size_t>(rank)];
     if (t >= 0 && clock >= t) fireKill(rank, clock);
   }
+  /// Whether a kill schedule is armed for the current run. Engines that
+  /// batch dispatch (codegen) use this to decide once per run whether range
+  /// exits need a probe at all.
+  bool killArmed() const { return killArmed_; }
 
   // ---- placement ----
   /// Hosting rank of a (possibly migrated) rank persona: identity until an

@@ -26,9 +26,14 @@ namespace {
 
 /// Restores the process-wide engine default on scope exit.
 struct EngineGuard {
-  interp::Engine saved = interp::defaultEngine();
+  std::string saved = interp::defaultEngine();
   ~EngineGuard() { interp::setDefaultEngine(saved); }
 };
+
+/// The full engine matrix: lowered dispatch, the tree-walking reference, and
+/// native codegen (which silently runs on exec when no host compiler exists —
+/// still a valid sweep member, identical results by contract).
+constexpr const char* kEngines[] = {"exec", "tree", "codegen"};
 
 // Ring shift with a barrier closing every round: the barriers are the
 // collective boundaries checkpoints are taken at, and because each round ends
@@ -104,8 +109,8 @@ TEST(Checkpoint, RingKillRecoversBitExact) {
   const int R = 8;
   const i64 N = 32;
   EngineGuard guard;
-  for (auto eng : {interp::Engine::Lowered, interp::Engine::TreeWalk}) {
-    SCOPED_TRACE(eng == interp::Engine::Lowered ? "lowered" : "treewalk");
+  for (const char* eng : kEngines) {
+    SCOPED_TRACE(eng);
     interp::setDefaultEngine(eng);
 
     // Clean baseline *with* checkpointing: same values as a fault-free run,
@@ -168,7 +173,7 @@ TEST(Checkpoint, UnrecoverableBeforeFirstCheckpoint) {
   // reliably fires before any rank reaches the first barrier (the lowered
   // engine's coarser flush-point probes can outrun such an early schedule).
   EngineGuard guard;
-  interp::setDefaultEngine(interp::Engine::TreeWalk);
+  interp::setDefaultEngine("tree");
   psim::MachineConfig mc = cleanConfig(5);
   mc.faults.killRate = 1.0;
   mc.faults.killNs = 5;  // crashes before any rank reaches the first barrier
@@ -396,8 +401,7 @@ TEST(Checkpoint, KillSweepLuleshMp) {
   for (const KillCase& c : killCases({0.25, 0.6})) {
     SCOPED_TRACE("seed=" + std::to_string(c.seed) +
                  " rate=" + std::to_string(c.rate));
-    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
-                                            : interp::Engine::TreeWalk);
+    interp::setDefaultEngine(kEngines[idx++ % 3]);
     auto p = tally.count([&] {
       return apps::lulesh::runPrimal(mod, cfg, 1,
                                      killMachine(c, clean.makespan * 0.5));
@@ -445,13 +449,14 @@ TEST(Checkpoint, KillSweepMinibudeMp) {
   for (const KillCase& c : killCases({0.25, 0.6})) {
     SCOPED_TRACE("seed=" + std::to_string(c.seed) +
                  " rate=" + std::to_string(c.rate));
-    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
-                                            : interp::Engine::TreeWalk);
+    interp::setDefaultEngine(kEngines[idx++ % 3]);
     auto p = tally.count([&] {
       return apps::minibude::runPrimal(mod, cfg, 1,
                                        killMachine(c, clean.makespan * 0.5));
     });
-    if (p.stats.restores > 0) EXPECT_EQ(p.objective, clean.objective);
+    if (p.stats.restores > 0) {
+      EXPECT_EQ(p.objective, clean.objective);
+    }
     auto g = tally.count([&] {
       return apps::minibude::runGradient(mod, gi, cfg, 1,
                                          killMachine(c, cleanG.makespan * 0.5));
@@ -544,8 +549,8 @@ TEST(Checkpoint, ElasticKillContinuesOnSurvivors) {
   const int R = 8;
   const i64 N = 32;
   EngineGuard guard;
-  for (auto eng : {interp::Engine::Lowered, interp::Engine::TreeWalk}) {
-    SCOPED_TRACE(eng == interp::Engine::Lowered ? "lowered" : "treewalk");
+  for (const char* eng : kEngines) {
+    SCOPED_TRACE(eng);
     interp::setDefaultEngine(eng);
 
     psim::MachineConfig mcClean = cleanConfig(21);
@@ -606,8 +611,7 @@ TEST(Checkpoint, ElasticKillSweepLuleshMpGradients) {
   for (const KillCase& c : killCases({0.25, 0.6})) {
     SCOPED_TRACE("seed=" + std::to_string(c.seed) +
                  " rate=" + std::to_string(c.rate));
-    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
-                                            : interp::Engine::TreeWalk);
+    interp::setDefaultEngine(kEngines[idx++ % 3]);
     psim::MachineConfig mc = killMachine(c, cleanG.makespan * 0.5);
     mc.faults.elastic = true;
     try {

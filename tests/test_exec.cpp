@@ -1,9 +1,10 @@
-// Differential tests for the lower->execute pipeline: the lowered executor
-// must be observationally identical to the tree-walking reference engine —
-// same results, same memory effects, same RunStats counters, and the same
-// virtual clocks bit for bit. Also covers the program cache (invalidation by
-// passes, fingerprint revalidation after in-place IR mutation) and the
-// machine-config knobs that used to be interpreter constants.
+// Differential tests for the execution backends: the lowered executor and
+// the native codegen backend must be observationally identical to the
+// tree-walking reference engine — same results, same memory effects, same
+// RunStats counters, and the same virtual clocks bit for bit. Also covers
+// the program cache (invalidation by passes, fingerprint revalidation after
+// in-place IR mutation) and the machine-config knobs that used to be
+// interpreter constants.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -17,11 +18,14 @@
 using namespace parad;
 using namespace parad::test;
 using ir::Type;
-using interp::Engine;
 
 namespace {
 
-/// Outcome of one run: everything two engines must agree on.
+/// The full engine matrix. "codegen" degrades to exec when the host has no
+/// usable compiler — still a valid matrix member (identical by contract).
+constexpr const char* kEngines[] = {"exec", "tree", "codegen"};
+
+/// Outcome of one run: everything the engines must agree on.
 struct Outcome {
   interp::RtVal ret{};
   double makespan = 0;
@@ -33,7 +37,8 @@ struct Outcome {
 /// Runs `fn` under one engine on a fresh machine. `makeArgs` allocates the
 /// run's buffers (the first allocated ptr arg, if any, is the probe buffer
 /// read back into Outcome::buf).
-Outcome runEngine(const ir::Module& mod, const std::string& fn, Engine e,
+Outcome runEngine(const ir::Module& mod, const std::string& fn,
+                  std::string_view e,
                   const std::function<std::vector<interp::RtVal>(
                       psim::Machine&, psim::RtPtr&)>& makeArgs,
                   int ranks, int threads, i64 readN,
@@ -56,27 +61,30 @@ Outcome runEngine(const ir::Module& mod, const std::string& fn, Engine e,
   return o;
 }
 
-/// Runs under both engines and asserts bit-identical observables.
+/// Runs under the full engine matrix (tree x exec x codegen) and asserts
+/// bit-identical observables against the exec baseline.
 Outcome expectEnginesAgree(
     const ir::Module& mod, const std::string& fn,
     const std::function<std::vector<interp::RtVal>(psim::Machine&,
                                                    psim::RtPtr&)>& makeArgs,
     int ranks = 1, int threads = 4, i64 readN = 0,
     psim::MachineConfig cfg = {}) {
-  Outcome lo = runEngine(mod, fn, Engine::Lowered, makeArgs, ranks, threads,
-                         readN, cfg);
-  Outcome tw = runEngine(mod, fn, Engine::TreeWalk, makeArgs, ranks, threads,
-                         readN, cfg);
-  EXPECT_EQ(lo.ret.u.i, tw.ret.u.i) << fn << ": return values differ";
-  EXPECT_EQ(lo.makespan, tw.makespan) << fn << ": virtual clocks differ";
-  EXPECT_EQ(lo.insts, tw.insts) << fn << ": instruction counts differ";
-  EXPECT_EQ(lo.atomics, tw.atomics) << fn;
-  EXPECT_EQ(lo.messages, tw.messages) << fn;
-  EXPECT_EQ(lo.bytesSent, tw.bytesSent) << fn;
-  EXPECT_EQ(lo.allocBytes, tw.allocBytes) << fn;
-  EXPECT_EQ(lo.buf.size(), tw.buf.size());
-  for (std::size_t i = 0; i < std::min(lo.buf.size(), tw.buf.size()); ++i)
-    EXPECT_EQ(lo.buf[i], tw.buf[i]) << fn << ": buffer element " << i;
+  Outcome lo = runEngine(mod, fn, "exec", makeArgs, ranks, threads, readN,
+                         cfg);
+  for (const char* eng : {"tree", "codegen"}) {
+    SCOPED_TRACE(eng);
+    Outcome o = runEngine(mod, fn, eng, makeArgs, ranks, threads, readN, cfg);
+    EXPECT_EQ(lo.ret.u.i, o.ret.u.i) << fn << ": return values differ";
+    EXPECT_EQ(lo.makespan, o.makespan) << fn << ": virtual clocks differ";
+    EXPECT_EQ(lo.insts, o.insts) << fn << ": instruction counts differ";
+    EXPECT_EQ(lo.atomics, o.atomics) << fn;
+    EXPECT_EQ(lo.messages, o.messages) << fn;
+    EXPECT_EQ(lo.bytesSent, o.bytesSent) << fn;
+    EXPECT_EQ(lo.allocBytes, o.allocBytes) << fn;
+    EXPECT_EQ(lo.buf.size(), o.buf.size());
+    for (std::size_t i = 0; i < std::min(lo.buf.size(), o.buf.size()); ++i)
+      EXPECT_EQ(lo.buf[i], o.buf[i]) << fn << ": buffer element " << i;
+  }
   EXPECT_GT(lo.insts, 0u) << fn << ": instruction counter never advanced";
   return lo;
 }
@@ -404,11 +412,11 @@ TEST(ExecCache, SecondRunHits) {
   auto& cache = interp::ProgramCache::global();
   cache.clear();
   std::uint64_t h0 = cache.hits(), m0 = cache.misses();
-  // The cache only serves the lowered engine; pin it so the counters move
-  // even when the suite runs under PARAD_ENGINE=tree.
+  // The cache only serves the lowered-program engines; pin exec so the
+  // counters move even when the suite runs under PARAD_ENGINE=tree.
   auto runLowered = [&](psim::Machine& m) {
     m.run({1, 1}, [&](psim::RankEnv& env) {
-      interp::Interpreter it(mod, m, Engine::Lowered);
+      interp::Interpreter it(mod, m, "exec");
       it.run(mod.get("f"), {interp::RtVal::F(2)}, env);
     });
   };
@@ -516,7 +524,8 @@ TEST(ExecConfig, MaxCallDepthConfigurable) {
   b.finish();
   ir::verify(mod);
 
-  for (Engine e : {Engine::Lowered, Engine::TreeWalk}) {
+  for (const char* e : kEngines) {
+    SCOPED_TRACE(e);
     psim::Machine deep;  // default limit (512) admits depth 100
     psim::Machine shallow;
     shallow.config().maxCallDepth = 50;
@@ -564,7 +573,7 @@ TEST(ExecConfig, TaskWorkersConfigurable) {
   b.finish();
   ir::verify(mod);
 
-  auto timeWith = [&](int taskWorkers, Engine e) {
+  auto timeWith = [&](int taskWorkers, std::string_view e) {
     psim::MachineConfig cfg;
     cfg.taskWorkers = taskWorkers;
     psim::Machine m(cfg);
@@ -574,9 +583,12 @@ TEST(ExecConfig, TaskWorkersConfigurable) {
       it.run(mod.get("fan"), {interp::RtVal::P(buf)}, env);
     });
   };
-  double serial = timeWith(1, Engine::Lowered);
-  double wide = timeWith(8, Engine::Lowered);
+  double serial = timeWith(1, "exec");
+  double wide = timeWith(8, "exec");
   EXPECT_GT(serial, wide * 2);
-  EXPECT_EQ(serial, timeWith(1, Engine::TreeWalk));
-  EXPECT_EQ(wide, timeWith(8, Engine::TreeWalk));
+  for (const char* e : {"tree", "codegen"}) {
+    SCOPED_TRACE(e);
+    EXPECT_EQ(serial, timeWith(1, e));
+    EXPECT_EQ(wide, timeWith(8, e));
+  }
 }

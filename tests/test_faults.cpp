@@ -22,9 +22,12 @@ namespace {
 
 /// Restores the process-wide engine default on scope exit.
 struct EngineGuard {
-  interp::Engine saved = interp::defaultEngine();
+  std::string saved = interp::defaultEngine();
   ~EngineGuard() { interp::setDefaultEngine(saved); }
 };
+
+/// The full engine matrix (codegen degrades to exec without a host compiler).
+constexpr const char* kEngines[] = {"exec", "tree", "codegen"};
 
 // Multi-round ring shift: several messages per (src, dst, tag) flow, so the
 // duplicate-suppression path (stale ghosts found while scanning for the next
@@ -304,7 +307,8 @@ TEST(Faults, InstructionWatchdogTripsOnBothEngines) {
   b.ret();
   b.finish();
   ir::verify(mod);
-  for (auto eng : {interp::Engine::Lowered, interp::Engine::TreeWalk}) {
+  for (const char* eng : kEngines) {
+    SCOPED_TRACE(eng);
     psim::MachineConfig mc;
     mc.watchdogInsts = 10000;
     psim::Machine m(mc);
@@ -421,8 +425,7 @@ TEST(Faults, ChaosSweepLuleshMp) {
   for (const ChaosCase& c : chaosCases({0.1, 0.3, 0.5})) {
     SCOPED_TRACE("seed=" + std::to_string(c.seed) +
                  " drop=" + std::to_string(c.drop));
-    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
-                                            : interp::Engine::TreeWalk);
+    interp::setDefaultEngine(kEngines[idx++ % 3]);
     psim::MachineConfig mc = chaosMachine(c);
     auto p = apps::lulesh::runPrimal(mod, cfg, 1, mc);
     EXPECT_EQ(p.objective, clean.objective);
@@ -458,8 +461,7 @@ TEST(Faults, ChaosSweepMinibudeMp) {
   for (const ChaosCase& c : chaosCases({0.4, 0.6, 0.8})) {
     SCOPED_TRACE("seed=" + std::to_string(c.seed) +
                  " drop=" + std::to_string(c.drop));
-    interp::setDefaultEngine(idx++ % 2 == 0 ? interp::Engine::Lowered
-                                            : interp::Engine::TreeWalk);
+    interp::setDefaultEngine(kEngines[idx++ % 3]);
     psim::MachineConfig mc = chaosMachine(c);
     auto p = apps::minibude::runPrimal(mod, cfg, 1, mc);
     EXPECT_EQ(p.objective, clean.objective);

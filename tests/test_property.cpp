@@ -261,16 +261,17 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceRanksP,
 
 // ---------------------------------------------------------------------------
 // Engine-equivalence and schedule-independence sweep over the paper apps
-// (DESIGN.md §9): the lowered executor and the tree-walking reference engine
-// must agree bit for bit on objectives, gradients, RunStats and virtual
-// makespans, and values/gradients must not depend on the thread count.
+// (DESIGN.md §9, §13): the lowered executor, the native codegen backend and
+// the tree-walking reference engine must agree bit for bit on objectives,
+// gradients, RunStats and virtual makespans, and values/gradients must not
+// depend on the thread count.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 struct EngineGuard {
-  interp::Engine saved;
-  explicit EngineGuard(interp::Engine e) : saved(interp::defaultEngine()) {
+  std::string saved;
+  explicit EngineGuard(std::string_view e) : saved(interp::defaultEngine()) {
     interp::setDefaultEngine(e);
   }
   ~EngineGuard() { interp::setDefaultEngine(saved); }
@@ -330,16 +331,19 @@ TEST_P(LuleshEngineSweepP, EnginesAndSchedulesAgree) {
   core::GradInfo gi = buildGradient(mod);
 
   auto runBoth = [&](int threads) {
-    EngineGuard guard(interp::Engine::Lowered);
+    EngineGuard guard("exec");
     RunResult pl = runPrimal(mod, cfg, threads);
     RunResult gl = runGradient(mod, gi, cfg, threads);
-    interp::setDefaultEngine(interp::Engine::TreeWalk);
-    RunResult pt = runPrimal(mod, cfg, threads);
-    RunResult gt = runGradient(mod, gi, cfg, threads);
-    expectBitIdentical(pl, pt, v.name);
-    expectBitIdentical(gl, gt, v.name);
-    expectSameVec(gl.gradE, gt.gradE, v.name);
-    expectSameVec(gl.gradU, gt.gradU, v.name);
+    for (const char* eng : {"tree", "codegen"}) {
+      SCOPED_TRACE(eng);
+      interp::setDefaultEngine(eng);
+      RunResult pt = runPrimal(mod, cfg, threads);
+      RunResult gt = runGradient(mod, gi, cfg, threads);
+      expectBitIdentical(pl, pt, v.name);
+      expectBitIdentical(gl, gt, v.name);
+      expectSameVec(gl.gradE, gt.gradE, v.name);
+      expectSameVec(gl.gradU, gt.gradU, v.name);
+    }
     return std::make_pair(pl, gl);
   };
   auto r2 = runBoth(2);
@@ -389,16 +393,19 @@ TEST_P(BudeEngineSweepP, EnginesAndSchedulesAgree) {
   core::GradInfo gi = buildGradient(mod);
 
   auto runBoth = [&](int threads) {
-    EngineGuard guard(interp::Engine::Lowered);
+    EngineGuard guard("exec");
     RunResult pl = runPrimal(mod, cfg, threads);
     RunResult gl = runGradient(mod, gi, cfg, threads);
-    interp::setDefaultEngine(interp::Engine::TreeWalk);
-    RunResult pt = runPrimal(mod, cfg, threads);
-    RunResult gt = runGradient(mod, gi, cfg, threads);
-    expectBitIdentical(pl, pt, v.name);
-    expectBitIdentical(gl, gt, v.name);
-    expectSameVec(gl.gradPoses, gt.gradPoses, v.name);
-    expectSameVec(gl.gradLig, gt.gradLig, v.name);
+    for (const char* eng : {"tree", "codegen"}) {
+      SCOPED_TRACE(eng);
+      interp::setDefaultEngine(eng);
+      RunResult pt = runPrimal(mod, cfg, threads);
+      RunResult gt = runGradient(mod, gi, cfg, threads);
+      expectBitIdentical(pl, pt, v.name);
+      expectBitIdentical(gl, gt, v.name);
+      expectSameVec(gl.gradPoses, gt.gradPoses, v.name);
+      expectSameVec(gl.gradLig, gt.gradLig, v.name);
+    }
     return std::make_pair(pl, gl);
   };
   auto r2 = runBoth(2);
