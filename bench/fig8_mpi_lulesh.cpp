@@ -6,6 +6,7 @@
 // Series: Enzyme-style C++ MPI, jlite ("Julia") MPI, RAJA MPI, and the
 // cotape (CoDiPack-style) baseline.
 #include <cmath>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
 
@@ -140,6 +141,35 @@ int main() {
     }
   }
   bot.print();
+
+  // SCALE=1 extends the weak-scaling row onto the large-rank VM (the
+  // hierarchical-collective + O(active) scheduler path): 512 -> 4096 ranks,
+  // small per-rank block, short run. Gated so the default JSON stays
+  // byte-identical run to run.
+  if (std::getenv("SCALE") != nullptr) {
+    header("Fig. 8 (scale)",
+           "weak scaling continued onto the 4096-rank VM (SCALE=1)",
+           "gradient keeps tracking the primal through the hierarchical-"
+           "collective regime");
+    Table sc({"impl", "ranks", "forward(ns)", "gradient(ns)", "grad/fwd"});
+    const int kScaleRsides[] = {8, 12, 16};  // 512, 1728, 4096 ranks
+    for (int rside : kScaleRsides) {
+      int ranks = rside * rside * rside;
+      Point pt = measure(kSeries[0], rside, 4, 2);
+      sc.addRow({kSeries[0].name, std::to_string(ranks),
+                 Table::num(pt.fwd, 0), Table::num(pt.grad, 0),
+                 Table::num(pt.grad / pt.fwd, 2)});
+      json.row(std::string(kSeries[0].name) + " weak-scale r" +
+               std::to_string(ranks));
+      json.str("impl", kSeries[0].name);
+      json.str("scaling", "weak-scale");
+      json.num("ranks", ranks);
+      json.num("block", 4);
+      json.num("forward_ns", pt.fwd);
+      json.stats(pt.grad, pt.stats);
+    }
+    sc.print();
+  }
   json.write();
   return 0;
 }

@@ -1,0 +1,342 @@
+// Mixed-traffic throughput bench for the gradient-serving layer (DESIGN.md
+// §14): requests/sec and host-side p50/p99 latency for three traffic mixes —
+//   hot      2 pre-warmed tenant programs, 8 client threads
+//   cold     every request first-touches a structurally distinct tenant
+//   faulted  hot traffic with every 8th request carrying a kill-fault spec
+// plus the naive one-job-per-call baseline (callDirect: same gradient work,
+// no batching) on the hot mix. The summary row gates the tentpole claim:
+// batched serving must sustain >= 2x the naive requests/sec on the hot mix.
+//
+// Unlike the figure benches, the latency/throughput numbers here are HOST
+// time (steady_clock): the claim under test is about the serving pipeline's
+// real overheads (per-run VM setup, carrier threads, cache lookups), which
+// batching amortizes — virtual time is identical either way, by construction.
+//
+// PARAD_SERVE_SMOKE=1 shrinks the request counts for CI lanes and skips the
+// >=2x gate (smoke hosts are noisy); the fault-isolation invariants are
+// enforced in both modes.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/ir/builder.h"
+#include "src/serve/serve.h"
+
+using namespace parad;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+constexpr i64 kN = 24;  // per-request input length
+
+/// Servable tenant: acc += sin(x[i]) * c + cos(x[i]) + x[i]^2 / 2. The
+/// constant makes structurally distinct tenants (distinct fingerprints).
+std::function<void(ir::Module&)> tenant(double c) {
+  return [c](ir::Module& mod) {
+    ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+    auto x = b.param(0);
+    auto n = b.param(1);
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto t = b.fadd(b.fadd(b.fmul(b.sin_(v), b.constF(c)), b.cos_(v)),
+                      b.fmul(b.fmul(v, v), b.constF(0.5)));
+      b.store(acc, b.constI(0), b.fadd(b.load(acc, b.constI(0)), t));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+    b.finish();
+  };
+}
+
+std::vector<double> inputFor(int j) {
+  std::vector<double> x(static_cast<std::size_t>(kN));
+  for (i64 k = 0; k < kN; ++k)
+    x[static_cast<std::size_t>(k)] =
+        0.125 + 0.0625 * static_cast<double>(j % 17) +
+        0.25 * static_cast<double>(k);
+  return x;
+}
+
+struct MixResult {
+  int requests = 0;
+  int ok = 0;
+  int failed = 0;
+  double wallNs = 0;
+  double rps = 0;
+  double p50Ns = 0, p99Ns = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+/// Drives `perClient` requests from each of `clients` threads through
+/// submit() (pipelined: stamp, enqueue, then harvest), alternating across
+/// `programs`. Every `faultEvery`-th request (0 = never) carries a
+/// deterministic kill spec and must fail alone with a structured report.
+MixResult driveBatched(serve::GradientService& svc,
+                       const std::vector<std::string>& programs, int clients,
+                       int perClient, int faultEvery) {
+  std::vector<std::vector<double>> lats(static_cast<std::size_t>(clients));
+  std::atomic<int> ok{0}, failed{0}, badFailure{0};
+  std::vector<std::thread> ts;
+  std::uint64_t t0 = serve::nowNs();
+  for (int c = 0; c < clients; ++c) {
+    ts.emplace_back([&, c] {
+      std::vector<std::pair<std::uint64_t, std::future<serve::Response>>>
+          inflight;
+      inflight.reserve(static_cast<std::size_t>(perClient));
+      for (int j = 0; j < perClient; ++j) {
+        int id = c * perClient + j;
+        serve::Request req;
+        req.program = programs[static_cast<std::size_t>(id) % programs.size()];
+        req.inputs = inputFor(id);
+        req.seed = 1.0 + 0.0625 * static_cast<double>(j % 8);
+        bool faulty = faultEvery > 0 && id % faultEvery == 0;
+        if (faulty) req.faultSpec = "seed=3,kill=1,killns=5";
+        inflight.emplace_back(serve::nowNs(), svc.submit(std::move(req)));
+      }
+      for (int j = 0; j < perClient; ++j) {
+        int id = c * perClient + j;
+        bool faulty = faultEvery > 0 && id % faultEvery == 0;
+        auto& [sentNs, fut] = inflight[static_cast<std::size_t>(j)];
+        serve::Response r = fut.get();
+        lats[static_cast<std::size_t>(c)].push_back(
+            static_cast<double>(r.doneAtNs - sentNs));
+        if (faulty) {
+          // Isolation invariant: the fault-injected job fails alone, with a
+          // structured RankKilled report, on its own VM.
+          bool structured = !r.ok && r.isolated && r.failure != nullptr &&
+                            r.failure->kind ==
+                                psim::FailureReport::Kind::RankKilled;
+          (structured ? failed : badFailure)++;
+        } else {
+          (r.ok ? ok : badFailure)++;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  MixResult out;
+  out.wallNs = static_cast<double>(serve::nowNs() - t0);
+  out.requests = clients * perClient;
+  out.ok = ok.load();
+  out.failed = failed.load();
+  if (badFailure.load() > 0) {
+    std::fprintf(stderr,
+                 "serve_throughput: %d requests violated the isolation/"
+                 "success invariants\n",
+                 badFailure.load());
+    std::exit(1);
+  }
+  std::vector<double> all;
+  for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
+  out.p50Ns = percentile(all, 0.50);
+  out.p99Ns = percentile(all, 0.99);
+  out.rps = static_cast<double>(out.requests) / (out.wallNs * 1e-9);
+  return out;
+}
+
+/// The naive baseline: same clients, same requests, one synchronous
+/// callDirect (own VM, unbatched gradient) per request.
+MixResult driveNaive(serve::GradientService& svc,
+                     const std::vector<std::string>& programs, int clients,
+                     int perClient) {
+  std::vector<std::vector<double>> lats(static_cast<std::size_t>(clients));
+  std::atomic<int> ok{0};
+  std::vector<std::thread> ts;
+  std::uint64_t t0 = serve::nowNs();
+  for (int c = 0; c < clients; ++c) {
+    ts.emplace_back([&, c] {
+      for (int j = 0; j < perClient; ++j) {
+        int id = c * perClient + j;
+        serve::Request req;
+        req.program = programs[static_cast<std::size_t>(id) % programs.size()];
+        req.inputs = inputFor(id);
+        req.seed = 1.0 + 0.0625 * static_cast<double>(j % 8);
+        std::uint64_t sent = serve::nowNs();
+        serve::Response r = svc.callDirect(req);
+        lats[static_cast<std::size_t>(c)].push_back(
+            static_cast<double>(r.doneAtNs - sent));
+        if (r.ok) ok++;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  MixResult out;
+  out.wallNs = static_cast<double>(serve::nowNs() - t0);
+  out.requests = clients * perClient;
+  out.ok = ok.load();
+  std::vector<double> all;
+  for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
+  out.p50Ns = percentile(all, 0.50);
+  out.p99Ns = percentile(all, 0.99);
+  out.rps = static_cast<double>(out.requests) / (out.wallNs * 1e-9);
+  return out;
+}
+
+void emitRow(bench::BenchJson& json, const std::string& name,
+             const MixResult& r, const serve::ServiceStats& st) {
+  json.row(name);
+  json.num("requests", r.requests);
+  json.num("ok", r.ok);
+  json.num("failed", r.failed);
+  json.num("wall_ns", r.wallNs);
+  json.num("requests_per_sec", r.rps);
+  json.num("p50_latency_ns", r.p50Ns);
+  json.num("p99_latency_ns", r.p99Ns);
+  json.num("batches", static_cast<double>(st.batches));
+  json.num("batched_requests", static_cast<double>(st.batchedRequests));
+  json.num("max_batch_observed", static_cast<double>(st.maxBatchObserved));
+  json.num("isolated_runs", static_cast<double>(st.isolatedRuns));
+  json.num("batch_fallbacks", static_cast<double>(st.batchFallbacks));
+  json.num("cold_compiles", static_cast<double>(st.coldCompiles));
+  json.num("program_cache_hits", static_cast<double>(st.programCacheHits));
+  json.num("program_cache_misses",
+           static_cast<double>(st.programCacheMisses));
+  json.num("codegen_compiles", static_cast<double>(st.codegenCompiles));
+  json.num("codegen_mem_hits", static_cast<double>(st.codegenMemHits));
+  std::printf(
+      "%-12s %6d req  %9.0f req/s  p50 %8.0f ns  p99 %9.0f ns  "
+      "(%d ok, %d faulted, %llu batches, max batch %llu)\n",
+      name.c_str(), r.requests, r.rps, r.p50Ns, r.p99Ns, r.ok, r.failed,
+      (unsigned long long)st.batches, (unsigned long long)st.maxBatchObserved);
+}
+
+void BM_ServeHotBatch(benchmark::State& state) {
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.maxBatch = 8;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("t0", tenant(1.25), "f", kN);
+  for (auto _ : state) {
+    MixResult r = driveBatched(svc, {"t0"}, 2, 8, 0);
+    benchmark::DoNotOptimize(r.rps);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ServeHotBatch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const char* smokeEnv = std::getenv("PARAD_SERVE_SMOKE");
+  const bool smoke = smokeEnv != nullptr && *smokeEnv && *smokeEnv != '0';
+  const int clients = 8;
+  const int perClient = smoke ? 8 : 64;
+  const int coldTenants = smoke ? 4 : 16;
+
+  bench::header(
+      "serve_throughput",
+      "multi-tenant gradient serving: batched pipeline vs one-job-per-call",
+      "batched >= 2x naive requests/sec on the hot mix at 8 client threads; "
+      "faulted jobs fail alone, batch-mates unaffected");
+
+  bench::BenchJson json("serve_throughput");
+
+  serve::ServeConfig cfg;
+  cfg.maxBatch = 16;
+  cfg.maxDelayUs = 200.0;
+
+  // ---- hot mix: 2 warm tenants, batched pipeline vs naive baseline ----
+  double rpsBatched = 0, rpsNaive = 0;
+  {
+    serve::GradientService svc(cfg);
+    svc.registerProgram("hot_a", tenant(1.25), "f", kN);
+    svc.registerProgram("hot_b", tenant(4.75), "f", kN);
+    // Warm both tenants (gradient generation + lowering) off the clock, and
+    // spot-check the batched path against the single-shot path bit-for-bit.
+    serve::Request probe;
+    probe.program = "hot_a";
+    probe.inputs = inputFor(3);
+    serve::Response direct = svc.callDirect(probe);
+    serve::Response batched = svc.call(probe);
+    if (!direct.ok || !batched.ok || direct.gradient != batched.gradient ||
+        direct.primal != batched.primal) {
+      std::fprintf(stderr, "serve_throughput: batched/naive value mismatch\n");
+      return 1;
+    }
+    probe.program = "hot_b";
+    (void)svc.callDirect(probe);
+
+    MixResult hot =
+        driveBatched(svc, {"hot_a", "hot_b"}, clients, perClient, 0);
+    rpsBatched = hot.rps;
+    emitRow(json, "hot_batched", hot, svc.stats());
+
+    MixResult naive = driveNaive(svc, {"hot_a", "hot_b"}, clients, perClient);
+    rpsNaive = naive.rps;
+    emitRow(json, "hot_naive", naive, svc.stats());
+  }
+
+  // ---- cold mix: every tenant first-touched by its own traffic ----
+  {
+    serve::GradientService svc(cfg);
+    std::vector<std::string> names;
+    for (int k = 0; k < coldTenants; ++k) {
+      names.push_back("cold_" + std::to_string(k));
+      svc.registerProgram(names.back(), tenant(20.0 + k), "f", kN);
+    }
+    MixResult cold = driveBatched(svc, names, clients,
+                                  std::max(1, perClient / 4), 0);
+    emitRow(json, "cold", cold, svc.stats());
+    serve::ServiceStats st = svc.stats();
+    if (st.coldCompiles != static_cast<std::uint64_t>(coldTenants)) {
+      std::fprintf(stderr,
+                   "serve_throughput: expected %d cold compiles, saw %llu\n",
+                   coldTenants, (unsigned long long)st.coldCompiles);
+      return 1;
+    }
+  }
+
+  // ---- faulted mix: hot traffic with every 8th request fault-injected ----
+  {
+    serve::GradientService svc(cfg);
+    svc.registerProgram("hot_a", tenant(1.25), "f", kN);
+    svc.registerProgram("hot_b", tenant(4.75), "f", kN);
+    MixResult faulted =
+        driveBatched(svc, {"hot_a", "hot_b"}, clients, perClient, 8);
+    emitRow(json, "faulted", faulted, svc.stats());
+    int expectFaults = (clients * perClient + 7) / 8;
+    if (faulted.failed != expectFaults ||
+        faulted.ok != faulted.requests - expectFaults) {
+      std::fprintf(stderr,
+                   "serve_throughput: fault isolation mismatch "
+                   "(%d failed, expected %d of %d)\n",
+                   faulted.failed, expectFaults, faulted.requests);
+      return 1;
+    }
+  }
+
+  double speedup = rpsNaive > 0 ? rpsBatched / rpsNaive : 0;
+  bool gate = speedup >= 2.0;
+  std::printf("batched vs naive (hot): %.2fx %s\n", speedup,
+              smoke ? "(smoke: gate not enforced)"
+                    : (gate ? "(>=2x: PASS)" : "(>=2x: FAIL)"));
+  json.row("summary");
+  json.num("clients", clients);
+  json.num("per_client", perClient);
+  json.num("smoke", smoke ? 1 : 0);
+  json.num("rps_batched_hot", rpsBatched);
+  json.num("rps_naive_hot", rpsNaive);
+  json.num("batched_vs_naive_speedup", speedup);
+  json.num("speedup_gate_2x", gate ? 1 : 0);
+  json.write();
+  return (smoke || gate) ? 0 : 1;
+}

@@ -6,8 +6,14 @@
 #
 #   BUILD_DIR=out ./scripts/check.sh   # override the build directory
 #   SANITIZE=1 ./scripts/check.sh      # ASan+UBSan build (separate build dir)
+#   TSAN=1 ./scripts/check.sh          # ThreadSanitizer build, concurrency
+#                                      # suites only (serve pipeline, sharded
+#                                      # cache hammer, backend registry)
 #   CHAOS=1 ./scripts/check.sh         # widened fault-injection chaos sweep
 #   SCALE=1 ./scripts/check.sh         # 4096-virtual-rank weak-scaling smoke
+#   SERVE=1 ./scripts/check.sh         # serving-layer suite + mixed-traffic
+#                                      # throughput smoke (incl. one
+#                                      # fault-injected batch)
 #   CODEGEN=1 ./scripts/check.sh       # whole suite under the codegen engine
 #                                      # + dispatch-throughput criterion check
 set -euo pipefail
@@ -22,6 +28,21 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
   CMAKE_ARGS+=(-DPARAD_SANITIZE=ON)
   export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
   export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  # ThreadSanitizer lane: a separate build dir, restricted to the suites that
+  # exercise real host-thread concurrency (the serving pipeline, the sharded
+  # program-cache hammer, the backend registry). The full suite under TSan
+  # would mostly re-measure single-threaded VM code at ~10x slowdown.
+  BUILD_DIR=${BUILD_DIR}-tsan
+  CMAKE_ARGS+=(-DPARAD_SANITIZE=thread)
+  export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '^(Serve|ServeQueue|CacheConcurrency|BackendRegistry)\.'
+  exit 0
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -55,10 +76,25 @@ if [[ "${CODEGEN:-0}" == "1" ]]; then
     --benchmark_filter='^$')
 fi
 
+if [[ "${SERVE:-0}" == "1" ]]; then
+  # Serving-layer lane: the full serve/cache-concurrency suite plus the
+  # mixed-traffic throughput bench in smoke mode (small request counts, the
+  # >=2x gate relaxed, but the fault-injected batch and its isolation
+  # invariants enforced — the bench exits non-zero on any violation).
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '^(Serve|ServeQueue|CacheConcurrency)\.'
+  (cd "$BUILD_DIR" && PARAD_SERVE_SMOKE=1 bench/serve_throughput \
+    --benchmark_filter='^$')
+fi
+
 if [[ "${SCALE:-0}" == "1" ]]; then
   # Weak-scaling smoke: drive the fabric/scheduler core from 64 up to 4096
   # virtual ranks (bench/micro_scale.cpp). The binary exits non-zero unless
   # per-rank simulator state stays flat and wall time per simulated step
   # fits well under quadratic — the scale regressions this repo guards.
   (cd "$BUILD_DIR" && bench/micro_scale --benchmark_filter='^$')
+  # The figure benches grow SCALE-gated rows past their default sweeps
+  # (fig10: threads beyond the modeled core count). fig8's 512-4096-rank
+  # LULESH rows also honor SCALE=1 but are too heavy for this smoke lane.
+  (cd "$BUILD_DIR" && SCALE=1 bench/fig10_omp_weak)
 fi

@@ -1,0 +1,51 @@
+#include "src/core/batch.h"
+
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+
+namespace parad::core {
+
+BatchInfo generateBatchedGradient(ir::Module& mod, const GradInfo& gi) {
+  PARAD_CHECK(mod.has(gi.name), "batch: gradient function ", gi.name,
+              " not found in module");
+  const ir::Function& grad = mod.get(gi.name);
+  // The wrapper is specific to the canonical servable shape
+  //   f(x: ptr<f64>, n: i64) -> f64, active x
+  // whose gradient is grad_<f>(x, n, dx, seed) -> f64.
+  PARAD_CHECK(gi.shadowParam.size() == 2 && gi.shadowParam[0] == 2 &&
+                  gi.shadowParam[1] == -1 && gi.seedParam == 3,
+              "batch: ", gi.name,
+              " does not have the canonical servable gradient signature "
+              "(x: ptr<f64>, n: i64, dx: ptr<f64>, seed: f64)");
+  PARAD_CHECK(grad.paramTypes.size() == 4 &&
+                  grad.paramTypes[0] == ir::Type::PtrF64 &&
+                  grad.paramTypes[1] == ir::Type::I64 &&
+                  grad.paramTypes[2] == ir::Type::PtrF64 &&
+                  grad.paramTypes[3] == ir::Type::F64 &&
+                  grad.retType == ir::Type::F64,
+              "batch: unexpected parameter/return types on ", gi.name);
+
+  using ir::Type;
+  ir::FunctionBuilder b(mod, "serve_batch_" + gi.name,
+                        {Type::PtrF64, Type::I64, Type::PtrF64, Type::PtrF64,
+                         Type::PtrF64, Type::I64},
+                        Type::Void);
+  ir::Value xs = b.param(0), n = b.param(1), dxs = b.param(2),
+            seeds = b.param(3), primals = b.param(4), batch = b.param(5);
+  b.emitFor(b.constI(0), batch, [&](ir::Value bi) {
+    ir::Value off = b.imul(bi, n);
+    ir::Value xo = b.ptrOffset(xs, off);
+    ir::Value dxo = b.ptrOffset(dxs, off);
+    ir::Value seed = b.load(seeds, bi);
+    ir::Value primal = b.call(gi.name, {xo, n, dxo, seed});
+    b.store(primals, bi, primal);
+  });
+  b.ret();
+  ir::Function& fn = b.finish();
+  ir::verify(mod, fn);
+  return BatchInfo{fn.name};
+}
+
+}  // namespace parad::core

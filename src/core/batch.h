@@ -1,0 +1,42 @@
+// Batched gradient entry point for the serving layer (DESIGN.md §14).
+//
+// The serving pattern (autogen-style amortization: compile the
+// forward/backward once, parallelize across many invocations) needs one IR
+// function that evaluates a generated gradient for B independent requests in
+// a single virtual-machine run. generateBatchedGradient emits that wrapper:
+// a For loop over a leading batch dimension whose body offsets into packed
+// input/shadow arrays and calls the (already generated) gradient function,
+// scattering each request's primal value into a per-request output slot.
+//
+// Because IR execution is exact and each request works on disjoint memory
+// objects' slices, the per-request gradient values computed through the
+// wrapper are bit-identical to B separate single-shot gradient calls — the
+// property tests/test_serve.cpp enforces differentially across engines.
+#pragma once
+
+#include <string>
+
+#include "src/core/gradient.h"
+#include "src/ir/inst.h"
+
+namespace parad::core {
+
+/// Description of a generated batch wrapper.
+struct BatchInfo {
+  /// Name of the wrapper function:
+  ///   serve_batch_<grad>(xs: ptr<f64>, n: i64, dxs: ptr<f64>,
+  ///                      seeds: ptr<f64>, primals: ptr<f64>, batch: i64)
+  /// Request b reads inputs from xs[b*n .. b*n+n), accumulates its gradient
+  /// into dxs[b*n .. b*n+n) (caller zero-initializes), is seeded from
+  /// seeds[b], and writes its primal value to primals[b].
+  std::string name;
+};
+
+/// Emits the batch wrapper for the gradient described by `gi` into `mod` and
+/// returns its description. The primal must have the canonical servable
+/// signature f(x: ptr<f64>, n: i64) -> f64 with x the (only) active
+/// argument; other shapes raise parad::Error. Idempotent: regenerating for
+/// the same gradient replaces the wrapper with an identical function.
+BatchInfo generateBatchedGradient(ir::Module& mod, const GradInfo& gi);
+
+}  // namespace parad::core

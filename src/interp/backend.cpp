@@ -183,6 +183,14 @@ std::vector<std::string> BackendRegistry::names() const {
 // Default-engine selection + Interpreter facade.
 
 namespace {
+// The default-engine slot is read by every Interpreter constructed without an
+// explicit engine — including the serving layer's worker threads — so reads
+// and setDefaultEngine writes are serialized by a dedicated mutex (the
+// registry's own lock guards the backend map, not this selection).
+std::mutex& engineMu() {
+  static std::mutex mu;
+  return mu;
+}
 std::string& engineSlot() {
   static std::string engine = [] {
     const char* s = std::getenv("PARAD_ENGINE");
@@ -195,11 +203,16 @@ std::string& engineSlot() {
 }
 }  // namespace
 
-std::string defaultEngine() { return engineSlot(); }
+std::string defaultEngine() {
+  std::lock_guard<std::mutex> lock(engineMu());
+  return engineSlot();
+}
 
 void setDefaultEngine(std::string_view engine) {
-  engineSlot() =
-      std::string(BackendRegistry::global().resolve(engine).name());
+  // Resolve before taking the slot lock (resolve takes the registry lock).
+  std::string canonical(BackendRegistry::global().resolve(engine).name());
+  std::lock_guard<std::mutex> lock(engineMu());
+  engineSlot() = std::move(canonical);
 }
 
 Interpreter::Interpreter(const ir::Module& mod, psim::Machine& machine)

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstddef>
 #include <cstdio>
@@ -760,7 +761,13 @@ const parad_cg_api CodegenExecutor::kApi = {
 struct CodegenCache::Impl {
   mutable std::mutex mu;
   CodegenConfig cfg;
-  CodegenCounters counters;
+  // Atomic so counters() never blocks behind a host-compiler invocation that
+  // another thread is running under `mu`, and so concurrent serving workers
+  // report coherent numbers (src/serve surfaces these in its bench JSON).
+  struct {
+    std::atomic<std::uint64_t> compiles{0}, diskHits{0}, memHits{0},
+        fallbacks{0};
+  } counters;
   core::RemarkStream remarks;
   std::unordered_map<std::uint64_t, std::shared_ptr<const CodegenArtifact>>
       mem;
@@ -1006,8 +1013,12 @@ void CodegenCache::clear() {
 
 CodegenCounters CodegenCache::counters() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
-  return im.counters;
+  CodegenCounters out;
+  out.compiles = im.counters.compiles.load(std::memory_order_relaxed);
+  out.diskHits = im.counters.diskHits.load(std::memory_order_relaxed);
+  out.memHits = im.counters.memHits.load(std::memory_order_relaxed);
+  out.fallbacks = im.counters.fallbacks.load(std::memory_order_relaxed);
+  return out;
 }
 
 CodegenConfig CodegenCache::config() const {

@@ -381,45 +381,59 @@ static bool stillValid(const ir::Module& mod, const ir::Function& entry,
 
 std::shared_ptr<const ExecModule> ProgramCache::lookup(
     const ir::Module& mod, const ir::Function& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
   Key k{&mod, entry.name};
-  auto it = map_.find(k);
-  if (it != map_.end()) {
-    if (stillValid(mod, entry, *it->second)) {
-      ++hits_;
-      return it->second;
-    }
-    map_.erase(it);
+  Shard& sh = shardOf(k);
+  std::shared_ptr<const ExecModule> cached;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(k);
+    if (it != sh.map.end()) cached = it->second;
   }
-  ++misses_;
+  if (cached != nullptr) {
+    // Revalidate outside the shard lock: fingerprinting walks the (read-only
+    // during execution) IR and must not serialize the whole shard behind one
+    // large closure.
+    if (stillValid(mod, entry, *cached)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.map.find(k);
+    // Only drop the entry we validated; a concurrent relowering may already
+    // have replaced it with a fresh one.
+    if (it != sh.map.end() && it->second == cached) sh.map.erase(it);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   auto xm = lower(mod, entry);
-  map_.emplace(std::move(k), xm);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.map[std::move(k)] = xm;
   return xm;
 }
 
 void ProgramCache::invalidate(const std::string& fnName) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = map_.begin(); it != map_.end();) {
-    if (it->second->indexOf.count(fnName))
-      it = map_.erase(it);
-    else
-      ++it;
+  std::uint64_t dropped = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto it = sh.map.begin(); it != sh.map.end();) {
+      if (it->second->indexOf.count(fnName)) {
+        it = sh.map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
   }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 void ProgramCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-}
-
-std::uint64_t ProgramCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-std::uint64_t ProgramCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  std::uint64_t dropped = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    dropped += sh.map.size();
+    sh.map.clear();
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 }  // namespace parad::interp

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -138,6 +139,15 @@ std::shared_ptr<const ExecModule> compileClosure(const ir::Module& mod,
 /// Hits are revalidated against the fingerprints of every function in the
 /// closure; mismatches (a pass rewrote IR in place, or a module address was
 /// reused) relower transparently.
+///
+/// The cache is sharded by key hash: concurrent lookups from the serving
+/// layer's worker pool (src/serve) only contend when they land on the same
+/// shard, and the per-shard mutex is held only for map find/insert/erase —
+/// fingerprint revalidation and relowering both run outside the lock (the IR
+/// is read-only during execution; two threads that miss the same key may
+/// both lower, which is benign: the entries are equivalent and last-insert
+/// wins). Counters are atomics so concurrent serving reports coherent
+/// numbers without taking any shard lock.
 class ProgramCache {
  public:
   static ProgramCache& global();
@@ -151,9 +161,16 @@ class ProgramCache {
   void invalidate(const std::string& fnName);
   void clear();
 
-  /// Counters for tests and benches.
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  /// Counters for tests and benches. A revalidation failure (stale
+  /// fingerprint) counts as a miss, not an invalidation; `invalidations` is
+  /// entries dropped by explicit invalidate()/clear() calls.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Key {
@@ -169,9 +186,19 @@ class ProgramCache {
              std::hash<std::string>()(k.entry);
     }
   };
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const ExecModule>, KeyHash> map_;
-  std::uint64_t hits_ = 0, misses_ = 0;
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const ExecModule>, KeyHash> map;
+  };
+  Shard& shardOf(const Key& k) {
+    // Spread the map hash across shards with a multiplicative mix so shard
+    // choice is not correlated with unordered_map bucket choice.
+    std::size_t h = KeyHash()(k) * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 32) % kShards];
+  }
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, invalidations_{0};
 };
 
 }  // namespace parad::interp

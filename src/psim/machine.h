@@ -178,6 +178,19 @@ struct RunStats {
   std::uint64_t planCacheRecompute = 0;
   std::uint64_t planCacheSlots = 0;
   std::uint64_t planCacheTripArrays = 0;
+  // Process-wide compile-cache counters (interp::ProgramCache hit/miss/
+  // invalidation totals and the codegen artifact-cache compile/disk/mem/
+  // fallback totals), snapshotted into a run's stats by the serving layer
+  // (src/serve) and its bench harness so concurrent serving reports coherent
+  // cache behavior next to the per-run dynamic costs. The machine itself
+  // never writes these; they stay zero outside serving harnesses.
+  std::uint64_t programCacheHits = 0;
+  std::uint64_t programCacheMisses = 0;
+  std::uint64_t programCacheInvalidations = 0;
+  std::uint64_t codegenCompiles = 0;
+  std::uint64_t codegenDiskHits = 0;
+  std::uint64_t codegenMemHits = 0;
+  std::uint64_t codegenFallbacks = 0;
   void reset() { *this = RunStats{}; }
 };
 

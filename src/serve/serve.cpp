@@ -1,0 +1,561 @@
+#include "src/serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/batch.h"
+#include "src/core/gradient.h"
+#include "src/interp/backend.h"
+#include "src/interp/codegen.h"
+#include "src/interp/interp.h"
+#include "src/interp/lower.h"
+#include "src/psim/faults.h"
+#include "src/psim/sim.h"
+#include "src/serve/queue.h"
+
+namespace parad::serve {
+
+namespace {
+
+double envDouble(const char* name, double dflt) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return dflt;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0')
+    fail("serve: malformed ", name, "='", s, "' (expected a number)");
+  return v;
+}
+
+int envInt(const char* name, int dflt) {
+  double v = envDouble(name, dflt);
+  PARAD_CHECK(v >= 0 && v == static_cast<double>(static_cast<int>(v)),
+              "serve: ", name, " must be a non-negative integer");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ServeConfig ServeConfig::fromEnv() {
+  ServeConfig cfg;
+  cfg.workers = std::max(1, envInt("PARAD_SERVE_THREADS", cfg.workers));
+  cfg.maxBatch = std::max(1, envInt("PARAD_SERVE_BATCH", cfg.maxBatch));
+  cfg.maxDelayUs = envDouble("PARAD_SERVE_MAX_DELAY_US", cfg.maxDelayUs);
+  cfg.queueCapacity = static_cast<std::size_t>(std::max(
+      1, envInt("PARAD_SERVE_QUEUE", static_cast<int>(cfg.queueCapacity))));
+  if (const char* e = std::getenv("PARAD_SERVE_ENGINE"); e != nullptr && *e)
+    cfg.engine = e;
+  return cfg;
+}
+
+void fillCacheCounters(psim::RunStats& stats) {
+  const auto& pc = interp::ProgramCache::global();
+  stats.programCacheHits = pc.hits();
+  stats.programCacheMisses = pc.misses();
+  stats.programCacheInvalidations = pc.invalidations();
+  interp::CodegenCounters cg = interp::CodegenCache::global().counters();
+  stats.codegenCompiles = cg.compiles;
+  stats.codegenDiskHits = cg.diskHits;
+  stats.codegenMemHits = cg.memHits;
+  stats.codegenFallbacks = cg.fallbacks;
+}
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+struct GradientService::Impl {
+  /// One tenant program (possibly shared by several registered names when
+  /// their primal IR fingerprints coincide). The module's heap address is
+  /// stable for the service's lifetime — the sharded ProgramCache keys
+  /// lowered closures by it.
+  struct Program {
+    std::string primal;
+    i64 n = 0;
+    int threads = 1;
+    std::uint64_t primalFp = 0;
+    ir::Module mod;
+    std::mutex prepMu;           // serializes the one-time cold compile
+    std::atomic<bool> prepared{false};
+    core::GradInfo gi;
+    core::BatchInfo bi;
+  };
+
+  struct Job {
+    Request req;
+    std::promise<Response> promise;
+  };
+
+  /// A flushed batch: same program, same engine — one VM run for the clean
+  /// subset, per-job VMs for fault-carrying members.
+  struct BatchWork {
+    Program* prog = nullptr;
+    std::string engine;  // canonical backend name
+    std::vector<Job> jobs;
+  };
+
+  explicit Impl(GradientService& svc)
+      : svc_(svc),
+        requests_(svc.cfg_.queueCapacity),
+        batches_(std::max<std::size_t>(svc.cfg_.queueCapacity, 16)) {}
+
+  GradientService& svc_;
+  BoundedQueue<Job> requests_;
+  BoundedQueue<BatchWork> batches_;
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+
+  std::mutex progMu_;
+  std::vector<std::unique_ptr<Program>> programs_;
+  std::unordered_map<std::string, Program*> byName_;
+  std::map<std::tuple<std::uint64_t, i64, int>, Program*> byFp_;
+
+  // Aggregate counters (ServiceStats).
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> nBatches_{0}, batchedRequests_{0},
+      maxBatchObserved_{0}, isolatedRuns_{0}, batchFallbacks_{0},
+      coldCompiles_{0};
+  std::mutex drainMu_;
+  std::condition_variable drainCv_;
+
+  // ---- admission helpers ----
+
+  Program* findProgram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(progMu_);
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+  }
+
+  std::string resolveEngine(const std::string& spec) const {
+    std::string s = spec.empty() ? svc_.cfg_.engine : spec;
+    if (s.empty()) s = interp::defaultEngine();
+    // Throws the registry's structured unknown-backend error (sorted backend
+    // list + did-you-mean) for bad specs; the admission stage turns it into
+    // the request's failure message.
+    return std::string(interp::BackendRegistry::global().resolve(s).name());
+  }
+
+  /// One-time gradient generation + batch-wrapper emission for a tenant
+  /// program (the cold path). Returns true when this call did the work.
+  bool ensurePrepared(Program& p) {
+    if (p.prepared.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(p.prepMu);
+    if (p.prepared.load(std::memory_order_relaxed)) return false;
+    core::GradConfig gc;
+    gc.activeArg = {true, false};
+    p.gi = core::generateGradient(p.mod, p.primal, gc);
+    p.bi = core::generateBatchedGradient(p.mod, p.gi);
+    p.prepared.store(true, std::memory_order_release);
+    coldCompiles_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // ---- completion plumbing ----
+
+  void deliver(Job& job, Response&& r) {
+    r.doneAtNs = nowNs();
+    if (!r.ok) failed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(r));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(drainMu_);
+    drainCv_.notify_all();
+  }
+
+  void failJob(Job& job, const std::string& msg) {
+    Response r;
+    r.ok = false;
+    r.error = msg;
+    deliver(job, std::move(r));
+  }
+
+  // ---- execution ----
+
+  psim::MachineConfig machineConfig() const {
+    psim::MachineConfig mc;
+    mc.watchdogVirtualNs = svc_.cfg_.watchdogVirtualNs;
+    mc.watchdogInsts = svc_.cfg_.watchdogInsts;
+    return mc;
+  }
+
+  /// Runs one request on its own Machine through the plain gradient
+  /// function, with the request's fault plan (if any) armed on that VM only.
+  Response executeIsolated(Program& p, const Request& req,
+                           const std::string& engine) {
+    Response r;
+    r.isolated = true;
+    r.engine = engine;
+    try {
+      psim::MachineConfig mc = machineConfig();
+      if (!req.faultSpec.empty())
+        mc.faults = psim::parseFaultSpec(req.faultSpec);
+      psim::Machine m(mc);
+      psim::RtPtr x = m.mem().alloc(ir::Type::F64, p.n, 0);
+      psim::RtPtr dx = m.mem().alloc(ir::Type::F64, p.n, 0);
+      for (i64 k = 0; k < p.n; ++k)
+        m.mem().atF(x, k) = req.inputs[static_cast<std::size_t>(k)];
+      const ir::Function& grad = p.mod.get(p.gi.name);
+      interp::RtVal out{};
+      r.virtualNs = m.run({1, p.threads}, [&](psim::RankEnv& env) {
+        interp::Interpreter it(p.mod, m, engine);
+        out = it.run(grad,
+                     {interp::RtVal::P(x), interp::RtVal::I(p.n),
+                      interp::RtVal::P(dx), interp::RtVal::F(req.seed)},
+                     env);
+      });
+      r.primal = out.u.f;
+      r.gradient.resize(static_cast<std::size_t>(p.n));
+      for (i64 k = 0; k < p.n; ++k)
+        r.gradient[static_cast<std::size_t>(k)] = m.mem().atF(dx, k);
+      r.stats = m.stats();
+      r.ok = true;
+    } catch (const psim::VmError& e) {
+      r.gradient.clear();
+      r.error = e.what();
+      r.failure = std::make_shared<psim::FailureReport>(e.report());
+    } catch (const Error& e) {
+      r.gradient.clear();
+      r.error = e.what();
+    }
+    fillCacheCounters(r.stats);
+    isolatedRuns_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+
+  /// Executes a flushed batch: clean requests as one batched VM run, fault-
+  /// carrying requests each on their own VM. A failing batched run degrades
+  /// to per-request isolated re-execution so one poisoned input cannot take
+  /// its batch-mates down with it.
+  void executeBatch(BatchWork&& bw) {
+    Program& p = *bw.prog;
+    bool cold = false;
+    try {
+      cold = ensurePrepared(p);
+    } catch (const Error& e) {
+      for (Job& j : bw.jobs)
+        failJob(j, std::string("serve: program preparation failed: ") +
+                       e.what());
+      return;
+    }
+    const int batchSize = static_cast<int>(bw.jobs.size());
+
+    std::vector<Job*> clean, faulted;
+    for (Job& j : bw.jobs)
+      (j.req.faultSpec.empty() ? clean : faulted).push_back(&j);
+
+    if (!clean.empty()) {
+      const i64 B = static_cast<i64>(clean.size());
+      bool batchedOk = false;
+      std::vector<Response> results(clean.size());
+      try {
+        psim::Machine m(machineConfig());
+        psim::RtPtr xs = m.mem().alloc(ir::Type::F64, B * p.n, 0);
+        psim::RtPtr dxs = m.mem().alloc(ir::Type::F64, B * p.n, 0);
+        psim::RtPtr seeds = m.mem().alloc(ir::Type::F64, B, 0);
+        psim::RtPtr primals = m.mem().alloc(ir::Type::F64, B, 0);
+        for (i64 b = 0; b < B; ++b) {
+          const Request& req = clean[static_cast<std::size_t>(b)]->req;
+          m.mem().atF(seeds, b) = req.seed;
+          for (i64 k = 0; k < p.n; ++k)
+            m.mem().atF(xs, b * p.n + k) =
+                req.inputs[static_cast<std::size_t>(k)];
+        }
+        const ir::Function& batchFn = p.mod.get(p.bi.name);
+        double makespan = m.run({1, p.threads}, [&](psim::RankEnv& env) {
+          interp::Interpreter it(p.mod, m, bw.engine);
+          it.run(batchFn,
+                 {interp::RtVal::P(xs), interp::RtVal::I(p.n),
+                  interp::RtVal::P(dxs), interp::RtVal::P(seeds),
+                  interp::RtVal::P(primals), interp::RtVal::I(B)},
+                 env);
+        });
+        for (i64 b = 0; b < B; ++b) {
+          Response& r = results[static_cast<std::size_t>(b)];
+          r.ok = true;
+          r.primal = m.mem().atF(primals, b);
+          r.gradient.resize(static_cast<std::size_t>(p.n));
+          for (i64 k = 0; k < p.n; ++k)
+            r.gradient[static_cast<std::size_t>(k)] =
+                m.mem().atF(dxs, b * p.n + k);
+          r.virtualNs = makespan;
+          r.stats = m.stats();
+          fillCacheCounters(r.stats);
+        }
+        batchedOk = true;
+      } catch (const Error&) {
+        // The batch VM died (e.g. an input-dependent trap). Fall back to
+        // per-request isolation below: the culprit fails alone with its own
+        // structured report, everyone else still gets a bit-exact result.
+        batchFallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (batchedOk) {
+        nBatches_.fetch_add(1, std::memory_order_relaxed);
+        batchedRequests_.fetch_add(static_cast<std::uint64_t>(B),
+                                   std::memory_order_relaxed);
+        std::uint64_t prev = maxBatchObserved_.load(std::memory_order_relaxed);
+        while (prev < static_cast<std::uint64_t>(B) &&
+               !maxBatchObserved_.compare_exchange_weak(
+                   prev, static_cast<std::uint64_t>(B),
+                   std::memory_order_relaxed)) {
+        }
+        for (std::size_t i = 0; i < clean.size(); ++i) {
+          Response r = std::move(results[i]);
+          r.batchSize = batchSize;
+          r.coldCompile = cold;
+          r.engine = bw.engine;
+          deliver(*clean[i], std::move(r));
+        }
+      } else {
+        for (Job* j : clean) {
+          Response r = executeIsolated(p, j->req, bw.engine);
+          r.batchSize = batchSize;
+          r.coldCompile = cold;
+          deliver(*j, std::move(r));
+        }
+      }
+    }
+    for (Job* j : faulted) {
+      Response r = executeIsolated(p, j->req, bw.engine);
+      r.batchSize = batchSize;
+      r.coldCompile = cold;
+      deliver(*j, std::move(r));
+    }
+  }
+
+  // ---- batcher ----
+
+  struct Pending {
+    BatchWork work;
+    std::uint64_t deadlineNs = 0;  // host time at which this batch flushes
+  };
+
+  void flush(std::map<std::pair<Program*, std::string>, Pending>& pending,
+             std::map<std::pair<Program*, std::string>, Pending>::iterator it) {
+    batches_.push(std::move(it->second.work));
+    pending.erase(it);
+  }
+
+  void batcherLoop() {
+    using Key = std::pair<Program*, std::string>;
+    std::map<Key, Pending> pending;
+    const std::uint64_t maxDelayNs = static_cast<std::uint64_t>(
+        std::max(0.0, svc_.cfg_.maxDelayUs) * 1000.0);
+    for (;;) {
+      std::uint64_t now = nowNs();
+      std::uint64_t waitNs = maxDelayNs > 0 ? maxDelayNs : 1000000;
+      for (const auto& [k, pd] : pending)
+        waitNs = std::min(waitNs,
+                          pd.deadlineNs > now ? pd.deadlineNs - now : 1);
+      std::optional<Job> item =
+          pending.empty() ? requests_.pop()
+                          : requests_.popFor(std::chrono::nanoseconds(waitNs));
+      if (item.has_value()) {
+        admit(std::move(*item), pending, maxDelayNs);
+      } else if (requests_.closed() && requests_.size() == 0) {
+        for (auto it = pending.begin(); it != pending.end();)
+          flush(pending, it++);
+        break;
+      }
+      // Flush every batch whose oldest member has waited out the max delay,
+      // and (when the queue went idle) everything else ready to go.
+      std::uint64_t t = nowNs();
+      for (auto it = pending.begin(); it != pending.end();) {
+        auto cur = it++;
+        if (t >= cur->second.deadlineNs) flush(pending, cur);
+      }
+    }
+  }
+
+  void admit(Job&& job, std::map<std::pair<Program*, std::string>,
+                                 Pending>& pending,
+             std::uint64_t maxDelayNs) {
+    Program* prog = findProgram(job.req.program);
+    if (prog == nullptr) {
+      failJob(job, "serve: unknown program '" + job.req.program + "'");
+      return;
+    }
+    if (static_cast<i64>(job.req.inputs.size()) != prog->n) {
+      failJob(job, "serve: program '" + job.req.program + "' expects " +
+                       std::to_string(prog->n) + " inputs, got " +
+                       std::to_string(job.req.inputs.size()));
+      return;
+    }
+    std::string engine;
+    try {
+      engine = resolveEngine(job.req.engine);
+    } catch (const Error& e) {
+      failJob(job, e.what());
+      return;
+    }
+    std::pair<Program*, std::string> key{prog, engine};
+    auto it = pending.find(key);
+    if (it == pending.end()) {
+      Pending pd;
+      pd.work.prog = prog;
+      pd.work.engine = engine;
+      pd.deadlineNs = nowNs() + maxDelayNs;
+      it = pending.emplace(key, std::move(pd)).first;
+    }
+    it->second.work.jobs.push_back(std::move(job));
+    if (static_cast<int>(it->second.work.jobs.size()) >= svc_.cfg_.maxBatch)
+      flush(pending, it);
+  }
+
+  void workerLoop() {
+    while (std::optional<BatchWork> bw = batches_.pop())
+      executeBatch(std::move(*bw));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public surface.
+
+GradientService::GradientService(ServeConfig cfg)
+    : cfg_(cfg), impl_(std::make_unique<Impl>(*this)) {
+  PARAD_CHECK(cfg_.workers >= 1, "serve: need at least one worker");
+  PARAD_CHECK(cfg_.maxBatch >= 1, "serve: max batch must be >= 1");
+  impl_->batcher_ = std::thread([this] { impl_->batcherLoop(); });
+  for (int i = 0; i < cfg_.workers; ++i)
+    impl_->workers_.emplace_back([this] { impl_->workerLoop(); });
+}
+
+GradientService::~GradientService() {
+  impl_->requests_.close();
+  impl_->batcher_.join();
+  impl_->batches_.close();
+  for (std::thread& w : impl_->workers_) w.join();
+}
+
+void GradientService::registerProgram(
+    const std::string& name, const std::function<void(ir::Module&)>& build,
+    const std::string& primal, i64 n, int threadsPerRank) {
+  PARAD_CHECK(n > 0, "serve: program ", name, " needs a positive input size");
+  int threads = threadsPerRank > 0 ? threadsPerRank : cfg_.threadsPerRank;
+  auto prog = std::make_unique<Impl::Program>();
+  build(prog->mod);
+  PARAD_CHECK(prog->mod.has(primal), "serve: builder for ", name,
+              " did not emit primal function ", primal);
+  const ir::Function& fn = prog->mod.get(primal);
+  PARAD_CHECK(fn.paramTypes.size() == 2 &&
+                  fn.paramTypes[0] == ir::Type::PtrF64 &&
+                  fn.paramTypes[1] == ir::Type::I64 &&
+                  fn.retType == ir::Type::F64,
+              "serve: program ", name,
+              " must have the canonical servable signature "
+              "f(x: ptr<f64>, n: i64) -> f64");
+  prog->primal = primal;
+  prog->n = n;
+  prog->threads = threads;
+  prog->primalFp = interp::fingerprint(fn);
+
+  std::lock_guard<std::mutex> lock(impl_->progMu_);
+  PARAD_CHECK(impl_->byName_.count(name) == 0, "serve: program ", name,
+              " already registered");
+  // Same-fingerprint admission: tenants whose primal IR is structurally
+  // identical share one prepared program — one gradient generation, one set
+  // of cache entries, shared batches.
+  std::tuple<std::uint64_t, i64, int> fpKey{prog->primalFp, n, threads};
+  auto shared = impl_->byFp_.find(fpKey);
+  if (shared != impl_->byFp_.end()) {
+    impl_->byName_.emplace(name, shared->second);
+    return;
+  }
+  Impl::Program* raw = prog.get();
+  impl_->programs_.push_back(std::move(prog));
+  impl_->byFp_.emplace(fpKey, raw);
+  impl_->byName_.emplace(name, raw);
+}
+
+std::future<Response> GradientService::submit(Request req) {
+  Impl::Job job;
+  job.req = std::move(req);
+  std::future<Response> fut = job.promise.get_future();
+  impl_->submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!impl_->requests_.push(std::move(job))) {
+    // Queue closed (service shutting down); the rejected job's promise died
+    // with it, so answer through a fresh one.
+    std::promise<Response> p;
+    std::future<Response> f2 = p.get_future();
+    Response r;
+    r.ok = false;
+    r.error = "serve: service is shutting down";
+    impl_->failed_.fetch_add(1, std::memory_order_relaxed);
+    impl_->completed_.fetch_add(1, std::memory_order_relaxed);
+    p.set_value(std::move(r));
+    return f2;
+  }
+  return fut;
+}
+
+Response GradientService::call(Request req) {
+  return submit(std::move(req)).get();
+}
+
+Response GradientService::callDirect(const Request& req) {
+  Impl::Program* prog = impl_->findProgram(req.program);
+  if (prog == nullptr) {
+    Response r;
+    r.error = "serve: unknown program '" + req.program + "'";
+    return r;
+  }
+  Response r;
+  try {
+    bool cold = impl_->ensurePrepared(*prog);
+    std::string engine = impl_->resolveEngine(req.engine);
+    r = impl_->executeIsolated(*prog, req, engine);
+    r.batchSize = 1;
+    r.coldCompile = cold;
+  } catch (const Error& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.doneAtNs = nowNs();
+  return r;
+}
+
+void GradientService::drain() {
+  std::unique_lock<std::mutex> lock(impl_->drainMu_);
+  impl_->drainCv_.wait(lock, [&] {
+    return impl_->completed_.load(std::memory_order_acquire) >=
+           impl_->submitted_.load(std::memory_order_acquire);
+  });
+}
+
+ServiceStats GradientService::stats() const {
+  ServiceStats s;
+  s.submitted = impl_->submitted_.load(std::memory_order_relaxed);
+  s.completed = impl_->completed_.load(std::memory_order_relaxed);
+  s.failed = impl_->failed_.load(std::memory_order_relaxed);
+  s.batches = impl_->nBatches_.load(std::memory_order_relaxed);
+  s.batchedRequests = impl_->batchedRequests_.load(std::memory_order_relaxed);
+  s.maxBatchObserved =
+      impl_->maxBatchObserved_.load(std::memory_order_relaxed);
+  s.isolatedRuns = impl_->isolatedRuns_.load(std::memory_order_relaxed);
+  s.batchFallbacks = impl_->batchFallbacks_.load(std::memory_order_relaxed);
+  s.coldCompiles = impl_->coldCompiles_.load(std::memory_order_relaxed);
+  const auto& pc = interp::ProgramCache::global();
+  s.programCacheHits = pc.hits();
+  s.programCacheMisses = pc.misses();
+  s.programCacheInvalidations = pc.invalidations();
+  interp::CodegenCounters cg = interp::CodegenCache::global().counters();
+  s.codegenCompiles = cg.compiles;
+  s.codegenDiskHits = cg.diskHits;
+  s.codegenMemHits = cg.memHits;
+  s.codegenFallbacks = cg.fallbacks;
+  return s;
+}
+
+}  // namespace parad::serve

@@ -1,0 +1,176 @@
+// Gradient-as-a-service: a batched multi-tenant serving layer over the three
+// bit-exact execution engines (DESIGN.md §14).
+//
+// The pipeline is queue -> admission -> batcher -> worker pool:
+//   * submit() pushes (program, inputs, seed, engine) jobs onto a bounded
+//     MPMC request queue (backpressure when full);
+//   * the batcher thread admits each request — resolves its tenant program,
+//     validates the engine spec against the backend registry, fingerprints
+//     the program against the sharded process-wide ProgramCache — and
+//     coalesces same-fingerprint requests into pending batches, flushing a
+//     batch to the worker pool when it reaches max_batch or its oldest
+//     request has waited max_delay;
+//   * workers execute each batch as ONE virtual-machine run through the
+//     batched gradient wrapper (src/core/batch.h): inputs packed behind a
+//     leading batch dimension, per-request gradients and primals scattered
+//     back to the waiting futures.
+//
+// Isolation guarantees: every batch runs on its own psim::Machine (per-job
+// VM state never outlives its batch), requests carrying a fault spec are
+// peeled off and executed on their own Machine under their own FaultPlan, and
+// a batched run that fails (e.g. an input-dependent trap) degrades to
+// per-request isolated re-execution — so a poisoned job fails alone, with its
+// structured psim::FailureReport, while its batch-mates and the process-wide
+// caches are unaffected. Per-request gradient values are bit-identical to
+// single-shot gradient() calls on every engine (requests operate on disjoint
+// memory slices and IR execution is exact); tests/test_serve.cpp enforces
+// this differentially.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/inst.h"
+#include "src/psim/failure.h"
+#include "src/psim/machine.h"
+#include "src/support/common.h"
+
+namespace parad::serve {
+
+/// Serving knobs. Defaults come from the environment:
+///   PARAD_SERVE_THREADS       worker pool size
+///   PARAD_SERVE_BATCH         max requests coalesced into one batch
+///   PARAD_SERVE_MAX_DELAY_US  max host-time a request waits for batch-mates
+///   PARAD_SERVE_QUEUE         request-queue capacity (backpressure bound)
+///   PARAD_SERVE_ENGINE        default engine for requests that name none
+///                             (falls back to PARAD_ENGINE)
+struct ServeConfig {
+  int workers = 4;
+  int maxBatch = 16;
+  double maxDelayUs = 200.0;       // host microseconds
+  std::size_t queueCapacity = 1024;
+  std::string engine;              // "" = process default engine
+  int threadsPerRank = 1;          // virtual threads modeled per job VM
+  // Per-job VM watchdogs (0 = off): a pathological job trips a structured
+  // VmError on its own Machine instead of wedging a worker forever.
+  double watchdogVirtualNs = 0;
+  std::uint64_t watchdogInsts = 0;
+
+  /// Reads the PARAD_SERVE_* knobs over the built-in defaults.
+  static ServeConfig fromEnv();
+};
+
+/// One gradient job.
+struct Request {
+  std::string program;          // registered tenant-program name
+  std::vector<double> inputs;   // x, length = the program's n
+  double seed = 1.0;            // reverse-mode seed
+  std::string engine;           // "" = service default; else registry spec
+  std::string faultSpec;        // "" = clean; else a PARAD_FAULTS-style spec
+                                // injected into this job's isolated VM only
+};
+
+/// One gradient result (or structured failure).
+struct Response {
+  bool ok = false;
+  std::vector<double> gradient;  // dx, length n (empty on failure)
+  double primal = 0;             // primal value at the request's inputs
+  std::string error;             // rendered failure message when !ok
+  /// Structured VM failure (rank kill, watchdog, deadlock) when the job died
+  /// inside its virtual machine; null for admission/validation errors.
+  std::shared_ptr<const psim::FailureReport> failure;
+
+  // Execution provenance.
+  int batchSize = 0;       // requests coalesced into the executing batch
+  bool isolated = false;   // ran on its own VM (fault spec, or batch fallback)
+  bool coldCompile = false;  // this request triggered program preparation
+  std::string engine;      // canonical backend that executed the job
+  double virtualNs = 0;    // makespan of the executing VM run
+  /// Per-batch run statistics (shared by all requests of the batch), with
+  /// the process-wide cache counters snapshotted in (RunStats program
+  /// cache / codegen fields).
+  psim::RunStats stats;
+  std::uint64_t doneAtNs = 0;  // host steady-clock stamp at completion
+};
+
+/// Monotonic host clock used for the latency stamps (steady_clock ns).
+std::uint64_t nowNs();
+
+/// Aggregate service counters (all monotone since construction).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   // responses delivered, ok or not
+  std::uint64_t failed = 0;      // responses delivered with ok == false
+  std::uint64_t batches = 0;     // batched VM runs executed
+  std::uint64_t batchedRequests = 0;  // requests served by batched runs
+  std::uint64_t maxBatchObserved = 0;
+  std::uint64_t isolatedRuns = 0;     // per-job VM executions
+  std::uint64_t batchFallbacks = 0;   // batches degraded to isolated re-runs
+  std::uint64_t coldCompiles = 0;     // tenant programs prepared on demand
+  // Process-wide cache counter snapshot (sharded ProgramCache + codegen
+  // artifact cache) at the time of the stats() call.
+  std::uint64_t programCacheHits = 0;
+  std::uint64_t programCacheMisses = 0;
+  std::uint64_t programCacheInvalidations = 0;
+  std::uint64_t codegenCompiles = 0;
+  std::uint64_t codegenDiskHits = 0;
+  std::uint64_t codegenMemHits = 0;
+  std::uint64_t codegenFallbacks = 0;
+};
+
+/// Snapshots the process-wide compile-cache counters into a RunStats record
+/// (the serve/bench surface of the cache telemetry).
+void fillCacheCounters(psim::RunStats& stats);
+
+/// The multi-tenant gradient server. Thread-safe: any number of client
+/// threads may register programs and submit requests concurrently.
+class GradientService {
+ public:
+  explicit GradientService(ServeConfig cfg = ServeConfig::fromEnv());
+  ~GradientService();  // drains the queues, fails leftovers, joins threads
+  GradientService(const GradientService&) = delete;
+  GradientService& operator=(const GradientService&) = delete;
+
+  /// Registers a tenant program: `build` emits the primal function `primal`
+  /// (canonical servable signature f(x: ptr<f64>, n: i64) -> f64, x active)
+  /// into a fresh module; `n` is the fixed input length. Programs whose
+  /// primal IR is structurally identical (same fingerprint) and same n/
+  /// threads share one prepared gradient, its cache entries, and batches —
+  /// the cross-tenant amortization the fingerprint admission enables.
+  /// Gradient generation and lowering are deferred to first use (the cold
+  /// path). Re-registering an existing name is an error.
+  void registerProgram(const std::string& name,
+                       const std::function<void(ir::Module&)>& build,
+                       const std::string& primal, i64 n,
+                       int threadsPerRank = 0);
+
+  /// Enqueues a job; the future resolves when a worker scatters the result.
+  std::future<Response> submit(Request req);
+
+  /// submit() + wait.
+  Response call(Request req);
+
+  /// The naive one-job-per-call reference path: executes the request
+  /// synchronously on the calling thread, on its own Machine, through the
+  /// plain (unbatched) gradient function — exactly the per-request work the
+  /// batched pipeline amortizes. Used as the throughput baseline by
+  /// bench/serve_throughput.cpp and as a convenience oracle in tests.
+  Response callDirect(const Request& req);
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  ServiceStats stats() const;
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  struct Impl;
+  ServeConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parad::serve

@@ -183,6 +183,52 @@ TEST(BackendRegistry, UnknownEngineFarFromAnyNameGetsNoSuggestion) {
   }
 }
 
+namespace {
+/// Minimal runtime backend with a caller-chosen name (golden-message test).
+class NamedStub final : public interp::ExecBackend {
+ public:
+  explicit NamedStub(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return "test stub"; }
+  interp::RtVal run(const ir::Module& mod, const ir::Function& fn,
+                    std::vector<interp::RtVal> args, psim::Machine& machine,
+                    psim::RankEnv& env) const override {
+    return interp::BackendRegistry::global().resolve("exec").run(
+        mod, fn, std::move(args), machine, env);
+  }
+
+ private:
+  std::string name_;
+};
+
+std::string resolveErrorOf(std::string_view spec) {
+  try {
+    interp::BackendRegistry::global().resolve(spec);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+}  // namespace
+
+// Golden test: the strict PARAD_ENGINE-style rejection must list every
+// registered backend — including runtime-registered ones — in deterministic
+// sorted order, so error output is stable across runs and registries.
+TEST(BackendRegistry, UnknownEngineListsRuntimeBackendsSorted) {
+  auto& reg = interp::BackendRegistry::global();
+  reg.add(std::make_unique<NamedStub>("aurora"));
+  reg.add(std::make_unique<NamedStub>("zephyr"));
+  EXPECT_EQ(resolveErrorOf("no-such-engine-at-all"),
+            "engine: unknown backend 'no-such-engine-at-all' "
+            "(backends: aurora, codegen, exec, tree, zephyr)");
+  reg.remove("aurora");
+  reg.remove("zephyr");
+  // Removing them restores the built-in listing, still sorted.
+  EXPECT_EQ(resolveErrorOf("no-such-engine-at-all"),
+            "engine: unknown backend 'no-such-engine-at-all' "
+            "(backends: codegen, exec, tree)");
+}
+
 TEST(BackendRegistry, SetDefaultEngineRejectsUnknown) {
   EngineGuard guard;
   EXPECT_THROW(interp::setDefaultEngine("bogus-engine"), Error);

@@ -1,0 +1,502 @@
+// Gradient-as-a-service pipeline (DESIGN.md §14): batching, bit-exactness
+// against single-shot gradients on every engine, fault and bad-input
+// isolation, cross-tenant fingerprint sharing, admission errors, and the
+// sharded ProgramCache under concurrent hammering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/interp/lower.h"
+#include "src/passes/passes.h"
+#include "src/serve/queue.h"
+#include "src/serve/serve.h"
+#include "tests/test_util.h"
+
+namespace parad {
+namespace {
+
+using ir::Type;
+using ir::Value;
+
+// ---------------------------------------------------------------------------
+// Servable builders (canonical signature f(x: ptr<f64>, n: i64) -> f64).
+
+/// acc += sin(x[i]) * c + x[i]^2 / 2 over all i. The constant keeps
+/// structurally-distinct tenants apart (distinct fingerprints) on demand.
+std::function<void(ir::Module&)> servable(double c) {
+  return [c](ir::Module& mod) {
+    ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+    auto x = b.param(0);
+    auto n = b.param(1);
+    auto acc = b.alloc(b.constI(1), Type::F64);
+    b.store(acc, b.constI(0), b.constF(0));
+    b.emitFor(b.constI(0), n, [&](Value i) {
+      auto v = b.load(x, i);
+      auto t = b.fadd(b.fmul(b.sin_(v), b.constF(c)),
+                      b.fmul(b.fmul(v, v), b.constF(0.5)));
+      b.store(acc, b.constI(0), b.fadd(b.load(acc, b.constI(0)), t));
+    });
+    b.ret(b.load(acc, b.constI(0)));
+    b.finish();
+  };
+}
+
+/// x[ftoi(x[0])] + sum x[i]^2 — the leading element is used as an index, so
+/// one poisoned input (x[0] far out of range) traps the whole run.
+void buildIndexed(ir::Module& mod) {
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.load(x, b.ftoi(b.load(x, b.constI(0)))));
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto v = b.load(x, i);
+    b.store(acc, b.constI(0), b.fadd(b.load(acc, b.constI(0)), b.fmul(v, v)));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+}
+
+/// Single-shot oracle: the gradient of `build`'s function at x, computed on
+/// a fresh module with the exact GradConfig the serving layer uses.
+std::vector<double> oracleGrad(const std::function<void(ir::Module&)>& build,
+                               const std::vector<double>& x, double seed,
+                               double* primalOut = nullptr) {
+  ir::Module mod;
+  build(mod);
+  return test::adGradScalarFn(mod, "f", x, {}, /*threads=*/1, seed, primalOut);
+}
+
+std::vector<double> inputFor(int j, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t k = 0; k < n; ++k)
+    x[k] = 0.25 + 0.125 * static_cast<double>(j) +
+           0.5 * static_cast<double>(k);
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queue.
+
+TEST(ServeQueue, FifoBackpressureAndClose) {
+  serve::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  // A full queue blocks the producer until a consumer makes room.
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  EXPECT_TRUE(q.push(3));
+  consumer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  // popFor times out empty-handed with the queue still open.
+  EXPECT_EQ(q.popFor(std::chrono::milliseconds(1)), std::nullopt);
+  EXPECT_FALSE(q.closed());
+  // close() rejects pushes but drains what is already queued.
+  EXPECT_TRUE(q.push(4));
+  q.close();
+  EXPECT_FALSE(q.push(5));
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exactness: batched serving vs single-shot gradient().
+
+TEST(Serve, BitExactVsSingleShot) {
+  constexpr std::size_t kN = 6;
+  for (const char* engine : {"exec", "codegen"}) {
+    for (int B : {1, 4, 32}) {
+      serve::ServeConfig cfg;
+      cfg.workers = 2;
+      cfg.maxBatch = B;
+      cfg.maxDelayUs = 5e6;  // flush strictly on maxBatch in this test
+      serve::GradientService svc(cfg);
+      svc.registerProgram("poly", servable(1.75), "f", kN);
+
+      std::vector<std::future<serve::Response>> futs;
+      for (int j = 0; j < B; ++j) {
+        serve::Request req;
+        req.program = "poly";
+        req.inputs = inputFor(j, kN);
+        req.seed = 1.0 + 0.25 * j;
+        req.engine = engine;
+        futs.push_back(svc.submit(std::move(req)));
+      }
+      for (int j = 0; j < B; ++j) {
+        serve::Response r = futs[static_cast<std::size_t>(j)].get();
+        ASSERT_TRUE(r.ok) << engine << " B=" << B << " j=" << j << ": "
+                          << r.error;
+        EXPECT_EQ(r.batchSize, B);
+        EXPECT_FALSE(r.isolated);
+        double wantPrimal = 0;
+        std::vector<double> want = oracleGrad(
+            servable(1.75), inputFor(j, kN), 1.0 + 0.25 * j, &wantPrimal);
+        EXPECT_EQ(r.primal, wantPrimal) << engine << " B=" << B << " j=" << j;
+        ASSERT_EQ(r.gradient.size(), kN);
+        for (std::size_t k = 0; k < kN; ++k)
+          EXPECT_EQ(r.gradient[k], want[k])
+              << engine << " B=" << B << " j=" << j << " k=" << k;
+      }
+      serve::ServiceStats st = svc.stats();
+      EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(B));
+      EXPECT_EQ(st.completed, static_cast<std::uint64_t>(B));
+      EXPECT_EQ(st.failed, 0u);
+      EXPECT_EQ(st.maxBatchObserved, static_cast<std::uint64_t>(B));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Isolation.
+
+TEST(Serve, BadInputFailsAloneBatchMatesSurvive) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 8;
+  cfg.maxDelayUs = 5e6;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("indexed", buildIndexed, "f", kN);
+
+  std::vector<std::future<serve::Response>> futs;
+  for (int j = 0; j < 8; ++j) {
+    serve::Request req;
+    req.program = "indexed";
+    // Good requests index in range; request 3 carries a poisoned x[0] that
+    // sends the load far out of bounds and traps its VM.
+    req.inputs = {j == 3 ? 1e9 : 1.0 + (j % 3), 0.5 + j, 2.0, -1.5};
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int j = 0; j < 8; ++j) {
+    serve::Response r = futs[static_cast<std::size_t>(j)].get();
+    if (j == 3) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_TRUE(r.isolated);
+    } else {
+      ASSERT_TRUE(r.ok) << "j=" << j << ": " << r.error;
+      EXPECT_TRUE(r.isolated);  // served by the batch-failure fallback
+      std::vector<double> x = {1.0 + (j % 3), 0.5 + j, 2.0, -1.5};
+      std::vector<double> want = oracleGrad(
+          [](ir::Module& m) { buildIndexed(m); }, x, 1.0);
+      ASSERT_EQ(r.gradient.size(), kN);
+      for (std::size_t k = 0; k < kN; ++k)
+        EXPECT_EQ(r.gradient[k], want[k]) << "j=" << j << " k=" << k;
+    }
+  }
+  EXPECT_GE(svc.stats().batchFallbacks, 1u);
+
+  // The service (and the process-wide caches) stay healthy afterwards.
+  serve::Request again;
+  again.program = "indexed";
+  again.inputs = {1.0, 2.0, 3.0, 4.0};
+  serve::Response r = svc.callDirect(again);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Serve, FaultedRequestFailsAloneWithStructuredReport) {
+  constexpr std::size_t kN = 6;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 4;
+  cfg.maxDelayUs = 5e6;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(0.5), "f", kN);
+
+  std::vector<std::future<serve::Response>> futs;
+  for (int j = 0; j < 4; ++j) {
+    serve::Request req;
+    req.program = "poly";
+    req.inputs = inputFor(j, kN);
+    if (j == 2) req.faultSpec = "seed=3,kill=1,killns=5";
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (int j = 0; j < 4; ++j) {
+    serve::Response r = futs[static_cast<std::size_t>(j)].get();
+    if (j == 2) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_TRUE(r.isolated);
+      ASSERT_NE(r.failure, nullptr);
+      EXPECT_EQ(r.failure->kind, psim::FailureReport::Kind::RankKilled);
+    } else {
+      // Batch-mates of the fault-injected job are untouched: batched run,
+      // bit-exact values.
+      ASSERT_TRUE(r.ok) << "j=" << j << ": " << r.error;
+      EXPECT_FALSE(r.isolated);
+      std::vector<double> want = oracleGrad(servable(0.5), inputFor(j, kN),
+                                            1.0);
+      for (std::size_t k = 0; k < kN; ++k)
+        EXPECT_EQ(r.gradient[k], want[k]) << "j=" << j << " k=" << k;
+    }
+  }
+  serve::ServiceStats st = svc.stats();
+  EXPECT_GE(st.isolatedRuns, 1u);
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_EQ(st.batchedRequests, 3u);
+  EXPECT_EQ(st.failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cold/hot paths and cross-tenant fingerprint sharing.
+
+TEST(Serve, ColdThenHotSurfacesCacheCounters) {
+  constexpr std::size_t kN = 5;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(3.25), "f", kN);
+
+  serve::Request req;
+  req.program = "poly";
+  req.inputs = inputFor(0, kN);
+  serve::Response r1 = svc.call(req);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_TRUE(r1.coldCompile);
+  serve::Response r2 = svc.call(req);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_FALSE(r2.coldCompile);
+  EXPECT_EQ(r1.primal, r2.primal);
+
+  serve::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.coldCompiles, 1u);
+  // The hot request re-looked-up the lowered closure: the sharded cache's
+  // counters (snapshotted into every response's RunStats) must have moved.
+  EXPECT_GT(r2.stats.programCacheHits, 0u);
+  EXPECT_GE(r2.stats.programCacheHits, r1.stats.programCacheHits);
+  EXPECT_GT(st.programCacheMisses, 0u);
+}
+
+TEST(Serve, SameFingerprintTenantsShareProgramAndBatches) {
+  constexpr std::size_t kN = 6;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 2;
+  cfg.maxDelayUs = 5e6;
+  serve::GradientService svc(cfg);
+  // alice and bob build structurally identical IR: one prepared program.
+  svc.registerProgram("alice", servable(2.5), "f", kN);
+  svc.registerProgram("bob", servable(2.5), "f", kN);
+  svc.registerProgram("carol", servable(9.5), "f", kN);  // distinct tenant
+
+  serve::Request ra, rb;
+  ra.program = "alice";
+  ra.inputs = inputFor(0, kN);
+  rb.program = "bob";
+  rb.inputs = inputFor(1, kN);
+  auto fa = svc.submit(ra);
+  auto fb = svc.submit(rb);
+  serve::Response a = fa.get(), b = fb.get();
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  // Coalesced across tenant names into one batch of 2.
+  EXPECT_EQ(a.batchSize, 2);
+  EXPECT_EQ(b.batchSize, 2);
+  EXPECT_EQ(svc.stats().coldCompiles, 1u);
+
+  // Two carol requests so her batch flushes on maxBatch, not max-delay.
+  serve::Request rc;
+  rc.program = "carol";
+  rc.inputs = inputFor(2, kN);
+  rc.seed = 2.0;
+  serve::Request rc2 = rc;
+  rc2.seed = 3.0;
+  auto fc = svc.submit(rc);
+  auto fc2 = svc.submit(rc2);
+  serve::Response c = fc.get(), c2 = fc2.get();
+  ASSERT_TRUE(c.ok) << c.error;
+  ASSERT_TRUE(c2.ok) << c2.error;
+  EXPECT_EQ(svc.stats().coldCompiles, 2u);
+  std::vector<double> want = oracleGrad(servable(9.5), inputFor(2, kN), 2.0);
+  for (std::size_t k = 0; k < kN; ++k) EXPECT_EQ(c.gradient[k], want[k]);
+}
+
+// ---------------------------------------------------------------------------
+// Admission errors.
+
+TEST(Serve, AdmissionRejectsStructurally) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(1.0), "f", kN);
+
+  serve::Request unknown;
+  unknown.program = "nope";
+  unknown.inputs = inputFor(0, kN);
+  serve::Response r = svc.call(unknown);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown program 'nope'"), std::string::npos)
+      << r.error;
+
+  serve::Request shortInput;
+  shortInput.program = "poly";
+  shortInput.inputs = {1.0};
+  r = svc.call(shortInput);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expects 4 inputs, got 1"), std::string::npos)
+      << r.error;
+
+  // Engine admission reuses the registry's strict spec rejection verbatim.
+  serve::Request badEngine;
+  badEngine.program = "poly";
+  badEngine.inputs = inputFor(0, kN);
+  badEngine.engine = "exe";
+  r = svc.call(badEngine);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown backend 'exe'"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("did you mean 'exec'?"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("backends: "), std::string::npos) << r.error;
+
+  serve::Request badFaults;
+  badFaults.program = "poly";
+  badFaults.inputs = inputFor(0, kN);
+  badFaults.faultSpec = "bogus=1";
+  r = svc.call(badFaults);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+
+  // Failures above never consumed a VM run or poisoned the service.
+  serve::Request good;
+  good.program = "poly";
+  good.inputs = inputFor(0, kN);
+  r = svc.call(good);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(svc.stats().failed, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent clients.
+
+TEST(Serve, ManyClientThreadsMixedTenants) {
+  constexpr std::size_t kN = 6;
+  constexpr int kClients = 8, kPerClient = 12;
+  serve::ServeConfig cfg;
+  cfg.workers = 4;
+  cfg.maxBatch = 8;
+  cfg.maxDelayUs = 500.0;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("a", servable(1.25), "f", kN);
+  svc.registerProgram("b", servable(4.75), "f", kN);
+
+  std::atomic<int> okCount{0}, badCount{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int j = 0; j < kPerClient; ++j) {
+        serve::Request req;
+        req.program = (t + j) % 2 == 0 ? "a" : "b";
+        req.inputs = inputFor(t * kPerClient + j, kN);
+        req.seed = 1.0 + 0.0625 * j;
+        serve::Response r = svc.call(std::move(req));
+        double c = (t + j) % 2 == 0 ? 1.25 : 4.75;
+        std::vector<double> want =
+            oracleGrad(servable(c), inputFor(t * kPerClient + j, kN),
+                       1.0 + 0.0625 * j);
+        bool good = r.ok && r.gradient.size() == kN;
+        for (std::size_t k = 0; good && k < kN; ++k)
+          good = r.gradient[k] == want[k];
+        (good ? okCount : badCount)++;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(okCount.load(), kClients * kPerClient);
+  EXPECT_EQ(badCount.load(), 0);
+  serve::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  // Under 8 concurrent clients at least some coalescing must have happened.
+  EXPECT_GT(st.batchedRequests, st.batches);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded ProgramCache under concurrent hammering.
+
+/// Like servable(), but the multiplier is a foldable const expression so
+/// passes::cleanup() mutates the IR in place (shrinking it without changing
+/// its value) — the refingerprint probe below depends on that.
+ir::Module hammerModule(double c) {
+  ir::Module mod;
+  ir::FunctionBuilder b(mod, "f", {Type::PtrF64, Type::I64}, Type::F64);
+  auto x = b.param(0);
+  auto n = b.param(1);
+  auto acc = b.alloc(b.constI(1), Type::F64);
+  b.store(acc, b.constI(0), b.constF(0));
+  auto scale = b.fadd(b.constF(c), b.constF(0.5));
+  b.emitFor(b.constI(0), n, [&](Value i) {
+    auto v = b.load(x, i);
+    auto t = b.fadd(b.fmul(v, scale), b.fmul(v, v));
+    b.store(acc, b.constI(0), b.fadd(b.load(acc, b.constI(0)), t));
+  });
+  b.ret(b.load(acc, b.constI(0)));
+  b.finish();
+  return mod;
+}
+
+TEST(CacheConcurrency, HammerSharedAndDistinctFingerprints) {
+  auto& cache = interp::ProgramCache::global();
+  const std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+
+  constexpr int kMods = 6, kThreads = 8, kIters = 200;
+  std::deque<ir::Module> mods;  // address-stable: the cache keys by &module
+  for (int k = 0; k < kMods; ++k)
+    mods.push_back(hammerModule(10.0 + k));
+
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        ir::Module& mod = mods[static_cast<std::size_t>((t + i) % kMods)];
+        auto xm = cache.lookup(mod, mod.get("f"));
+        if (xm == nullptr || xm->programs.empty() ||
+            xm->programs[0].name != "f")
+          errors++;
+      }
+    });
+  }
+  // A concurrent invalidator sweeping the very name every thread hammers.
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      cache.invalidate("f");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  invalidator.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Every lookup resolved to a hit or a miss; the invalidator forced some
+  // relowering (misses) on top of the initial cold ones.
+  EXPECT_GE((cache.hits() - h0) + (cache.misses() - m0),
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_GE(cache.misses() - m0, static_cast<std::uint64_t>(kMods));
+
+  // Pass-mutation refingerprinting still works after the storm: an in-place
+  // IR rewrite yields a fresh closure (new fingerprint), not a stale hit.
+  ir::Module& mod = mods[0];
+  auto before = cache.lookup(mod, mod.get("f"));
+  std::uint64_t fpBefore = before->programs[0].fingerprint;
+  double want = test::evalScalarFn(mod, "f", inputFor(0, 6));
+  passes::cleanup(mod, "f");
+  auto after = cache.lookup(mod, mod.get("f"));
+  EXPECT_NE(after->programs[0].fingerprint, fpBefore);
+  EXPECT_EQ(test::evalScalarFn(mod, "f", inputFor(0, 6)), want);
+}
+
+}  // namespace
+}  // namespace parad
