@@ -209,11 +209,130 @@ void emitRow(bench::BenchJson& json, const std::string& name,
            static_cast<double>(st.programCacheMisses));
   json.num("codegen_compiles", static_cast<double>(st.codegenCompiles));
   json.num("codegen_mem_hits", static_cast<double>(st.codegenMemHits));
+  // Robustness telemetry (DESIGN.md §15): shedding, deadlines, retries,
+  // breaker activity, and the byte-bounded cache evictions.
+  json.num("shed_overload", static_cast<double>(st.shedOverload));
+  json.num("shed_rate_limit", static_cast<double>(st.shedRate));
+  json.num("shed_inflight", static_cast<double>(st.shedInflight));
+  json.num("deadline_expired", static_cast<double>(st.deadlineExpired));
+  json.num("retries", static_cast<double>(st.retries));
+  json.num("breaker_opens", static_cast<double>(st.breakerOpens));
+  json.num("program_evictions", static_cast<double>(st.programEvictions));
+  json.num("registry_bytes", static_cast<double>(st.registryBytes));
+  json.num("program_cache_evictions",
+           static_cast<double>(st.programCacheEvictions));
+  json.num("codegen_evictions", static_cast<double>(st.codegenEvictions));
   std::printf(
       "%-12s %6d req  %9.0f req/s  p50 %8.0f ns  p99 %9.0f ns  "
       "(%d ok, %d faulted, %llu batches, max batch %llu)\n",
       name.c_str(), r.requests, r.rps, r.p50Ns, r.p99Ns, r.ok, r.failed,
       (unsigned long long)st.batches, (unsigned long long)st.maxBatchObserved);
+}
+
+// ---------------------------------------------------------------------------
+// Overload mix: offered load far past service capacity against a tiny
+// request queue. The robustness claim under test (DESIGN.md §15): the
+// service sheds the excess with structured Overload errors instead of
+// blocking producers or growing an unbounded backlog, deadline-doomed jobs
+// are answered with structured Deadline reports, and the jobs it DOES admit
+// keep a bounded p99 (the queue, not the client, absorbs the overload).
+
+struct OverloadResult {
+  int requests = 0;
+  int ok = 0;             // admitted clean jobs that succeeded (goodput)
+  int shed = 0;           // structured Overload rejections
+  int deadlineHits = 0;   // structured Deadline rejections
+  int transientFailed = 0;  // fault-injected jobs (retried, then RankKilled)
+  double wallNs = 0;
+  double offeredRps = 0, goodputRps = 0, shedRate = 0;
+  double p50AdmittedNs = 0, p99AdmittedNs = 0;
+};
+
+OverloadResult driveOverload(serve::GradientService& svc,
+                             const std::vector<std::string>& programs,
+                             int clients, int perClient) {
+  std::vector<std::vector<double>> lats(static_cast<std::size_t>(clients));
+  std::atomic<int> ok{0}, shed{0}, deadline{0}, transient{0}, bad{0};
+  std::atomic<std::uint64_t> submitEnd{0};
+  std::vector<std::thread> ts;
+  std::uint64_t t0 = serve::nowNs();
+  for (int c = 0; c < clients; ++c) {
+    ts.emplace_back([&, c] {
+      std::vector<std::pair<std::uint64_t, std::future<serve::Response>>>
+          inflight;
+      inflight.reserve(static_cast<std::size_t>(perClient));
+      for (int j = 0; j < perClient; ++j) {
+        int id = c * perClient + j;
+        serve::Request req;
+        req.program = programs[static_cast<std::size_t>(id) % programs.size()];
+        req.inputs = inputFor(id);
+        if (j % 7 == 3) req.deadlineMs = 1e-6;  // doomed: expires in queue
+        if (j % 11 == 5) {
+          // Transient-looking fault that every retry re-draws (kill=1 kills
+          // attempt 0 and attempt 1 alike): exercises the retry machinery
+          // under load with a deterministic outcome.
+          req.faultSpec = "seed=" + std::to_string(id) + ",kill=1,killns=5,retry=0";
+          req.retryMax = 1;
+        }
+        inflight.emplace_back(serve::nowNs(), svc.submit(std::move(req)));
+      }
+      // Offered load is measured over the submission window (the burst the
+      // service had to absorb or shed), not the harvest tail.
+      std::uint64_t done = serve::nowNs();
+      std::uint64_t prev = submitEnd.load();
+      while (prev < done && !submitEnd.compare_exchange_weak(prev, done)) {
+      }
+      for (auto& [sentNs, fut] : inflight) {
+        serve::Response r = fut.get();
+        if (r.ok) {
+          lats[static_cast<std::size_t>(c)].push_back(
+              static_cast<double>(r.doneAtNs - sentNs));
+          ok++;
+          continue;
+        }
+        if (r.failure == nullptr) {
+          bad++;
+        } else if (r.failure->kind == psim::FailureReport::Kind::Overload) {
+          shed++;
+        } else if (r.failure->kind == psim::FailureReport::Kind::Deadline) {
+          deadline++;
+        } else if (r.failure->kind ==
+                   psim::FailureReport::Kind::RankKilled) {
+          transient++;
+        } else {
+          bad++;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  OverloadResult out;
+  out.wallNs = static_cast<double>(serve::nowNs() - t0);
+  out.requests = clients * perClient;
+  out.ok = ok.load();
+  out.shed = shed.load();
+  out.deadlineHits = deadline.load();
+  out.transientFailed = transient.load();
+  if (bad.load() > 0 ||
+      out.ok + out.shed + out.deadlineHits + out.transientFailed !=
+          out.requests) {
+    std::fprintf(stderr,
+                 "serve_throughput: %d overload responses lacked a "
+                 "structured failure classification\n",
+                 bad.load());
+    std::exit(1);
+  }
+  std::vector<double> all;
+  for (auto& v : lats) all.insert(all.end(), v.begin(), v.end());
+  out.p50AdmittedNs = percentile(all, 0.50);
+  out.p99AdmittedNs = percentile(all, 0.99);
+  double submitWindowNs =
+      static_cast<double>(std::max<std::uint64_t>(submitEnd.load() - t0, 1));
+  out.offeredRps = static_cast<double>(out.requests) / (submitWindowNs * 1e-9);
+  out.goodputRps = static_cast<double>(out.ok) / (out.wallNs * 1e-9);
+  out.shedRate =
+      static_cast<double>(out.shed) / static_cast<double>(out.requests);
+  return out;
 }
 
 void BM_ServeHotBatch(benchmark::State& state) {
@@ -255,7 +374,7 @@ int main(int argc, char** argv) {
   cfg.maxDelayUs = 200.0;
 
   // ---- hot mix: 2 warm tenants, batched pipeline vs naive baseline ----
-  double rpsBatched = 0, rpsNaive = 0;
+  double rpsBatched = 0, rpsNaive = 0, p99Uncontended = 0;
   {
     serve::GradientService svc(cfg);
     svc.registerProgram("hot_a", tenant(1.25), "f", kN);
@@ -278,6 +397,7 @@ int main(int argc, char** argv) {
     MixResult hot =
         driveBatched(svc, {"hot_a", "hot_b"}, clients, perClient, 0);
     rpsBatched = hot.rps;
+    p99Uncontended = hot.p99Ns;
     emitRow(json, "hot_batched", hot, svc.stats());
 
     MixResult naive = driveNaive(svc, {"hot_a", "hot_b"}, clients, perClient);
@@ -324,6 +444,68 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- overload mix: 4x the client pool against a 64-slot queue ----
+  // Offered load is several times the hot-mix goodput (submission is far
+  // faster than service); the gates assert structured shedding and that the
+  // tiny queue keeps admitted-job p99 within 2x the uncontended hot run.
+  bool overloadGate = true;
+  {
+    serve::ServeConfig ocfg = cfg;
+    ocfg.queueCapacity = 64;
+    serve::GradientService svc(ocfg);
+    svc.registerProgram("hot_a", tenant(1.25), "f", kN);
+    svc.registerProgram("hot_b", tenant(4.75), "f", kN);
+    serve::Request probe;
+    probe.program = "hot_a";
+    probe.inputs = inputFor(3);
+    (void)svc.callDirect(probe);
+    probe.program = "hot_b";
+    (void)svc.callDirect(probe);
+
+    OverloadResult ov =
+        driveOverload(svc, {"hot_a", "hot_b"}, clients * 4, perClient);
+    serve::ServiceStats st = svc.stats();
+    json.row("overload");
+    json.num("requests", ov.requests);
+    json.num("ok", ov.ok);
+    json.num("shed", ov.shed);
+    json.num("deadline_hits", ov.deadlineHits);
+    json.num("transient_failed", ov.transientFailed);
+    json.num("wall_ns", ov.wallNs);
+    json.num("offered_rps", ov.offeredRps);
+    json.num("goodput_rps", ov.goodputRps);
+    json.num("shed_rate", ov.shedRate);
+    json.num("overload_factor",
+             rpsBatched > 0 ? ov.offeredRps / rpsBatched : 0);
+    json.num("p50_admitted_ns", ov.p50AdmittedNs);
+    json.num("p99_admitted_ns", ov.p99AdmittedNs);
+    json.num("p99_uncontended_ns", p99Uncontended);
+    json.num("retries", static_cast<double>(st.retries));
+    json.num("shed_overload", static_cast<double>(st.shedOverload));
+    json.num("deadline_expired", static_cast<double>(st.deadlineExpired));
+    std::printf(
+        "overload     %6d req  %9.0f offered/s  %9.0f goodput/s  "
+        "shed %5.1f%%  dl %d  p99adm %9.0f ns\n",
+        ov.requests, ov.offeredRps, ov.goodputRps, 100.0 * ov.shedRate,
+        ov.deadlineHits, ov.p99AdmittedNs);
+
+    if (!smoke) {
+      bool shedOk = ov.shed > 0;
+      bool dlOk = ov.deadlineHits > 0;
+      bool p99Ok = ov.p99AdmittedNs <= 2.0 * p99Uncontended;
+      bool loadOk = rpsBatched > 0 && ov.offeredRps >= 4.0 * rpsBatched;
+      overloadGate = shedOk && dlOk && p99Ok && loadOk;
+      json.num("overload_gate", overloadGate ? 1 : 0);
+      if (!overloadGate)
+        std::fprintf(stderr,
+                     "serve_throughput: overload gate failed (shed %d, "
+                     "deadline hits %d, p99 admitted %.0f vs uncontended "
+                     "%.0f ns)\n",
+                     ov.shed, ov.deadlineHits, ov.p99AdmittedNs,
+                     p99Uncontended);
+    }
+  }
+
   double speedup = rpsNaive > 0 ? rpsBatched / rpsNaive : 0;
   bool gate = speedup >= 2.0;
   std::printf("batched vs naive (hot): %.2fx %s\n", speedup,
@@ -338,5 +520,5 @@ int main(int argc, char** argv) {
   json.num("batched_vs_naive_speedup", speedup);
   json.num("speedup_gate_2x", gate ? 1 : 0);
   json.write();
-  return (smoke || gate) ? 0 : 1;
+  return (smoke || (gate && overloadGate)) ? 0 : 1;
 }

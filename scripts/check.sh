@@ -14,6 +14,10 @@
 #   SERVE=1 ./scripts/check.sh         # serving-layer suite + mixed-traffic
 #                                      # throughput smoke (incl. one
 #                                      # fault-injected batch)
+#   SOAK=1 ./scripts/check.sh          # multi-threaded serving soak under
+#                                      # ThreadSanitizer: widened mixed
+#                                      # hot/cold/faulted/expired traffic at
+#                                      # several times queue capacity
 #   CODEGEN=1 ./scripts/check.sh       # whole suite under the codegen engine
 #                                      # + dispatch-throughput criterion check
 set -euo pipefail
@@ -41,7 +45,25 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
   cmake --build "$BUILD_DIR" -j "$JOBS"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R '^(Serve|ServeQueue|CacheConcurrency|BackendRegistry)\.'
+    -R '^(Serve|ServeQueue|BoundedQueue|CacheConcurrency|BackendRegistry)\.'
+  exit 0
+fi
+
+if [[ "${SOAK:-0}" == "1" ]]; then
+  # Soak lane: the ThreadSanitizer build of the serving pipeline, but running
+  # the mixed-traffic storm (tests/test_soak.cpp) with PARAD_SOAK=1 widened
+  # iteration counts — 4 client threads bursting hot/cold/faulted/expired/
+  # poisoned requests at several times queue capacity with deadlines, retries,
+  # rate limits, the circuit breaker and registry eviction all armed. The
+  # robustness suite rides along so single-feature races surface with a small
+  # reproducer before the storm's noisy interleavings do.
+  BUILD_DIR=${BUILD_DIR}-tsan
+  CMAKE_ARGS+=(-DPARAD_SANITIZE=thread)
+  export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  PARAD_SOAK=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '^(ServeSoak|ServeRobust|BoundedQueue)\.'
   exit 0
 fi
 

@@ -1,5 +1,6 @@
 #include "src/interp/codegen.h"
 
+#include <dirent.h>
 #include <dlfcn.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -13,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -621,7 +623,8 @@ class CodegenExecutor final : public Executor {
     // slack is applied between attempts, each with a fresh executor).
     ctx_.probe_flags = (machine_.killArmed() ? 1 : 0) |
                        (machine_.config().watchdogInsts != 0 ? 2 : 0) |
-                       (machine_.watchdogTimeBound() > 0 ? 4 : 0);
+                       (machine_.watchdogTimeBound() > 0 ? 4 : 0) |
+                       (machine_.cancelArmed() ? 8 : 0);
     ctx_.host = this;
   }
 
@@ -766,14 +769,105 @@ struct CodegenCache::Impl {
   // report coherent numbers (src/serve surfaces these in its bench JSON).
   struct {
     std::atomic<std::uint64_t> compiles{0}, diskHits{0}, memHits{0},
-        fallbacks{0};
+        fallbacks{0}, memEvictions{0}, diskEvictions{0};
   } counters;
   core::RemarkStream remarks;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const CodegenArtifact>>
-      mem;
+  // In-process artifacts, LRU-ordered for the memory byte cap. `bytes` is
+  // the .so file size — a deterministic, cheap proxy for the mapped object.
+  struct MemEntry {
+    std::shared_ptr<const CodegenArtifact> art;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lruIt;
+  };
+  std::unordered_map<std::uint64_t, MemEntry> mem;
+  std::list<std::uint64_t> lru;  // most-recently-used first
+  std::size_t memBytes = 0;
   std::unordered_set<std::uint64_t> failed;  // fingerprints that won't compile
   std::unordered_map<std::string, bool> compilerOk;  // probe memo
   bool warnedNoCompiler = false;
+
+  std::size_t memCap() const {
+    if (cfg.memCapacityBytes != 0) return cfg.memCapacityBytes;
+    if (const char* e = std::getenv("PARAD_CODEGEN_MEM_BYTES");
+        e != nullptr && *e)
+      return static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    return 0;
+  }
+  std::size_t diskCap() const {
+    if (cfg.diskCapacityBytes != 0) return cfg.diskCapacityBytes;
+    if (const char* e = std::getenv("PARAD_CODEGEN_DISK_BYTES");
+        e != nullptr && *e)
+      return static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    return 0;
+  }
+  // Inserts (or refreshes) an artifact and applies the memory byte cap; the
+  // fresh entry always survives. Caller holds `mu`. Dropped artifacts keep
+  // executing in runs that already hold a shared_ptr — the dlclose happens
+  // when the last reference drops.
+  void insertMem(std::uint64_t fp, std::shared_ptr<const CodegenArtifact> art,
+                 std::size_t bytes) {
+    if (auto it = mem.find(fp); it != mem.end()) {
+      memBytes -= it->second.bytes;
+      lru.erase(it->second.lruIt);
+      mem.erase(it);
+    }
+    lru.push_front(fp);
+    mem.emplace(fp, MemEntry{std::move(art), bytes, lru.begin()});
+    memBytes += bytes;
+    std::size_t cap = memCap();
+    if (cap == 0) return;
+    while (memBytes > cap && mem.size() > 1) {
+      auto victim = mem.find(lru.back());
+      memBytes -= victim->second.bytes;
+      lru.pop_back();
+      mem.erase(victim);
+      ++counters.memEvictions;
+    }
+  }
+
+  // Applies the disk byte cap after an install: removes oldest-modified
+  // artifacts (and their source/log siblings) until the directory's .so
+  // payload fits. `keep` is the just-installed artifact, never swept.
+  // Caller holds `mu`.
+  void sweepDisk(const std::string& dir, const std::string& keep) {
+    std::size_t cap = diskCap();
+    if (cap == 0) return;
+    struct F {
+      std::string path;
+      std::size_t bytes;
+      double mtime;
+    };
+    std::vector<F> files;
+    std::size_t total = 0;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name.rfind("parad_cg_", 0) != 0) continue;
+      if (name.size() < 3 || name.compare(name.size() - 3, 3, ".so") != 0)
+        continue;
+      std::string path = dir + "/" + name;
+      struct stat st{};
+      if (::stat(path.c_str(), &st) != 0) continue;
+      total += static_cast<std::size_t>(st.st_size);
+      files.push_back({path, static_cast<std::size_t>(st.st_size),
+                       static_cast<double>(st.st_mtime)});
+    }
+    ::closedir(d);
+    std::sort(files.begin(), files.end(), [](const F& a, const F& b) {
+      return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+    });
+    for (const F& f : files) {
+      if (total <= cap) break;
+      if (f.path == keep) continue;
+      ::remove(f.path.c_str());
+      std::string base = f.path.substr(0, f.path.size() - 3);
+      ::remove((base + ".cpp").c_str());
+      ::remove((base + ".log").c_str());
+      total -= f.bytes;
+      ++counters.diskEvictions;
+    }
+  }
 };
 
 CodegenCache::Impl& CodegenCache::impl() const {
@@ -832,6 +926,12 @@ std::string firstLineOf(const std::string& path) {
   return "";
 }
 
+std::size_t fileSize(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::size_t>(st.st_size)
+                                        : 0;
+}
+
 /// dlopens a generated object and validates its ABI version and fingerprint.
 /// Returns nullptr (with a reason) on any mismatch — the caller recompiles.
 std::shared_ptr<const CodegenArtifact> tryOpen(const std::string& path,
@@ -877,7 +977,8 @@ std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
   std::uint64_t fp = closureFingerprint(xm);
   if (auto it = im.mem.find(fp); it != im.mem.end()) {
     ++im.counters.memHits;
-    return it->second;
+    im.lru.splice(im.lru.begin(), im.lru, it->second.lruIt);  // touch
+    return it->second.art;
   }
   if (im.failed.count(fp) != 0) {
     ++im.counters.fallbacks;
@@ -903,7 +1004,7 @@ std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
   if (::access(soPath.c_str(), F_OK) == 0) {
     if (auto art = tryOpen(soPath, fp, xm, &reason)) {
       ++im.counters.diskHits;
-      im.mem.emplace(fp, art);
+      im.insertMem(fp, art, fileSize(soPath));
       im.remarks.emit(core::RemarkKind::Backend,
                       "codegen: reused on-disk artifact for " + entry +
                           " (fp " + hex + ")");
@@ -994,7 +1095,8 @@ std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
                         ": " + reason + ": falling back to exec engine");
     return nullptr;
   }
-  im.mem.emplace(fp, art);
+  im.insertMem(fp, art, fileSize(soPath));
+  im.sweepDisk(dir, soPath);
   im.remarks.emit(core::RemarkKind::Backend,
                   "codegen: compiled " + entry + " (fp " + hex + ", " +
                       std::to_string(buildRangeTable(xm).size()) +
@@ -1006,6 +1108,8 @@ void CodegenCache::clear() {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   im.mem.clear();  // dlcloses via artifact destructors
+  im.lru.clear();
+  im.memBytes = 0;
   im.failed.clear();
   im.compilerOk.clear();
   im.warnedNoCompiler = false;
@@ -1018,6 +1122,9 @@ CodegenCounters CodegenCache::counters() const {
   out.diskHits = im.counters.diskHits.load(std::memory_order_relaxed);
   out.memHits = im.counters.memHits.load(std::memory_order_relaxed);
   out.fallbacks = im.counters.fallbacks.load(std::memory_order_relaxed);
+  out.memEvictions = im.counters.memEvictions.load(std::memory_order_relaxed);
+  out.diskEvictions =
+      im.counters.diskEvictions.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -27,6 +27,7 @@
 // never an error.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,15 @@ struct CodegenConfig {
   std::string compiler;    // "": $PARAD_CXX, else the build-time compiler
   std::string cacheDir;    // "": $PARAD_CODEGEN_DIR, else per-user tmp dir
   std::string extraFlags;  // appended to the compile line ($PARAD_CODEGEN_FLAGS)
+  // Byte capacities for the artifact caches; 0 = unbounded (the defaults,
+  // also settable via $PARAD_CODEGEN_MEM_BYTES / $PARAD_CODEGEN_DISK_BYTES).
+  // The in-process cache evicts dlopen'd artifacts least-recently-used by
+  // .so size; runs holding a shared_ptr keep executing safely (the dlclose
+  // happens when the last reference drops). The disk cache sweeps
+  // oldest-modified artifacts (plus their source/log siblings) after each
+  // install. Evicted artifacts reload from disk or recompile transparently.
+  std::size_t memCapacityBytes = 0;
+  std::size_t diskCapacityBytes = 0;
 };
 
 struct CodegenCounters {
@@ -53,6 +63,8 @@ struct CodegenCounters {
   std::uint64_t diskHits = 0;   // artifact dlopen'd straight from disk
   std::uint64_t memHits = 0;    // artifact served from the in-process cache
   std::uint64_t fallbacks = 0;  // lookups that fell back to the exec engine
+  std::uint64_t memEvictions = 0;   // artifacts LRU-dropped from memory
+  std::uint64_t diskEvictions = 0;  // .so files swept from the cache dir
 };
 
 /// Content-address of a lowered closure for artifact caching: FNV-1a over

@@ -1,5 +1,7 @@
 #include "src/interp/lower.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 
@@ -363,8 +365,34 @@ std::shared_ptr<const ExecModule> compileClosure(const ir::Module& mod,
 // ---------------------------------------------------------------------------
 // ProgramCache.
 
+std::size_t execModuleBytes(const ExecModule& xm) {
+  std::size_t total = sizeof(ExecModule);
+  for (const ExecProgram& p : xm.programs) {
+    total += sizeof(ExecProgram) + p.name.size();
+    total += p.paramSlots.size() * sizeof(std::int32_t);
+    total += p.code.size() * sizeof(ExecInst);
+    total += p.blocks.size() * sizeof(ExecBlock);
+    total += p.segments.size() * sizeof(ExecSegment);
+    total += p.constInits.size() * sizeof(ConstInit);
+    total += p.pool.size() * sizeof(std::int32_t);
+  }
+  for (const auto& kv : xm.indexOf)
+    total += kv.first.size() + sizeof(std::int32_t);
+  for (const std::string& m : xm.trapMsgs) total += m.size();
+  return total;
+}
+
 ProgramCache& ProgramCache::global() {
   static ProgramCache cache;
+  if (const char* env = std::getenv("PARAD_PROGRAM_CACHE_BYTES")) {
+    static std::once_flag once;
+    std::call_once(once, [&] {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0')
+        cache.setCapacityBytes(static_cast<std::size_t>(v));
+    });
+  }
   return cache;
 }
 
@@ -379,6 +407,29 @@ static bool stillValid(const ir::Module& mod, const ir::Function& entry,
   return true;
 }
 
+void ProgramCache::eraseLocked(
+    Shard& sh, std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  sh.bytes -= it->second.bytes;
+  sh.lru.erase(it->second.lruIt);
+  sh.map.erase(it);
+}
+
+void ProgramCache::evictOverCapLocked(Shard& sh) {
+  std::size_t cap = capacityBytes_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  // The global budget is split evenly; a fresh insert always survives (the
+  // loop keeps at least one entry), so an oversized closure degrades to
+  // relower-per-use instead of failing.
+  std::size_t perShard = std::max<std::size_t>(cap / kShards, 1);
+  std::uint64_t dropped = 0;
+  while (sh.bytes > perShard && sh.map.size() > 1) {
+    auto victim = sh.map.find(sh.lru.back());
+    eraseLocked(sh, victim);
+    ++dropped;
+  }
+  if (dropped) evictions_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
 std::shared_ptr<const ExecModule> ProgramCache::lookup(
     const ir::Module& mod, const ir::Function& entry) {
   Key k{&mod, entry.name};
@@ -387,7 +438,10 @@ std::shared_ptr<const ExecModule> ProgramCache::lookup(
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     auto it = sh.map.find(k);
-    if (it != sh.map.end()) cached = it->second;
+    if (it != sh.map.end()) {
+      cached = it->second.xm;
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second.lruIt);  // touch
+    }
   }
   if (cached != nullptr) {
     // Revalidate outside the shard lock: fingerprinting walks the (read-only
@@ -401,12 +455,26 @@ std::shared_ptr<const ExecModule> ProgramCache::lookup(
     auto it = sh.map.find(k);
     // Only drop the entry we validated; a concurrent relowering may already
     // have replaced it with a fresh one.
-    if (it != sh.map.end() && it->second == cached) sh.map.erase(it);
+    if (it != sh.map.end() && it->second.xm == cached) eraseLocked(sh, it);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto xm = lower(mod, entry);
+  std::size_t bytes = execModuleBytes(*xm);
   std::lock_guard<std::mutex> lock(sh.mu);
-  sh.map[std::move(k)] = xm;
+  auto it = sh.map.find(k);
+  if (it != sh.map.end()) {
+    // A concurrent miss beat us to the insert; replace (last-insert wins,
+    // both closures are equivalent).
+    sh.bytes -= it->second.bytes;
+    it->second.xm = xm;
+    it->second.bytes = bytes;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second.lruIt);
+  } else {
+    sh.lru.push_front(k);
+    sh.map.emplace(std::move(k), Entry{xm, bytes, sh.lru.begin()});
+  }
+  sh.bytes += bytes;
+  evictOverCapLocked(sh);
   return xm;
 }
 
@@ -415,8 +483,24 @@ void ProgramCache::invalidate(const std::string& fnName) {
   for (Shard& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh.mu);
     for (auto it = sh.map.begin(); it != sh.map.end();) {
-      if (it->second->indexOf.count(fnName)) {
-        it = sh.map.erase(it);
+      if (it->second.xm->indexOf.count(fnName)) {
+        eraseLocked(sh, it++);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+void ProgramCache::invalidateModule(const void* mod) {
+  std::uint64_t dropped = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto it = sh.map.begin(); it != sh.map.end();) {
+      if (static_cast<const void*>(it->first.mod) == mod) {
+        eraseLocked(sh, it++);
         ++dropped;
       } else {
         ++it;
@@ -432,8 +516,19 @@ void ProgramCache::clear() {
     std::lock_guard<std::mutex> lock(sh.mu);
     dropped += sh.map.size();
     sh.map.clear();
+    sh.lru.clear();
+    sh.bytes = 0;
   }
   invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+std::size_t ProgramCache::bytesInUse() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    total += sh.bytes;
+  }
+  return total;
 }
 
 }  // namespace parad::interp

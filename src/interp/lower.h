@@ -26,6 +26,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -123,6 +124,11 @@ struct ExecModule {
 /// shapes and value types. Any IR mutation a pass can make changes it.
 std::uint64_t fingerprint(const ir::Function& fn);
 
+/// Deterministic footprint estimate of a lowered closure (flat vectors plus
+/// fixed struct overhead) — the unit of account for the ProgramCache's byte
+/// capacity and the serving layer's registry bound.
+std::size_t execModuleBytes(const ExecModule& xm);
+
 /// Lowers `entry` and its callee closure against `mod`.
 std::shared_ptr<const ExecModule> lower(const ir::Module& mod,
                                         const ir::Function& entry);
@@ -159,17 +165,41 @@ class ProgramCache {
   /// Drops every cached closure whose program set contains `fnName`.
   /// Mutating passes call this for the function they rewrite.
   void invalidate(const std::string& fnName);
+  /// Drops every cached closure lowered against `mod` (keyed by its
+  /// address). The serving layer calls this when it evicts a tenant
+  /// program, so the evicted module's closures are freed immediately rather
+  /// than lingering until fingerprint revalidation notices.
+  void invalidateModule(const void* mod);
   void clear();
+
+  /// Byte capacity for LRU eviction (0 = unbounded, the default; also
+  /// settable via PARAD_PROGRAM_CACHE_BYTES). The budget is split evenly
+  /// across the shards; within a shard the least-recently-used closures are
+  /// dropped on insert until the shard fits. Evicted closures transparently
+  /// relower on the next lookup (a miss), so capacity only trades memory
+  /// for recompiles — never correctness.
+  void setCapacityBytes(std::size_t bytes) {
+    capacityBytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t capacityBytes() const {
+    return capacityBytes_.load(std::memory_order_relaxed);
+  }
+  /// Bytes currently accounted to cached closures (execModuleBytes sums).
+  std::size_t bytesInUse() const;
 
   /// Counters for tests and benches. A revalidation failure (stale
   /// fingerprint) counts as a miss, not an invalidation; `invalidations` is
-  /// entries dropped by explicit invalidate()/clear() calls.
+  /// entries dropped by explicit invalidate()/clear() calls; `evictions` is
+  /// entries dropped by the byte-capacity LRU policy.
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
   std::uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -187,9 +217,16 @@ class ProgramCache {
     }
   };
   static constexpr std::size_t kShards = 16;
+  struct Entry {
+    std::shared_ptr<const ExecModule> xm;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lruIt;  // position in Shard::lru (front = MRU)
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, std::shared_ptr<const ExecModule>, KeyHash> map;
+    std::unordered_map<Key, Entry, KeyHash> map;
+    std::list<Key> lru;        // most-recently-used first
+    std::size_t bytes = 0;     // sum of Entry::bytes
   };
   Shard& shardOf(const Key& k) {
     // Spread the map hash across shards with a multiplicative mix so shard
@@ -197,8 +234,13 @@ class ProgramCache {
     std::size_t h = KeyHash()(k) * 0x9e3779b97f4a7c15ull;
     return shards_[(h >> 32) % kShards];
   }
+  void eraseLocked(Shard& sh,
+                   std::unordered_map<Key, Entry, KeyHash>::iterator it);
+  void evictOverCapLocked(Shard& sh);
   std::array<Shard, kShards> shards_;
-  std::atomic<std::uint64_t> hits_{0}, misses_{0}, invalidations_{0};
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, invalidations_{0},
+      evictions_{0};
+  std::atomic<std::size_t> capacityBytes_{0};
 };
 
 }  // namespace parad::interp

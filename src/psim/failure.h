@@ -39,7 +39,20 @@ struct RestoreEvent {
 };
 
 struct FailureReport {
-  enum class Kind { Deadlock, Watchdog, CollectiveMismatch, RankKilled };
+  enum class Kind {
+    Deadlock,
+    Watchdog,
+    CollectiveMismatch,
+    RankKilled,
+    // Service-level kinds (src/serve, DESIGN.md §15). Deadline reports are
+    // raised by the VM when a host deadline cancels a run mid-flight and by
+    // the serving layer when a job expires while queued; Overload and
+    // CircuitOpen never touch a VM — they are structured rejections from
+    // admission control and the per-program circuit breaker.
+    Deadline,
+    Overload,
+    CircuitOpen,
+  };
   Kind kind = Kind::Deadlock;
   std::string detail;  // headline, e.g. "all 4 ranks blocked"
   std::vector<RankSnapshot> ranks;
@@ -48,6 +61,11 @@ struct FailureReport {
   int killedRank = -1;  // dead rank for Kind::RankKilled
   int lastEpoch = -1;   // most recent checkpoint epoch (-1: none captured)
   std::vector<RestoreEvent> restoreTrail;  // successful rollbacks before this
+  // Serve-path attribution (src/serve): the request that hit the failure and
+  // its tenant key, so multi-tenant incident reports are attributable. Zero/
+  // empty outside the serving layer.
+  std::uint64_t requestId = 0;
+  std::string tenant;
 
   const char* kindName() const {
     switch (kind) {
@@ -55,6 +73,9 @@ struct FailureReport {
       case Kind::Watchdog: return "watchdog";
       case Kind::CollectiveMismatch: return "collective mismatch";
       case Kind::RankKilled: return "rank killed";
+      case Kind::Deadline: return "deadline";
+      case Kind::Overload: return "overload";
+      case Kind::CircuitOpen: return "circuit open";
     }
     return "?";
   }

@@ -9,6 +9,7 @@
 // are executed exactly (deterministically); only time is simulated.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -97,6 +98,13 @@ struct MachineConfig {
   /// clock; `watchdogInsts` bounds instructions dispatched per rank per run.
   double watchdogVirtualNs = 0;
   std::uint64_t watchdogInsts = 0;
+  /// Host-side cancellation flag (nullptr = never cancelled). The execution
+  /// engines probe it at the same dispatch boundaries as the kill/watchdog
+  /// probes; once the owner sets it, the run aborts with a structured
+  /// Deadline FailureReport. The serving layer (src/serve) arms this to
+  /// cancel a batch whose deadline expires mid-run — the flag must outlive
+  /// the run.
+  const std::atomic<bool>* cancel = nullptr;
 
   int totalCores() const { return sockets * coresPerSocket; }
   int socketOfCore(int core) const {
@@ -187,10 +195,19 @@ struct RunStats {
   std::uint64_t programCacheHits = 0;
   std::uint64_t programCacheMisses = 0;
   std::uint64_t programCacheInvalidations = 0;
+  std::uint64_t programCacheEvictions = 0;  // LRU byte-capacity evictions
   std::uint64_t codegenCompiles = 0;
   std::uint64_t codegenDiskHits = 0;
   std::uint64_t codegenMemHits = 0;
   std::uint64_t codegenFallbacks = 0;
+  std::uint64_t codegenEvictions = 0;  // artifact mem + disk LRU evictions
+  // Serving-layer robustness counters (src/serve, DESIGN.md §15), stamped
+  // per-response by the service: retry attempts consumed by this job, 1 when
+  // the job died on its deadline, and prepared tenant programs evicted by
+  // the registry's byte cap at the time of the snapshot.
+  std::uint64_t serveRetries = 0;
+  std::uint64_t serveDeadlineHits = 0;
+  std::uint64_t serveProgramEvictions = 0;
   void reset() { *this = RunStats{}; }
 };
 

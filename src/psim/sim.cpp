@@ -246,6 +246,13 @@ void Machine::failWatchdog(int rank, std::uint64_t insts) {
   throw VmError(buildFailureReport(FailureReport::Kind::Watchdog, os.str()));
 }
 
+void Machine::failCancelled(int rank, double clock) {
+  std::ostringstream os;
+  os << "run cancelled by host at rank " << rank << ", virtual time " << clock
+     << "ns (deadline exceeded)";
+  throw VmError(buildFailureReport(FailureReport::Kind::Deadline, os.str()));
+}
+
 void Machine::failWatchdogTime(int rank, double clock) {
   std::ostringstream os;
   os << "rank " << rank << " reached virtual time " << clock

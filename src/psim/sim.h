@@ -98,12 +98,26 @@ class Machine {
   /// rank at dispatch boundaries. Fires the pending crash of `rank` once its
   /// virtual clock passes the fault plan's kill time: aborts every rank and
   /// throws the (internal) RankKillSignal that run()'s recovery loop
-  /// handles. One branch when no kill schedule is armed.
+  /// handles. One branch when no kill schedule is armed. Host cancellation
+  /// (MachineConfig::cancel, e.g. a serving deadline) rides the same probe:
+  /// it wins over a scheduled crash because a cancelled run's outcome is
+  /// discarded either way and the cancel must not enter the kill-recovery
+  /// loop.
   void checkKill(int rank, double clock) {
+    if (cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed))
+      failCancelled(rank, clock);
     if (!killArmed_) return;
     double t = killAt_[static_cast<std::size_t>(rank)];
     if (t >= 0 && clock >= t) fireKill(rank, clock);
   }
+  /// Whether a host-cancellation flag is armed for this machine. Engines
+  /// that batch dispatch (codegen) use this, like killArmed(), to decide
+  /// once per run whether range exits need a probe at all.
+  bool cancelArmed() const { return cfg_.cancel != nullptr; }
+  /// Trips host cancellation: throws a VmError with a Deadline report that
+  /// snapshots every rank (same machinery as the watchdogs).
+  [[noreturn]] void failCancelled(int rank, double clock);
   /// Whether a kill schedule is armed for the current run. Engines that
   /// batch dispatch (codegen) use this to decide once per run whether range
   /// exits need a probe at all.

@@ -35,6 +35,24 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: returns false immediately when the queue is full or
+  /// closed. The service's load shedder uses this so a flooded queue turns
+  /// into a structured Overload rejection instead of a blocked producer.
+  bool tryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop: nullopt immediately when nothing is queued (whether
+  /// the queue is open, closed, or closed-and-drained).
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return takeLocked();
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mu_);

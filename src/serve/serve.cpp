@@ -1,5 +1,7 @@
 #include "src/serve/serve.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -7,6 +9,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -32,6 +35,8 @@ double envDouble(const char* name, double dflt) {
   double v = std::strtod(s, &end);
   if (end == s || *end != '\0')
     fail("serve: malformed ", name, "='", s, "' (expected a number)");
+  if (v < 0)
+    fail("serve: ", name, " must be non-negative, got '", s, "'");
   return v;
 }
 
@@ -40,6 +45,71 @@ int envInt(const char* name, int dflt) {
   PARAD_CHECK(v >= 0 && v == static_cast<double>(static_cast<int>(v)),
               "serve: ", name, " must be a non-negative integer");
   return static_cast<int>(v);
+}
+
+// Every knob fromEnv() accepts, sorted (PARAD_SERVE_SMOKE belongs to the
+// bench harness but shares the prefix, so it is accepted here too).
+const char* const kServeKnobs[] = {
+    "PARAD_SERVE_BATCH",
+    "PARAD_SERVE_BREAKER",
+    "PARAD_SERVE_BREAKER_COOLDOWN_MS",
+    "PARAD_SERVE_BURST",
+    "PARAD_SERVE_CACHE_BYTES",
+    "PARAD_SERVE_DEADLINE_MS",
+    "PARAD_SERVE_ENGINE",
+    "PARAD_SERVE_INFLIGHT",
+    "PARAD_SERVE_MAX_DELAY_US",
+    "PARAD_SERVE_QUEUE",
+    "PARAD_SERVE_RATE",
+    "PARAD_SERVE_RETRY",
+    "PARAD_SERVE_RETRY_BACKOFF_US",
+    "PARAD_SERVE_SMOKE",
+    "PARAD_SERVE_THREADS",
+};
+
+std::size_t editDistance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next = std::min(
+          {row[j] + 1, row[j - 1] + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Scans the environment for PARAD_SERVE_-prefixed names that no knob owns,
+/// so a typo (PARAD_SERVE_DEDLINE_MS) fails loudly instead of silently
+/// running with defaults. Values are validated per knob by envDouble/envInt.
+void validateServeEnv() {
+  for (char** e = ::environ; e != nullptr && *e != nullptr; ++e) {
+    std::string_view ev(*e);
+    if (ev.rfind("PARAD_SERVE_", 0) != 0) continue;
+    std::string name(ev.substr(0, ev.find('=')));
+    bool known = false;
+    for (const char* k : kServeKnobs) known = known || name == k;
+    if (known) continue;
+    std::string nearest;
+    std::size_t bestDist = 0;
+    for (const char* k : kServeKnobs) {
+      std::size_t d = editDistance(name, k);
+      if (nearest.empty() || d < bestDist) {
+        nearest = k;
+        bestDist = d;
+      }
+    }
+    std::string hint =
+        bestDist <= 2 ? " (did you mean '" + nearest + "'?)" : "";
+    std::string all;
+    for (const char* k : kServeKnobs) all += std::string(all.empty() ? "" : ", ") + k;
+    fail("serve: unknown environment knob '", name, "'", hint,
+         " (knobs: ", all, ")");
+  }
 }
 
 }  // namespace
@@ -52,6 +122,7 @@ std::uint64_t nowNs() {
 }
 
 ServeConfig ServeConfig::fromEnv() {
+  validateServeEnv();
   ServeConfig cfg;
   cfg.workers = std::max(1, envInt("PARAD_SERVE_THREADS", cfg.workers));
   cfg.maxBatch = std::max(1, envInt("PARAD_SERVE_BATCH", cfg.maxBatch));
@@ -60,6 +131,19 @@ ServeConfig ServeConfig::fromEnv() {
       1, envInt("PARAD_SERVE_QUEUE", static_cast<int>(cfg.queueCapacity))));
   if (const char* e = std::getenv("PARAD_SERVE_ENGINE"); e != nullptr && *e)
     cfg.engine = e;
+  cfg.deadlineMs = envDouble("PARAD_SERVE_DEADLINE_MS", cfg.deadlineMs);
+  cfg.retryMax = envInt("PARAD_SERVE_RETRY", cfg.retryMax);
+  cfg.retryBackoffUs =
+      envDouble("PARAD_SERVE_RETRY_BACKOFF_US", cfg.retryBackoffUs);
+  cfg.ratePerSec = envDouble("PARAD_SERVE_RATE", cfg.ratePerSec);
+  cfg.rateBurst = envDouble("PARAD_SERVE_BURST", cfg.rateBurst);
+  cfg.maxInflight = envInt("PARAD_SERVE_INFLIGHT", cfg.maxInflight);
+  cfg.breakerThreshold = envInt("PARAD_SERVE_BREAKER", cfg.breakerThreshold);
+  cfg.breakerCooldownMs =
+      envDouble("PARAD_SERVE_BREAKER_COOLDOWN_MS", cfg.breakerCooldownMs);
+  cfg.registryCapacityBytes = static_cast<std::size_t>(
+      envDouble("PARAD_SERVE_CACHE_BYTES",
+                static_cast<double>(cfg.registryCapacityBytes)));
   return cfg;
 }
 
@@ -68,11 +152,13 @@ void fillCacheCounters(psim::RunStats& stats) {
   stats.programCacheHits = pc.hits();
   stats.programCacheMisses = pc.misses();
   stats.programCacheInvalidations = pc.invalidations();
+  stats.programCacheEvictions = pc.evictions();
   interp::CodegenCounters cg = interp::CodegenCache::global().counters();
   stats.codegenCompiles = cg.compiles;
   stats.codegenDiskHits = cg.diskHits;
   stats.codegenMemHits = cg.memHits;
   stats.codegenFallbacks = cg.fallbacks;
+  stats.codegenEvictions = cg.memEvictions + cg.diskEvictions;
 }
 
 // ---------------------------------------------------------------------------
@@ -89,15 +175,32 @@ struct GradientService::Impl {
     int threads = 1;
     std::uint64_t primalFp = 0;
     ir::Module mod;
-    std::mutex prepMu;           // serializes the one-time cold compile
+    std::mutex prepMu;           // serializes cold compile AND eviction
     std::atomic<bool> prepared{false};
     core::GradInfo gi;
     core::BatchInfo bi;
+    // Functions generateGradient/generateBatchedGradient added to `mod`
+    // beyond the tenant's own (written under prepMu); eviction erases
+    // exactly these so the tenant's primal IR survives to recompile against.
+    std::vector<std::string> generated;
+    std::size_t preparedBytes = 0;  // IR bytes accounted while prepared
+    // Registry-LRU state: jobs referencing this program right now (never
+    // evict a live program) and the last admission stamp (evict oldest).
+    std::atomic<int> inflight{0};
+    std::atomic<std::uint64_t> lastUsedNs{0};
+    // Circuit breaker (DESIGN.md §15): consecutive execution failures;
+    // openedAtNs != 0 means open since that stamp; probeInflight gates the
+    // single half-open probe job.
+    std::atomic<int> consecFailures{0};
+    std::atomic<std::uint64_t> openedAtNs{0};
+    std::atomic<bool> probeInflight{false};
   };
 
   struct Job {
     Request req;
     std::promise<Response> promise;
+    std::uint64_t deadlineNs = 0;  // absolute host deadline; 0 = none
+    bool probe = false;            // a half-open circuit-breaker probe
   };
 
   /// A flushed batch: same program, same engine — one VM run for the clean
@@ -129,8 +232,87 @@ struct GradientService::Impl {
   std::atomic<std::uint64_t> nBatches_{0}, batchedRequests_{0},
       maxBatchObserved_{0}, isolatedRuns_{0}, batchFallbacks_{0},
       coldCompiles_{0};
+  std::atomic<std::uint64_t> shedOverload_{0}, shedRate_{0}, shedInflight_{0},
+      deadlineExpired_{0}, retries_{0}, breakerOpens_{0},
+      breakerShortCircuits_{0}, breakerProbes_{0}, programEvictions_{0};
+  std::atomic<std::size_t> registryBytes_{0};
+  std::atomic<std::uint64_t> nextId_{0};
   std::mutex drainMu_;
   std::condition_variable drainCv_;
+
+  // ---- per-tenant admission state ----
+
+  struct Bucket {
+    double tokens = 0;
+    std::uint64_t lastNs = 0;
+  };
+  std::mutex tenantMu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::unordered_map<std::string, std::int64_t> inflightByTenant_;
+
+  /// Token-bucket admission: one token per request, refilled at ratePerSec
+  /// up to the burst. Returns false when the tenant's bucket is dry.
+  bool admitRate(const std::string& tenant, std::uint64_t now) {
+    double rate = svc_.cfg_.ratePerSec;
+    if (rate <= 0) return true;
+    double burst =
+        svc_.cfg_.rateBurst > 0 ? svc_.cfg_.rateBurst : std::max(1.0, rate);
+    std::lock_guard<std::mutex> lock(tenantMu_);
+    auto [it, fresh] = buckets_.try_emplace(tenant, Bucket{burst, now});
+    Bucket& b = it->second;
+    if (!fresh) {
+      b.tokens = std::min(
+          burst, b.tokens + rate * static_cast<double>(now - b.lastNs) * 1e-9);
+      b.lastNs = now;
+    }
+    if (b.tokens < 1.0) return false;
+    b.tokens -= 1.0;
+    return true;
+  }
+
+  // ---- deadline monitor ----
+  //
+  // One thread owning a multimap of (absolute deadline -> weak cancel flag).
+  // Workers arm a flag per deadline-carrying run; when the host clock passes
+  // a deadline the monitor sets the flag and the VM's cancel probe aborts
+  // the run with a structured Deadline report. Weak pointers keep a run that
+  // finished early from pinning its flag here.
+  std::mutex dlMu_;
+  std::condition_variable dlCv_;
+  std::multimap<std::uint64_t, std::weak_ptr<std::atomic<bool>>> dlArmed_;
+  bool dlStop_ = false;
+  std::thread dlThread_;
+
+  std::shared_ptr<std::atomic<bool>> armDeadline(std::uint64_t deadlineNs) {
+    auto flag = std::make_shared<std::atomic<bool>>(false);
+    {
+      std::lock_guard<std::mutex> lock(dlMu_);
+      dlArmed_.emplace(deadlineNs, flag);
+    }
+    dlCv_.notify_one();
+    return flag;
+  }
+
+  void deadlineLoop() {
+    std::unique_lock<std::mutex> lock(dlMu_);
+    while (!dlStop_) {
+      if (dlArmed_.empty()) {
+        dlCv_.wait(lock);
+        continue;
+      }
+      std::uint64_t now = nowNs();
+      std::uint64_t next = dlArmed_.begin()->first;
+      if (next > now) {
+        dlCv_.wait_for(lock, std::chrono::nanoseconds(next - now));
+        now = nowNs();
+      }
+      while (!dlArmed_.empty() && dlArmed_.begin()->first <= now) {
+        if (auto flag = dlArmed_.begin()->second.lock())
+          flag->store(true, std::memory_order_release);
+        dlArmed_.erase(dlArmed_.begin());
+      }
+    }
+  }
 
   // ---- admission helpers ----
 
@@ -149,28 +331,199 @@ struct GradientService::Impl {
     return std::string(interp::BackendRegistry::global().resolve(s).name());
   }
 
+  /// Deterministic footprint estimate of one IR function (instructions,
+  /// regions, operand lists): the unit of account for the registry byte cap.
+  static std::size_t regionBytes(const ir::Region& rg) {
+    std::size_t total = sizeof(ir::Region) + rg.args.size() * sizeof(int);
+    for (const ir::Inst& in : rg.insts) {
+      total += sizeof(ir::Inst) + in.operands.size() * sizeof(int) +
+               in.sym.size();
+      for (const ir::Region& sub : in.regions) total += regionBytes(sub);
+    }
+    return total;
+  }
+  static std::size_t irFunctionBytes(const ir::Function& fn) {
+    return sizeof(ir::Function) + fn.name.size() +
+           fn.paramTypes.size() * sizeof(ir::Type) +
+           fn.valueTypes.size() * sizeof(ir::Type) + regionBytes(fn.body);
+  }
+
   /// One-time gradient generation + batch-wrapper emission for a tenant
-  /// program (the cold path). Returns true when this call did the work.
+  /// program (the cold path, re-entered transparently after an eviction).
+  /// Returns true when this call did the work.
   bool ensurePrepared(Program& p) {
     if (p.prepared.load(std::memory_order_acquire)) return false;
     std::lock_guard<std::mutex> lock(p.prepMu);
     if (p.prepared.load(std::memory_order_relaxed)) return false;
+    std::vector<std::string> before;
+    for (const auto& kv : p.mod.functions) before.push_back(kv.first);
     core::GradConfig gc;
     gc.activeArg = {true, false};
     p.gi = core::generateGradient(p.mod, p.primal, gc);
     p.bi = core::generateBatchedGradient(p.mod, p.gi);
+    p.generated.clear();
+    std::size_t bytes = 0;
+    for (const auto& kv : p.mod.functions) {
+      if (std::find(before.begin(), before.end(), kv.first) != before.end())
+        continue;
+      p.generated.push_back(kv.first);
+      bytes += irFunctionBytes(kv.second);
+    }
+    p.preparedBytes = bytes;
+    registryBytes_.fetch_add(bytes, std::memory_order_relaxed);
     p.prepared.store(true, std::memory_order_release);
     coldCompiles_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
+  /// Registry LRU eviction: while the prepared-program bytes exceed the cap,
+  /// unprepare the least-recently-used idle program — erase its generated
+  /// gradient/batch functions (the tenant's own IR survives), drop its
+  /// lowered closures from the process-wide ProgramCache, and let the next
+  /// job recompile it transparently. Lock order: progMu_ alone to pick a
+  /// victim, then the victim's prepMu alone to evict (inflight jobs are
+  /// re-checked under prepMu, so a program is never mutated while a VM run
+  /// references its IR — a worker bumps inflight before ensurePrepared).
+  void sweepRegistry() {
+    std::size_t cap = svc_.cfg_.registryCapacityBytes;
+    if (cap == 0) return;
+    while (registryBytes_.load(std::memory_order_relaxed) > cap) {
+      Program* victim = nullptr;
+      std::uint64_t oldest = 0;
+      {
+        std::lock_guard<std::mutex> lock(progMu_);
+        for (const auto& up : programs_) {
+          Program& p = *up;
+          if (!p.prepared.load(std::memory_order_acquire)) continue;
+          if (p.inflight.load(std::memory_order_acquire) > 0) continue;
+          std::uint64_t used = p.lastUsedNs.load(std::memory_order_relaxed);
+          if (victim == nullptr || used < oldest) {
+            victim = &p;
+            oldest = used;
+          }
+        }
+      }
+      if (victim == nullptr) return;  // everything left is live; back off
+      std::lock_guard<std::mutex> lock(victim->prepMu);
+      if (!victim->prepared.load(std::memory_order_relaxed)) continue;
+      if (victim->inflight.load(std::memory_order_acquire) > 0) continue;
+      victim->prepared.store(false, std::memory_order_release);
+      for (const std::string& fn : victim->generated)
+        victim->mod.functions.erase(fn);
+      victim->generated.clear();
+      interp::ProgramCache::global().invalidateModule(&victim->mod);
+      registryBytes_.fetch_sub(victim->preparedBytes,
+                               std::memory_order_relaxed);
+      victim->preparedBytes = 0;
+      programEvictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // ---- circuit breaker ----
+
+  /// Failures that count toward quarantine: the job executed (or attempted
+  /// preparation) and died on a program-attributable fault — traps,
+  /// kill-budget exhaustion, watchdogs, deadlocks. Host-side outcomes
+  /// (deadline, overload, an already-open circuit) never poison the program.
+  static bool countsForBreaker(const Response& r) {
+    if (r.ok) return false;
+    if (r.failure == nullptr) return true;  // trap / preparation failure
+    using K = psim::FailureReport::Kind;
+    K k = r.failure->kind;
+    return k != K::Deadline && k != K::Overload && k != K::CircuitOpen;
+  }
+
+  void recordOutcome(Program& p, const Response& r, bool probe) {
+    if (svc_.cfg_.breakerThreshold <= 0) return;
+    bool failed = countsForBreaker(r);
+    if (probe) {
+      // Half-open verdict: a clean probe closes the circuit, a failed one
+      // re-opens it for another cooldown. A probe that died on a service-
+      // level outcome (deadline, shed) says nothing about program health —
+      // release the probe slot and leave the circuit as it was, so the next
+      // admission probes again.
+      bool inconclusive = !r.ok && !failed;
+      if (!inconclusive) {
+        if (failed) {
+          p.openedAtNs.store(nowNs(), std::memory_order_relaxed);
+        } else {
+          p.openedAtNs.store(0, std::memory_order_relaxed);
+          p.consecFailures.store(0, std::memory_order_relaxed);
+        }
+      }
+      p.probeInflight.store(false, std::memory_order_release);
+      return;
+    }
+    if (!failed) {
+      p.consecFailures.store(0, std::memory_order_relaxed);
+      return;
+    }
+    int c = p.consecFailures.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t expected = 0;
+    if (c >= svc_.cfg_.breakerThreshold &&
+        p.openedAtNs.compare_exchange_strong(expected, nowNs(),
+                                             std::memory_order_relaxed))
+      breakerOpens_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // ---- completion plumbing ----
+
+  static std::string tenantOf(const Request& req) {
+    return req.tenant.empty() ? req.program : req.tenant;
+  }
+
+  /// Builds the structured report for a service-level rejection (overload,
+  /// queued-deadline expiry, open circuit) with request attribution.
+  psim::FailureReport serviceReport(psim::FailureReport::Kind kind,
+                                    std::string detail, const Request& req) {
+    psim::FailureReport rep;
+    rep.kind = kind;
+    rep.detail = std::move(detail);
+    rep.requestId = req.id;
+    rep.tenant = tenantOf(req);
+    return rep;
+  }
+
+  Response rejectionResponse(psim::FailureReport::Kind kind,
+                             std::string detail, const Request& req) {
+    Response r;
+    r.ok = false;
+    auto rep = std::make_shared<psim::FailureReport>(
+        serviceReport(kind, std::move(detail), req));
+    r.error = rep->render();
+    r.failure = std::move(rep);
+    return r;
+  }
 
   void deliver(Job& job, Response&& r) {
     r.doneAtNs = nowNs();
+    r.requestId = job.req.id;
+    r.tenant = tenantOf(job.req);
+    r.stats.serveRetries = static_cast<std::uint64_t>(r.retries);
+    if (r.retries > 0)
+      retries_.fetch_add(static_cast<std::uint64_t>(r.retries),
+                         std::memory_order_relaxed);
+    if (r.failure != nullptr &&
+        r.failure->kind == psim::FailureReport::Kind::Deadline) {
+      r.stats.serveDeadlineHits = 1;
+      deadlineExpired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    r.stats.serveProgramEvictions =
+        programEvictions_.load(std::memory_order_relaxed);
     if (!r.ok) failed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(std::move(r));
+    std::string tenant = r.tenant;
+    // Count and free the tenant's inflight slot before resolving the future
+    // (like the reject paths do): a client that has harvested every future
+    // must observe completed == submitted, and one that re-submits right
+    // after get() must find its slot already released.
     completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(tenantMu_);
+      auto it = inflightByTenant_.find(tenant);
+      if (it != inflightByTenant_.end() && --it->second <= 0)
+        inflightByTenant_.erase(it);
+    }
+    job.promise.set_value(std::move(r));
     std::lock_guard<std::mutex> lock(drainMu_);
     drainCv_.notify_all();
   }
@@ -182,6 +535,11 @@ struct GradientService::Impl {
     deliver(job, std::move(r));
   }
 
+  void failJobStructured(Job& job, psim::FailureReport::Kind kind,
+                         std::string detail) {
+    deliver(job, rejectionResponse(kind, std::move(detail), job.req));
+  }
+
   // ---- execution ----
 
   psim::MachineConfig machineConfig() const {
@@ -191,17 +549,41 @@ struct GradientService::Impl {
     return mc;
   }
 
-  /// Runs one request on its own Machine through the plain gradient
-  /// function, with the request's fault plan (if any) armed on that VM only.
-  Response executeIsolated(Program& p, const Request& req,
-                           const std::string& engine) {
+  /// One execution attempt of one request on its own Machine through the
+  /// plain gradient function, with the request's fault plan (if any) armed
+  /// on that VM only. `attempt` offsets the fault seed — the retry policy's
+  /// "fresh hardware" model: a re-dispatched job draws a different fault
+  /// schedule, exactly as a real retry lands on a different node. A nonzero
+  /// `deadlineNs` arms a host-cancel flag so the run aborts with a
+  /// structured Deadline report when the host clock passes it mid-run.
+  Response executeAttempt(Program& p, const Request& req,
+                          const std::string& engine, int attempt,
+                          std::uint64_t deadlineNs) {
     Response r;
     r.isolated = true;
     r.engine = engine;
+    if (deadlineNs != 0 && nowNs() >= deadlineNs) {
+      r = rejectionResponse(
+          psim::FailureReport::Kind::Deadline,
+          "deadline expired before execution of program '" + req.program +
+              "'",
+          req);
+      r.isolated = true;
+      r.engine = engine;
+      fillCacheCounters(r.stats);
+      return r;
+    }
+    std::shared_ptr<std::atomic<bool>> cancel;
     try {
       psim::MachineConfig mc = machineConfig();
-      if (!req.faultSpec.empty())
+      if (!req.faultSpec.empty()) {
         mc.faults = psim::parseFaultSpec(req.faultSpec);
+        mc.faults.seed += static_cast<std::uint64_t>(attempt);
+      }
+      if (deadlineNs != 0) {
+        cancel = armDeadline(deadlineNs);
+        mc.cancel = cancel.get();
+      }
       psim::Machine m(mc);
       psim::RtPtr x = m.mem().alloc(ir::Type::F64, p.n, 0);
       psim::RtPtr dx = m.mem().alloc(ir::Type::F64, p.n, 0);
@@ -224,8 +606,11 @@ struct GradientService::Impl {
       r.ok = true;
     } catch (const psim::VmError& e) {
       r.gradient.clear();
-      r.error = e.what();
-      r.failure = std::make_shared<psim::FailureReport>(e.report());
+      auto rep = std::make_shared<psim::FailureReport>(e.report());
+      rep->requestId = req.id;
+      rep->tenant = tenantOf(req);
+      r.error = rep->render();
+      r.failure = std::move(rep);
     } catch (const Error& e) {
       r.gradient.clear();
       r.error = e.what();
@@ -235,33 +620,108 @@ struct GradientService::Impl {
     return r;
   }
 
+  /// True for failures the retry policy treats as transient: the virtual
+  /// hardware killed the run (rank crash past its recovery budget). Traps,
+  /// watchdogs and deadline expiry are job- or host-attributable and never
+  /// retried.
+  static bool isTransient(const Response& r) {
+    return !r.ok && r.failure != nullptr &&
+           r.failure->kind == psim::FailureReport::Kind::RankKilled;
+  }
+
+  /// Isolated execution with the per-job retry policy: up to `retryMax`
+  /// re-dispatches after transient failures, sleeping a deterministic
+  /// exponential backoff (base * 2^attempt) between attempts, never past the
+  /// job's deadline. The successful attempt's gradient is bit-identical to a
+  /// single-shot run — each attempt is a fresh Machine; only the fault seed
+  /// differs.
+  Response executeIsolated(Program& p, const Request& req,
+                           const std::string& engine,
+                           std::uint64_t deadlineNs) {
+    int budget = req.retryMax >= 0 ? req.retryMax : svc_.cfg_.retryMax;
+    Response r;
+    for (int attempt = 0;; ++attempt) {
+      r = executeAttempt(p, req, engine, attempt, deadlineNs);
+      r.retries = attempt;
+      if (r.ok || !isTransient(r) || attempt >= budget) return r;
+      double backoffUs =
+          svc_.cfg_.retryBackoffUs * static_cast<double>(1ull << attempt);
+      if (backoffUs > 0) {
+        std::uint64_t wake =
+            nowNs() + static_cast<std::uint64_t>(backoffUs * 1000.0);
+        if (deadlineNs != 0 && wake >= deadlineNs) return r;  // budget < time
+        std::uint64_t nw = nowNs();
+        if (wake > nw)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(wake - nw));
+      }
+    }
+  }
+
   /// Executes a flushed batch: clean requests as one batched VM run, fault-
   /// carrying requests each on their own VM. A failing batched run degrades
   /// to per-request isolated re-execution so one poisoned input cannot take
-  /// its batch-mates down with it.
+  /// its batch-mates down with it; a batch cancelled by its earliest
+  /// member's deadline degrades the same way, so only the expired jobs die
+  /// (with structured Deadline reports) and their batch-mates still succeed.
   void executeBatch(BatchWork&& bw) {
     Program& p = *bw.prog;
+    const std::size_t nJobs = bw.jobs.size();
     bool cold = false;
     try {
       cold = ensurePrepared(p);
     } catch (const Error& e) {
-      for (Job& j : bw.jobs)
-        failJob(j, std::string("serve: program preparation failed: ") +
-                       e.what());
+      for (Job& j : bw.jobs) {
+        Response r;
+        r.ok = false;
+        r.error = std::string("serve: program preparation failed: ") +
+                  e.what();
+        recordOutcome(p, r, j.probe);
+        deliver(j, std::move(r));
+      }
+      p.inflight.fetch_sub(static_cast<int>(nJobs),
+                           std::memory_order_release);
+      sweepRegistry();
       return;
     }
     const int batchSize = static_cast<int>(bw.jobs.size());
 
+    // Queued-deadline check: a job whose deadline passed while it sat in the
+    // pipeline is answered without a VM run (its batch-mates proceed).
     std::vector<Job*> clean, faulted;
-    for (Job& j : bw.jobs)
+    std::uint64_t now = nowNs();
+    for (Job& j : bw.jobs) {
+      if (j.deadlineNs != 0 && now >= j.deadlineNs) {
+        Response r = rejectionResponse(
+            psim::FailureReport::Kind::Deadline,
+            "deadline expired in queue for program '" + j.req.program + "'",
+            j.req);
+        recordOutcome(p, r, j.probe);  // no-op for Deadline, keeps one path
+        deliver(j, std::move(r));
+        continue;
+      }
       (j.req.faultSpec.empty() ? clean : faulted).push_back(&j);
+    }
 
     if (!clean.empty()) {
       const i64 B = static_cast<i64>(clean.size());
       bool batchedOk = false;
       std::vector<Response> results(clean.size());
+      // Arm the batch's cancel flag on the earliest member deadline; a
+      // cancelled batch falls back to per-job isolation below, where each
+      // job's own deadline decides its fate.
+      std::uint64_t minDeadline = 0;
+      for (Job* j : clean)
+        if (j->deadlineNs != 0 &&
+            (minDeadline == 0 || j->deadlineNs < minDeadline))
+          minDeadline = j->deadlineNs;
+      std::shared_ptr<std::atomic<bool>> cancel;
       try {
-        psim::Machine m(machineConfig());
+        psim::MachineConfig mc = machineConfig();
+        if (minDeadline != 0) {
+          cancel = armDeadline(minDeadline);
+          mc.cancel = cancel.get();
+        }
+        psim::Machine m(mc);
         psim::RtPtr xs = m.mem().alloc(ir::Type::F64, B * p.n, 0);
         psim::RtPtr dxs = m.mem().alloc(ir::Type::F64, B * p.n, 0);
         psim::RtPtr seeds = m.mem().alloc(ir::Type::F64, B, 0);
@@ -296,9 +756,10 @@ struct GradientService::Impl {
         }
         batchedOk = true;
       } catch (const Error&) {
-        // The batch VM died (e.g. an input-dependent trap). Fall back to
-        // per-request isolation below: the culprit fails alone with its own
-        // structured report, everyone else still gets a bit-exact result.
+        // The batch VM died (an input-dependent trap, or the deadline
+        // monitor cancelled the run). Fall back to per-request isolation
+        // below: the culprit fails alone with its own structured report,
+        // everyone else still gets a bit-exact result.
         batchFallbacks_.fetch_add(1, std::memory_order_relaxed);
       }
       if (batchedOk) {
@@ -316,23 +777,28 @@ struct GradientService::Impl {
           r.batchSize = batchSize;
           r.coldCompile = cold;
           r.engine = bw.engine;
+          recordOutcome(p, r, clean[i]->probe);
           deliver(*clean[i], std::move(r));
         }
       } else {
         for (Job* j : clean) {
-          Response r = executeIsolated(p, j->req, bw.engine);
+          Response r = executeIsolated(p, j->req, bw.engine, j->deadlineNs);
           r.batchSize = batchSize;
           r.coldCompile = cold;
+          recordOutcome(p, r, j->probe);
           deliver(*j, std::move(r));
         }
       }
     }
     for (Job* j : faulted) {
-      Response r = executeIsolated(p, j->req, bw.engine);
+      Response r = executeIsolated(p, j->req, bw.engine, j->deadlineNs);
       r.batchSize = batchSize;
       r.coldCompile = cold;
+      recordOutcome(p, r, j->probe);
       deliver(*j, std::move(r));
     }
+    p.inflight.fetch_sub(static_cast<int>(nJobs), std::memory_order_release);
+    sweepRegistry();
   }
 
   // ---- batcher ----
@@ -400,6 +866,43 @@ struct GradientService::Impl {
       failJob(job, e.what());
       return;
     }
+    // Queued-deadline expiry: answered here, at admission, without ever
+    // reaching a worker or a VM.
+    if (job.deadlineNs != 0 && nowNs() >= job.deadlineNs) {
+      failJobStructured(job, psim::FailureReport::Kind::Deadline,
+                        "deadline expired in queue for program '" +
+                            job.req.program + "'");
+      return;
+    }
+    // Circuit breaker: an open circuit short-circuits jobs here (no worker
+    // consumed). Once the cooldown passes, exactly one job is admitted as
+    // the half-open probe; its outcome closes or re-opens the circuit.
+    if (svc_.cfg_.breakerThreshold > 0) {
+      std::uint64_t opened = prog->openedAtNs.load(std::memory_order_relaxed);
+      if (opened != 0) {
+        std::uint64_t cooldownNs = static_cast<std::uint64_t>(
+            std::max(0.0, svc_.cfg_.breakerCooldownMs) * 1e6);
+        bool expected = false;
+        if (nowNs() >= opened + cooldownNs &&
+            prog->probeInflight.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          job.probe = true;
+          breakerProbes_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          breakerShortCircuits_.fetch_add(1, std::memory_order_relaxed);
+          failJobStructured(
+              job, psim::FailureReport::Kind::CircuitOpen,
+              "program '" + job.req.program + "' quarantined after " +
+                  std::to_string(prog->consecFailures.load(
+                      std::memory_order_relaxed)) +
+                  " consecutive failures (cooldown " +
+                  std::to_string(svc_.cfg_.breakerCooldownMs) + " ms)");
+          return;
+        }
+      }
+    }
+    prog->inflight.fetch_add(1, std::memory_order_acq_rel);
+    prog->lastUsedNs.store(nowNs(), std::memory_order_relaxed);
     std::pair<Program*, std::string> key{prog, engine};
     auto it = pending.find(key);
     if (it == pending.end()) {
@@ -427,6 +930,7 @@ GradientService::GradientService(ServeConfig cfg)
     : cfg_(cfg), impl_(std::make_unique<Impl>(*this)) {
   PARAD_CHECK(cfg_.workers >= 1, "serve: need at least one worker");
   PARAD_CHECK(cfg_.maxBatch >= 1, "serve: max batch must be >= 1");
+  impl_->dlThread_ = std::thread([this] { impl_->deadlineLoop(); });
   impl_->batcher_ = std::thread([this] { impl_->batcherLoop(); });
   for (int i = 0; i < cfg_.workers; ++i)
     impl_->workers_.emplace_back([this] { impl_->workerLoop(); });
@@ -437,6 +941,12 @@ GradientService::~GradientService() {
   impl_->batcher_.join();
   impl_->batches_.close();
   for (std::thread& w : impl_->workers_) w.join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->dlMu_);
+    impl_->dlStop_ = true;
+  }
+  impl_->dlCv_.notify_all();
+  impl_->dlThread_.join();
 }
 
 void GradientService::registerProgram(
@@ -480,21 +990,95 @@ void GradientService::registerProgram(
 }
 
 std::future<Response> GradientService::submit(Request req) {
+  Impl& im = *impl_;
+  std::uint64_t now = nowNs();
+  if (req.id == 0)
+    req.id = im.nextId_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string tenant = Impl::tenantOf(req);
+
+  // Answers a request rejected before it ever entered the queue: structured
+  // report, counters kept coherent with drain()'s submitted == completed
+  // invariant.
+  auto rejectNow = [&](psim::FailureReport::Kind kind,
+                       std::string detail) -> std::future<Response> {
+    std::promise<Response> p;
+    std::future<Response> f = p.get_future();
+    Response r = im.rejectionResponse(kind, std::move(detail), req);
+    r.doneAtNs = nowNs();
+    r.requestId = req.id;
+    r.tenant = tenant;
+    im.submitted_.fetch_add(1, std::memory_order_relaxed);
+    im.failed_.fetch_add(1, std::memory_order_relaxed);
+    im.completed_.fetch_add(1, std::memory_order_relaxed);
+    p.set_value(std::move(r));
+    std::lock_guard<std::mutex> lock(im.drainMu_);
+    im.drainCv_.notify_all();
+    return f;
+  };
+
+  // Per-tenant admission: token-bucket rate, then the inflight cap. Both
+  // shed immediately — a throttled tenant cannot stall anyone's producers.
+  if (!im.admitRate(tenant, now)) {
+    im.shedRate_.fetch_add(1, std::memory_order_relaxed);
+    return rejectNow(psim::FailureReport::Kind::Overload,
+                     "tenant '" + tenant + "' exceeded its rate limit (" +
+                         std::to_string(cfg_.ratePerSec) + " req/s)");
+  }
+  {
+    std::unique_lock<std::mutex> lock(im.tenantMu_);
+    std::int64_t& inflight = im.inflightByTenant_[tenant];
+    if (cfg_.maxInflight > 0 && inflight >= cfg_.maxInflight) {
+      lock.unlock();
+      im.shedInflight_.fetch_add(1, std::memory_order_relaxed);
+      return rejectNow(psim::FailureReport::Kind::Overload,
+                       "tenant '" + tenant + "' has " +
+                           std::to_string(cfg_.maxInflight) +
+                           " requests in flight (inflight cap)");
+    }
+    ++inflight;
+  }
+
+  std::uint64_t id = req.id;
   Impl::Job job;
+  double dl = req.deadlineMs != 0 ? req.deadlineMs : cfg_.deadlineMs;
+  job.deadlineNs = dl > 0 ? now + static_cast<std::uint64_t>(dl * 1e6) : 0;
   job.req = std::move(req);
   std::future<Response> fut = job.promise.get_future();
-  impl_->submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!impl_->requests_.push(std::move(job))) {
-    // Queue closed (service shutting down); the rejected job's promise died
-    // with it, so answer through a fresh one.
+  im.submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!im.requests_.tryPush(std::move(job))) {
+    // The moved-from job's promise died inside tryPush; answer through a
+    // fresh one. Undo the inflight charge — this request never runs.
+    {
+      std::lock_guard<std::mutex> lock(im.tenantMu_);
+      auto it = im.inflightByTenant_.find(tenant);
+      if (it != im.inflightByTenant_.end() && --it->second <= 0)
+        im.inflightByTenant_.erase(it);
+    }
     std::promise<Response> p;
     std::future<Response> f2 = p.get_future();
     Response r;
-    r.ok = false;
-    r.error = "serve: service is shutting down";
-    impl_->failed_.fetch_add(1, std::memory_order_relaxed);
-    impl_->completed_.fetch_add(1, std::memory_order_relaxed);
+    if (im.requests_.closed()) {
+      r.ok = false;
+      r.error = "serve: service is shutting down";
+    } else {
+      im.shedOverload_.fetch_add(1, std::memory_order_relaxed);
+      Request attributed;  // req was moved into the dead job; re-attribute
+      attributed.id = id;
+      attributed.tenant = tenant;
+      r = im.rejectionResponse(
+          psim::FailureReport::Kind::Overload,
+          "request queue full (capacity " +
+              std::to_string(cfg_.queueCapacity) + "), load shed",
+          attributed);
+    }
+    r.doneAtNs = nowNs();
+    r.requestId = id;
+    r.tenant = tenant;
+    im.failed_.fetch_add(1, std::memory_order_relaxed);
+    im.completed_.fetch_add(1, std::memory_order_relaxed);
     p.set_value(std::move(r));
+    std::lock_guard<std::mutex> lock(im.drainMu_);
+    im.drainCv_.notify_all();
     return f2;
   }
   return fut;
@@ -512,16 +1096,30 @@ Response GradientService::callDirect(const Request& req) {
     return r;
   }
   Response r;
+  // The reference path skips admission control (it is the oracle the
+  // admission-controlled path is measured against) but shares the retry and
+  // per-request deadline machinery, and pins the program against eviction
+  // for the duration of the run like any batched job.
+  prog->inflight.fetch_add(1, std::memory_order_acq_rel);
+  prog->lastUsedNs.store(nowNs(), std::memory_order_relaxed);
   try {
     bool cold = impl_->ensurePrepared(*prog);
     std::string engine = impl_->resolveEngine(req.engine);
-    r = impl_->executeIsolated(*prog, req, engine);
+    std::uint64_t deadlineNs =
+        req.deadlineMs > 0
+            ? nowNs() + static_cast<std::uint64_t>(req.deadlineMs * 1e6)
+            : 0;
+    r = impl_->executeIsolated(*prog, req, engine, deadlineNs);
     r.batchSize = 1;
     r.coldCompile = cold;
   } catch (const Error& e) {
     r.ok = false;
     r.error = e.what();
   }
+  prog->inflight.fetch_sub(1, std::memory_order_release);
+  impl_->sweepRegistry();
+  r.requestId = req.id;
+  r.tenant = Impl::tenantOf(req);
   r.doneAtNs = nowNs();
   return r;
 }
@@ -546,15 +1144,29 @@ ServiceStats GradientService::stats() const {
   s.isolatedRuns = impl_->isolatedRuns_.load(std::memory_order_relaxed);
   s.batchFallbacks = impl_->batchFallbacks_.load(std::memory_order_relaxed);
   s.coldCompiles = impl_->coldCompiles_.load(std::memory_order_relaxed);
+  s.shedOverload = impl_->shedOverload_.load(std::memory_order_relaxed);
+  s.shedRate = impl_->shedRate_.load(std::memory_order_relaxed);
+  s.shedInflight = impl_->shedInflight_.load(std::memory_order_relaxed);
+  s.deadlineExpired = impl_->deadlineExpired_.load(std::memory_order_relaxed);
+  s.retries = impl_->retries_.load(std::memory_order_relaxed);
+  s.breakerOpens = impl_->breakerOpens_.load(std::memory_order_relaxed);
+  s.breakerShortCircuits =
+      impl_->breakerShortCircuits_.load(std::memory_order_relaxed);
+  s.breakerProbes = impl_->breakerProbes_.load(std::memory_order_relaxed);
+  s.programEvictions =
+      impl_->programEvictions_.load(std::memory_order_relaxed);
+  s.registryBytes = impl_->registryBytes_.load(std::memory_order_relaxed);
   const auto& pc = interp::ProgramCache::global();
   s.programCacheHits = pc.hits();
   s.programCacheMisses = pc.misses();
   s.programCacheInvalidations = pc.invalidations();
+  s.programCacheEvictions = pc.evictions();
   interp::CodegenCounters cg = interp::CodegenCache::global().counters();
   s.codegenCompiles = cg.compiles;
   s.codegenDiskHits = cg.diskHits;
   s.codegenMemHits = cg.memHits;
   s.codegenFallbacks = cg.fallbacks;
+  s.codegenEvictions = cg.memEvictions + cg.diskEvictions;
   return s;
 }
 

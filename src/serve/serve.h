@@ -25,6 +25,19 @@
 // single-shot gradient() calls on every engine (requests operate on disjoint
 // memory slices and IR execution is exact); tests/test_serve.cpp enforces
 // this differentially.
+//
+// Robustness (DESIGN.md §15): jobs carry deadlines (expired-in-queue jobs
+// are rejected at admission without touching a worker; a batch whose
+// earliest deadline passes mid-run is cancelled through the VM's host-cancel
+// probe and answered with a structured Deadline report), transient rank-kill
+// failures are retried per job with deterministic exponential backoff and a
+// per-attempt fault-seed offset (the "fresh hardware" model — a retried
+// gradient is bit-identical to a single-shot run), tenants are admission-
+// controlled by token-bucket rate limits and inflight caps, a full request
+// queue sheds load with structured Overload rejections instead of blocking
+// producers, programs failing repeatedly are quarantined by a per-program
+// circuit breaker with half-open probes, and the prepared-program registry
+// is LRU-bounded by bytes (evicted tenants transparently recompile).
 #pragma once
 
 #include <cstdint>
@@ -45,9 +58,21 @@ namespace parad::serve {
 ///   PARAD_SERVE_THREADS       worker pool size
 ///   PARAD_SERVE_BATCH         max requests coalesced into one batch
 ///   PARAD_SERVE_MAX_DELAY_US  max host-time a request waits for batch-mates
-///   PARAD_SERVE_QUEUE         request-queue capacity (backpressure bound)
+///   PARAD_SERVE_QUEUE         request-queue capacity (shed bound)
 ///   PARAD_SERVE_ENGINE        default engine for requests that name none
 ///                             (falls back to PARAD_ENGINE)
+///   PARAD_SERVE_DEADLINE_MS   default per-job deadline (0 = none)
+///   PARAD_SERVE_RETRY         transient-failure retry budget per job
+///   PARAD_SERVE_RETRY_BACKOFF_US  base retry backoff (doubles per attempt)
+///   PARAD_SERVE_RATE          per-tenant admitted requests/second (0 = off)
+///   PARAD_SERVE_BURST         token-bucket burst (0 = max(1, rate))
+///   PARAD_SERVE_INFLIGHT      per-tenant unanswered-request cap (0 = off)
+///   PARAD_SERVE_BREAKER       consecutive failures that open the breaker
+///   PARAD_SERVE_BREAKER_COOLDOWN_MS  open -> half-open probe delay
+///   PARAD_SERVE_CACHE_BYTES   prepared-program registry byte cap (0 = off)
+/// fromEnv() validates strictly: malformed or negative values and unknown
+/// PARAD_SERVE_* names raise parad::Error (unknown names with a did-you-mean
+/// suggestion), so a typo cannot silently run with defaults.
 struct ServeConfig {
   int workers = 4;
   int maxBatch = 16;
@@ -59,6 +84,16 @@ struct ServeConfig {
   // VmError on its own Machine instead of wedging a worker forever.
   double watchdogVirtualNs = 0;
   std::uint64_t watchdogInsts = 0;
+  // Robustness knobs (DESIGN.md §15). All host-time values; 0 disables.
+  double deadlineMs = 0;           // default per-job deadline
+  int retryMax = 0;                // transient-failure retries per job
+  double retryBackoffUs = 50.0;    // base backoff; attempt k sleeps 2^k * base
+  double ratePerSec = 0;           // per-tenant token-bucket refill rate
+  double rateBurst = 0;            // bucket capacity; 0 = max(1, ratePerSec)
+  int maxInflight = 0;             // per-tenant admitted-but-unanswered cap
+  int breakerThreshold = 0;        // consecutive failures that open the breaker
+  double breakerCooldownMs = 100;  // open -> half-open probe delay
+  std::size_t registryCapacityBytes = 0;  // prepared tenant-program byte cap
 
   /// Reads the PARAD_SERVE_* knobs over the built-in defaults.
   static ServeConfig fromEnv();
@@ -72,6 +107,10 @@ struct Request {
   std::string engine;           // "" = service default; else registry spec
   std::string faultSpec;        // "" = clean; else a PARAD_FAULTS-style spec
                                 // injected into this job's isolated VM only
+  std::string tenant;           // admission-control key; "" = program name
+  std::uint64_t id = 0;         // request id for attribution; 0 = auto
+  double deadlineMs = 0;        // 0 = service default; < 0 = no deadline
+  int retryMax = -1;            // transient-retry budget; -1 = service default
 };
 
 /// One gradient result (or structured failure).
@@ -90,6 +129,9 @@ struct Response {
   bool coldCompile = false;  // this request triggered program preparation
   std::string engine;      // canonical backend that executed the job
   double virtualNs = 0;    // makespan of the executing VM run
+  std::uint64_t requestId = 0;  // the job's (possibly auto-assigned) id
+  std::string tenant;      // the admission-control key the job ran under
+  int retries = 0;         // execution attempts consumed beyond the first
   /// Per-batch run statistics (shared by all requests of the batch), with
   /// the process-wide cache counters snapshotted in (RunStats program
   /// cache / codegen fields).
@@ -111,15 +153,28 @@ struct ServiceStats {
   std::uint64_t isolatedRuns = 0;     // per-job VM executions
   std::uint64_t batchFallbacks = 0;   // batches degraded to isolated re-runs
   std::uint64_t coldCompiles = 0;     // tenant programs prepared on demand
+  // Robustness counters (DESIGN.md §15).
+  std::uint64_t shedOverload = 0;     // rejected: request queue full
+  std::uint64_t shedRate = 0;         // rejected: tenant token bucket dry
+  std::uint64_t shedInflight = 0;     // rejected: tenant inflight cap
+  std::uint64_t deadlineExpired = 0;  // jobs answered with a Deadline report
+  std::uint64_t retries = 0;          // transient re-execution attempts
+  std::uint64_t breakerOpens = 0;     // circuit transitions closed -> open
+  std::uint64_t breakerShortCircuits = 0;  // jobs rejected by an open circuit
+  std::uint64_t breakerProbes = 0;    // half-open probe jobs admitted
+  std::uint64_t programEvictions = 0; // prepared tenants evicted by byte cap
+  std::uint64_t registryBytes = 0;    // prepared tenant-program bytes held
   // Process-wide cache counter snapshot (sharded ProgramCache + codegen
   // artifact cache) at the time of the stats() call.
   std::uint64_t programCacheHits = 0;
   std::uint64_t programCacheMisses = 0;
   std::uint64_t programCacheInvalidations = 0;
+  std::uint64_t programCacheEvictions = 0;
   std::uint64_t codegenCompiles = 0;
   std::uint64_t codegenDiskHits = 0;
   std::uint64_t codegenMemHits = 0;
   std::uint64_t codegenFallbacks = 0;
+  std::uint64_t codegenEvictions = 0;  // artifact mem + disk LRU evictions
 };
 
 /// Snapshots the process-wide compile-cache counters into a RunStats record

@@ -454,6 +454,70 @@ TEST(Codegen, PassMutationRelowersAndRecompiles) {
   EXPECT_EQ(cache.counters().compiles, compiles + 1);
 }
 
+TEST(Codegen, MemoryCapEvictsLruArtifactsAndDiskStillServes) {
+  if (!hostCompilerAvailable()) GTEST_SKIP() << "no host compiler";
+  interp::CodegenConfig cfg;
+  cfg.memCapacityBytes = 1;  // far below one .so: keep only the newest
+  CodegenSandbox sandbox(cfg);
+  auto& cache = interp::CodegenCache::global();
+  ir::Module modA = arithModule(21.5);
+  ir::Module modB = arithModule(22.5);
+  double wantA = runWith(modA, "exec");
+  double wantB = runWith(modB, "exec");
+
+  auto c0 = cache.counters();
+  EXPECT_EQ(runWith(modA, "codegen"), wantA);
+  // Compiling B pushes A's artifact out of the in-process cache (the cap
+  // never evicts the entry being inserted, so B itself survives).
+  EXPECT_EQ(runWith(modB, "codegen"), wantB);
+  auto c1 = cache.counters();
+  EXPECT_EQ(c1.compiles, c0.compiles + 2);
+  EXPECT_GE(c1.memEvictions, c0.memEvictions + 1);
+
+  // A's shared object is still installed on disk: re-running A is a disk
+  // hit, not a recompile — eviction trades memory for dlopens, never
+  // correctness.
+  EXPECT_EQ(runWith(modA, "codegen"), wantA);
+  auto c2 = cache.counters();
+  EXPECT_EQ(c2.compiles, c1.compiles);
+  EXPECT_EQ(c2.diskHits, c1.diskHits + 1);
+  EXPECT_TRUE(std::filesystem::exists(artifactPath(modA)));
+
+  // B (the LRU now) was evicted in turn; its run also comes back from disk
+  // and stays bit-identical.
+  EXPECT_EQ(runWith(modB, "codegen"), wantB);
+  EXPECT_EQ(cache.counters().compiles, c2.compiles);
+}
+
+TEST(Codegen, DiskCapSweepsOldestArtifacts) {
+  if (!hostCompilerAvailable()) GTEST_SKIP() << "no host compiler";
+  interp::CodegenConfig cfg;
+  cfg.diskCapacityBytes = 1;  // every install sweeps all older artifacts
+  CodegenSandbox sandbox(cfg);
+  auto& cache = interp::CodegenCache::global();
+  ir::Module modA = arithModule(31.5);
+  ir::Module modB = arithModule(32.5);
+  double wantA = runWith(modA, "exec");
+  double wantB = runWith(modB, "exec");
+
+  auto c0 = cache.counters();
+  EXPECT_EQ(runWith(modA, "codegen"), wantA);
+  ASSERT_TRUE(std::filesystem::exists(artifactPath(modA)));
+  // Installing B sweeps A's .so (and its source/log siblings) from the cache
+  // directory; the freshly-installed artifact is never its own victim.
+  EXPECT_EQ(runWith(modB, "codegen"), wantB);
+  auto c1 = cache.counters();
+  EXPECT_GE(c1.diskEvictions, c0.diskEvictions + 1);
+  EXPECT_FALSE(std::filesystem::exists(artifactPath(modA)));
+  EXPECT_TRUE(std::filesystem::exists(artifactPath(modB)));
+
+  // A fresh process (simulated by clear()) finds A gone from memory and
+  // disk: the lookup recompiles and the value is still bit-identical.
+  cache.clear();
+  EXPECT_EQ(runWith(modA, "codegen"), wantA);
+  EXPECT_EQ(cache.counters().compiles, c1.compiles + 1);
+}
+
 TEST(Codegen, FallsBackToExecWithoutCompiler) {
   interp::CodegenConfig cfg;
   cfg.compiler = "/nonexistent/parad-no-such-compiler";

@@ -498,5 +498,626 @@ TEST(CacheConcurrency, HammerSharedAndDistinctFingerprints) {
   EXPECT_EQ(test::evalScalarFn(mod, "f", inputFor(0, 6)), want);
 }
 
+// ---------------------------------------------------------------------------
+// Robustness (DESIGN.md §15): strict knob parsing, deadlines, retries,
+// admission control / load shedding, circuit breaker, bounded registries.
+
+/// Sets one environment variable for the enclosing scope and restores the
+/// previous state on exit (gtest runs tests sequentially, so this cannot race
+/// another test's getenv).
+struct EnvVar {
+  std::string name;
+  std::string saved;
+  bool hadValue;
+  EnvVar(const std::string& n, const std::string& value) : name(n) {
+    const char* old = std::getenv(n.c_str());
+    hadValue = old != nullptr;
+    if (hadValue) saved = old;
+    ::setenv(n.c_str(), value.c_str(), 1);
+  }
+  ~EnvVar() {
+    if (hadValue)
+      ::setenv(name.c_str(), saved.c_str(), 1);
+    else
+      ::unsetenv(name.c_str());
+  }
+};
+
+std::string fromEnvError() {
+  try {
+    (void)serve::ServeConfig::fromEnv();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ServeConfigEnv, UnknownKnobFailsWithDidYouMean) {
+  EnvVar typo("PARAD_SERVE_DEDLINE_MS", "5");
+  std::string msg = fromEnvError();
+  EXPECT_NE(msg.find("serve: unknown environment knob "
+                     "'PARAD_SERVE_DEDLINE_MS'"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("did you mean 'PARAD_SERVE_DEADLINE_MS'?"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(ServeConfigEnv, UnknownKnobFarFromEverythingListsTheKnobs) {
+  EnvVar bogus("PARAD_SERVE_WIBBLE_WOBBLE", "1");
+  std::string msg = fromEnvError();
+  EXPECT_NE(msg.find("unknown environment knob 'PARAD_SERVE_WIBBLE_WOBBLE'"),
+            std::string::npos)
+      << msg;
+  // Too far from any real knob for a did-you-mean; the full list is shown.
+  EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("knobs: PARAD_SERVE_BATCH"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("PARAD_SERVE_THREADS"), std::string::npos) << msg;
+}
+
+TEST(ServeConfigEnv, MalformedAndNegativeValuesFailLoudly) {
+  {
+    EnvVar bad("PARAD_SERVE_DEADLINE_MS", "fast");
+    std::string msg = fromEnvError();
+    EXPECT_NE(msg.find("serve: malformed PARAD_SERVE_DEADLINE_MS='fast' "
+                       "(expected a number)"),
+              std::string::npos)
+        << msg;
+  }
+  {
+    EnvVar neg("PARAD_SERVE_RETRY", "-1");
+    std::string msg = fromEnvError();
+    EXPECT_NE(
+        msg.find("serve: PARAD_SERVE_RETRY must be non-negative, got '-1'"),
+        std::string::npos)
+        << msg;
+  }
+  {
+    EnvVar trail("PARAD_SERVE_RATE", "10x");
+    std::string msg = fromEnvError();
+    EXPECT_NE(msg.find("malformed PARAD_SERVE_RATE='10x'"), std::string::npos)
+        << msg;
+  }
+  // And a well-formed environment parses into the config verbatim.
+  {
+    EnvVar dl("PARAD_SERVE_DEADLINE_MS", "250");
+    EnvVar rt("PARAD_SERVE_RETRY", "3");
+    EnvVar rate("PARAD_SERVE_RATE", "100");
+    EnvVar brk("PARAD_SERVE_BREAKER", "5");
+    serve::ServeConfig cfg = serve::ServeConfig::fromEnv();
+    EXPECT_EQ(cfg.deadlineMs, 250.0);
+    EXPECT_EQ(cfg.retryMax, 3);
+    EXPECT_EQ(cfg.ratePerSec, 100.0);
+    EXPECT_EQ(cfg.breakerThreshold, 5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+
+TEST(ServeRobust, QueuedDeadlineExpiryIsStructuredAndSparesBatchMates) {
+  constexpr std::size_t kN = 5;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 2;
+  cfg.maxDelayUs = 5e6;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(1.5), "f", kN);
+
+  serve::Request doomed;
+  doomed.program = "poly";
+  doomed.inputs = inputFor(0, kN);
+  doomed.id = 4242;
+  doomed.tenant = "acme";
+  doomed.deadlineMs = 1e-6;  // 1ns: expired by the time admission sees it
+  serve::Request fine;
+  fine.program = "poly";
+  fine.inputs = inputFor(1, kN);
+  auto fd = svc.submit(doomed);
+  // Two live batch-mates: the doomed job is rejected at admission (it never
+  // joins a batch), so the pair below flushes on maxBatch, not max-delay.
+  auto ff = svc.submit(fine);
+  auto ff2 = svc.submit(fine);
+
+  serve::Response rd = fd.get();
+  EXPECT_FALSE(rd.ok);
+  ASSERT_NE(rd.failure, nullptr);
+  EXPECT_EQ(rd.failure->kind, psim::FailureReport::Kind::Deadline);
+  // No VM ever ran: the report renders as a service-level rejection and
+  // carries the request's attribution.
+  EXPECT_NE(rd.error.find("gradient service deadline"), std::string::npos)
+      << rd.error;
+  EXPECT_NE(rd.error.find("deadline expired in queue for program 'poly'"),
+            std::string::npos)
+      << rd.error;
+  EXPECT_NE(rd.error.find("request 4242, tenant 'acme'"), std::string::npos)
+      << rd.error;
+  EXPECT_EQ(rd.requestId, 4242u);
+  EXPECT_EQ(rd.tenant, "acme");
+  EXPECT_EQ(rd.stats.serveDeadlineHits, 1u);
+
+  serve::Response rf = ff.get();
+  ASSERT_TRUE(rf.ok) << rf.error;
+  ASSERT_TRUE(ff2.get().ok);
+  std::vector<double> want = oracleGrad(servable(1.5), inputFor(1, kN), 1.0);
+  for (std::size_t k = 0; k < kN; ++k) EXPECT_EQ(rf.gradient[k], want[k]);
+
+  serve::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.deadlineExpired, 1u);
+  EXPECT_EQ(st.failed, 1u);
+}
+
+TEST(ServeRobust, RequestOptsOutOfServiceDefaultDeadline) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.deadlineMs = 1e-6;  // service default: everything expires instantly...
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(2.0), "f", kN);
+
+  serve::Request doomed;
+  doomed.program = "poly";
+  doomed.inputs = inputFor(0, kN);
+  serve::Response rd = svc.call(doomed);
+  EXPECT_FALSE(rd.ok);
+  ASSERT_NE(rd.failure, nullptr);
+  EXPECT_EQ(rd.failure->kind, psim::FailureReport::Kind::Deadline);
+
+  serve::Request immortal;  // ...unless the request opts out explicitly.
+  immortal.program = "poly";
+  immortal.inputs = inputFor(0, kN);
+  immortal.deadlineMs = -1;
+  serve::Response ri = svc.call(immortal);
+  ASSERT_TRUE(ri.ok) << ri.error;
+  EXPECT_EQ(ri.stats.serveDeadlineHits, 0u);
+  EXPECT_GE(svc.stats().deadlineExpired, 1u);
+}
+
+TEST(ServeRobust, MidRunDeadlineCancelsJobWhileBatchMateSurvives) {
+  // A job big enough that its VM run takes far longer than the deadline:
+  // the host deadline monitor must cancel the batched run mid-flight, the
+  // expired job dies with a structured Deadline report, and its batch-mate
+  // is re-executed in isolation and still succeeds.
+  constexpr std::size_t kN = 1u << 18;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 2;
+  cfg.maxDelayUs = 5e6;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("heavy", servable(0.75), "f", static_cast<i64>(kN));
+
+  serve::Request doomed;
+  doomed.program = "heavy";
+  doomed.inputs = inputFor(0, kN);
+  doomed.deadlineMs = 10.0;
+  serve::Request fine;
+  fine.program = "heavy";
+  fine.inputs = inputFor(1, kN);
+  auto fd = svc.submit(doomed);
+  auto ff = svc.submit(fine);
+
+  serve::Response rd = fd.get();
+  EXPECT_FALSE(rd.ok);
+  ASSERT_NE(rd.failure, nullptr);
+  EXPECT_EQ(rd.failure->kind, psim::FailureReport::Kind::Deadline)
+      << rd.error;
+  EXPECT_EQ(rd.stats.serveDeadlineHits, 1u);
+
+  serve::Response rf = ff.get();
+  ASSERT_TRUE(rf.ok) << rf.error;
+  EXPECT_EQ(rf.gradient.size(), kN);
+
+  serve::ServiceStats st = svc.stats();
+  EXPECT_GE(st.deadlineExpired, 1u);
+  EXPECT_EQ(st.failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry of transient failures.
+
+/// True when a single attempt (no retries) under this fault seed dies with a
+/// RankKilled report — the probe the retry determinism test uses to pick a
+/// seed pair where attempt 0 fails and attempt 1 (seed+1) survives.
+bool attemptDies(serve::GradientService& svc, const std::string& engine,
+                 std::uint64_t seed, std::size_t kN) {
+  serve::Request req;
+  req.program = "poly";
+  req.inputs = inputFor(0, kN);
+  req.engine = engine;
+  req.faultSpec =
+      "seed=" + std::to_string(seed) + ",kill=0.45,killns=5,retry=0";
+  req.retryMax = 0;
+  serve::Response r = svc.callDirect(req);
+  if (r.ok) return false;
+  EXPECT_NE(r.failure, nullptr) << r.error;
+  return true;
+}
+
+TEST(ServeRobust, TransientFailureRetriedBitExactOnEveryEngine) {
+  constexpr std::size_t kN = 5;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(3.0), "f", kN);
+
+  for (const char* engine : {"exec", "tree", "codegen"}) {
+    SCOPED_TRACE(engine);
+    // Find a seed where the fault plan kills attempt 0 but spares attempt 1
+    // (the retry offsets the seed by the attempt index — "fresh hardware").
+    std::uint64_t seed = 0;
+    for (std::uint64_t s = 1; s < 256; ++s) {
+      if (attemptDies(svc, engine, s, kN) &&
+          !attemptDies(svc, engine, s + 1, kN)) {
+        seed = s;
+        break;
+      }
+    }
+    ASSERT_NE(seed, 0u) << "no kill/survive seed pair found";
+
+    // The clean single-shot oracle on the same engine.
+    serve::Request clean;
+    clean.program = "poly";
+    clean.inputs = inputFor(0, kN);
+    clean.engine = engine;
+    serve::Response want = svc.callDirect(clean);
+    ASSERT_TRUE(want.ok) << want.error;
+
+    serve::ServiceStats before = svc.stats();
+    serve::Request faulty = clean;
+    faulty.faultSpec =
+        "seed=" + std::to_string(seed) + ",kill=0.45,killns=5,retry=0";
+    faulty.retryMax = 1;
+    serve::Response r = svc.call(faulty);
+    ASSERT_TRUE(r.ok) << r.error;
+    // Exactly one retry was consumed, it is visible end to end, and the
+    // retried gradient is bit-identical to the clean single-shot run.
+    EXPECT_EQ(r.retries, 1);
+    EXPECT_EQ(r.stats.serveRetries, 1u);
+    EXPECT_EQ(svc.stats().retries, before.retries + 1);
+    EXPECT_EQ(r.primal, want.primal);
+    ASSERT_EQ(r.gradient.size(), kN);
+    for (std::size_t k = 0; k < kN; ++k)
+      EXPECT_EQ(r.gradient[k], want.gradient[k]) << "k=" << k;
+  }
+}
+
+TEST(ServeRobust, RetryBudgetExhaustedSurfacesTheLastFailure) {
+  constexpr std::size_t kN = 5;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.retryBackoffUs = 1.0;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(3.0), "f", kN);
+
+  serve::Request req;
+  req.program = "poly";
+  req.inputs = inputFor(0, kN);
+  req.faultSpec = "seed=3,kill=1,killns=5,retry=0";  // kill=1: every attempt
+  req.retryMax = 2;
+  serve::Response r = svc.call(req);
+  EXPECT_FALSE(r.ok);
+  ASSERT_NE(r.failure, nullptr);
+  EXPECT_EQ(r.failure->kind, psim::FailureReport::Kind::RankKilled);
+  EXPECT_EQ(r.retries, 2);  // the whole budget was spent
+  EXPECT_EQ(r.stats.serveRetries, 2u);
+  EXPECT_GE(svc.stats().retries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and load shedding.
+
+TEST(ServeRobust, RateLimitShedsPerTenant) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.ratePerSec = 1e-6;  // one-token bucket that effectively never refills
+  serve::GradientService svc(cfg);
+  svc.registerProgram("poly", servable(1.0), "f", kN);
+
+  serve::Request req;
+  req.program = "poly";
+  req.inputs = inputFor(0, kN);
+  serve::Response r1 = svc.call(req);
+  ASSERT_TRUE(r1.ok) << r1.error;  // spends tenant "poly"'s only token
+
+  serve::Response r2 = svc.call(req);
+  EXPECT_FALSE(r2.ok);
+  ASSERT_NE(r2.failure, nullptr);
+  EXPECT_EQ(r2.failure->kind, psim::FailureReport::Kind::Overload);
+  EXPECT_NE(r2.error.find("tenant 'poly' exceeded its rate limit"),
+            std::string::npos)
+      << r2.error;
+
+  // Buckets are per tenant: another tenant key on the same program passes.
+  serve::Request other = req;
+  other.tenant = "other-team";
+  serve::Response r3 = svc.call(other);
+  ASSERT_TRUE(r3.ok) << r3.error;
+  EXPECT_EQ(r3.tenant, "other-team");
+
+  EXPECT_EQ(svc.stats().shedRate, 1u);
+}
+
+TEST(ServeRobust, InflightCapShedsPerTenant) {
+  constexpr std::size_t kN = 1u << 14;  // slow enough to stay in flight
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.maxInflight = 1;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("heavy", servable(1.0), "f", static_cast<i64>(kN));
+
+  serve::Request req;
+  req.program = "heavy";
+  req.inputs = inputFor(0, kN);
+  auto f1 = svc.submit(req);  // occupies tenant "heavy"'s single slot
+
+  serve::Response r2 = svc.call(req);
+  EXPECT_FALSE(r2.ok);
+  ASSERT_NE(r2.failure, nullptr);
+  EXPECT_EQ(r2.failure->kind, psim::FailureReport::Kind::Overload);
+  EXPECT_NE(r2.error.find(
+                "tenant 'heavy' has 1 requests in flight (inflight cap)"),
+            std::string::npos)
+      << r2.error;
+
+  serve::Request other = req;
+  other.tenant = "vip";
+  auto f3 = svc.submit(other);  // distinct tenant: admitted
+
+  serve::Response r1 = f1.get();
+  ASSERT_TRUE(r1.ok) << r1.error;
+  serve::Response r3 = f3.get();
+  ASSERT_TRUE(r3.ok) << r3.error;
+  EXPECT_EQ(svc.stats().shedInflight, 1u);
+
+  // The slot freed when r1 completed: the tenant is admitted again.
+  serve::Response r4 = svc.call(req);
+  ASSERT_TRUE(r4.ok) << r4.error;
+}
+
+TEST(ServeRobust, FullQueueShedsOverloadInsteadOfBlocking) {
+  constexpr std::size_t kN = 1u << 14;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.queueCapacity = 1;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("heavy", servable(1.0), "f", static_cast<i64>(kN));
+
+  // Flood: the single worker is stuck preparing/running the first heavy
+  // batch, the batcher blocks handing off the next one, the 1-slot request
+  // queue fills, and the remaining submits must shed immediately (this loop
+  // finishing at all is the no-blocking assertion).
+  constexpr int kJobs = 16;
+  std::vector<std::future<serve::Response>> futs;
+  for (int j = 0; j < kJobs; ++j) {
+    serve::Request req;
+    req.program = "heavy";
+    req.inputs = inputFor(j, kN);
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futs) {
+    serve::Response r = f.get();
+    if (r.ok) {
+      ++ok;
+      continue;
+    }
+    ASSERT_NE(r.failure, nullptr) << r.error;
+    EXPECT_EQ(r.failure->kind, psim::FailureReport::Kind::Overload);
+    EXPECT_NE(r.error.find("request queue full (capacity 1), load shed"),
+              std::string::npos)
+        << r.error;
+    EXPECT_NE(r.requestId, 0u);  // attribution survives the shed path
+    ++shed;
+  }
+  EXPECT_EQ(ok + shed, kJobs);
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1);
+  serve::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.shedOverload, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kJobs));
+  svc.drain();  // the shed accounting kept the drain invariant intact
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+TEST(ServeRobust, CircuitBreakerQuarantinesThenRecoversViaHalfOpenProbe) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.breakerThreshold = 2;
+  cfg.breakerCooldownMs = 150;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("indexed", buildIndexed, "f", kN);
+
+  serve::Request poisoned;
+  poisoned.program = "indexed";
+  poisoned.inputs = {1e9, 0.5, 2.0, -1.5};  // x[0] indexes out of bounds
+  serve::Request good;
+  good.program = "indexed";
+  good.inputs = {1.0, 0.5, 2.0, -1.5};
+
+  // Two consecutive trap failures open the circuit.
+  EXPECT_FALSE(svc.call(poisoned).ok);
+  EXPECT_FALSE(svc.call(poisoned).ok);
+  serve::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.breakerOpens, 1u);
+  const std::uint64_t isolatedBefore = st.isolatedRuns;
+  const std::uint64_t batchesBefore = st.batches;
+
+  // While open (cooldown not yet passed) even good jobs short-circuit at
+  // admission — structurally, and without consuming a worker or a VM.
+  serve::Response r = svc.call(good);
+  EXPECT_FALSE(r.ok);
+  ASSERT_NE(r.failure, nullptr);
+  EXPECT_EQ(r.failure->kind, psim::FailureReport::Kind::CircuitOpen);
+  EXPECT_NE(r.error.find("gradient service circuit open"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find("program 'indexed' quarantined after 2 consecutive "
+                         "failures"),
+            std::string::npos)
+      << r.error;
+  st = svc.stats();
+  EXPECT_GE(st.breakerShortCircuits, 1u);
+  EXPECT_EQ(st.isolatedRuns, isolatedBefore);
+  EXPECT_EQ(st.batches, batchesBefore);
+
+  // After the cooldown one job is admitted as the half-open probe; its
+  // success closes the circuit and normal traffic resumes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  serve::Response probe = svc.call(good);
+  ASSERT_TRUE(probe.ok) << probe.error;
+  std::vector<double> want =
+      oracleGrad([](ir::Module& m) { buildIndexed(m); }, good.inputs, 1.0);
+  for (std::size_t k = 0; k < kN; ++k) EXPECT_EQ(probe.gradient[k], want[k]);
+  st = svc.stats();
+  EXPECT_EQ(st.breakerProbes, 1u);
+
+  serve::Response after = svc.call(good);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(svc.stats().breakerShortCircuits, st.breakerShortCircuits);
+}
+
+TEST(ServeRobust, FailedHalfOpenProbeReopensTheCircuit) {
+  constexpr std::size_t kN = 4;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.breakerThreshold = 1;  // a single failure opens the circuit
+  cfg.breakerCooldownMs = 50;
+  serve::GradientService svc(cfg);
+  svc.registerProgram("indexed", buildIndexed, "f", kN);
+
+  serve::Request poisoned;
+  poisoned.program = "indexed";
+  poisoned.inputs = {1e9, 0.5, 2.0, -1.5};
+  serve::Request good;
+  good.program = "indexed";
+  good.inputs = {1.0, 0.5, 2.0, -1.5};
+
+  EXPECT_FALSE(svc.call(poisoned).ok);
+  EXPECT_EQ(svc.stats().breakerOpens, 1u);
+
+  // The probe is itself poisoned: the circuit re-opens, and the next job
+  // short-circuits again instead of reaching a worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(svc.call(poisoned).ok);
+  EXPECT_EQ(svc.stats().breakerProbes, 1u);
+
+  serve::Response r = svc.call(good);
+  EXPECT_FALSE(r.ok);
+  ASSERT_NE(r.failure, nullptr);
+  EXPECT_EQ(r.failure->kind, psim::FailureReport::Kind::CircuitOpen);
+
+  // A clean probe after another cooldown still heals the program.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  serve::Response healed = svc.call(good);
+  ASSERT_TRUE(healed.ok) << healed.error;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded registries and caches.
+
+TEST(ServeRobust, RegistryEvictionRecompilesBitExact) {
+  constexpr std::size_t kN = 5;
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.maxBatch = 1;
+  cfg.registryCapacityBytes = 1;  // evict everything idle after each batch
+  serve::GradientService svc(cfg);
+  svc.registerProgram("a", servable(1.25), "f", kN);
+  svc.registerProgram("b", servable(2.75), "f", kN);
+
+  serve::Request ra;
+  ra.program = "a";
+  ra.inputs = inputFor(0, kN);
+  serve::Request rb;
+  rb.program = "b";
+  rb.inputs = inputFor(1, kN);
+
+  // callDirect() sweeps the registry before returning, so the evictions are
+  // observable synchronously (the batched path sweeps on the worker thread
+  // after the response is delivered).
+  serve::Response a1 = svc.callDirect(ra);
+  ASSERT_TRUE(a1.ok) << a1.error;
+  EXPECT_TRUE(a1.coldCompile);
+  serve::Response b1 = svc.callDirect(rb);
+  ASSERT_TRUE(b1.ok) << b1.error;
+
+  // Both programs were evicted once idle; the byte gauge is back under cap
+  // and the next call transparently recompiles — bit-identically.
+  serve::ServiceStats st = svc.stats();
+  EXPECT_GE(st.programEvictions, 2u);
+  EXPECT_EQ(st.registryBytes, 0u);
+
+  serve::Response a2 = svc.call(ra);
+  ASSERT_TRUE(a2.ok) << a2.error;
+  EXPECT_TRUE(a2.coldCompile);  // re-prepared from the tenant's primal IR
+  EXPECT_EQ(a2.primal, a1.primal);
+  ASSERT_EQ(a2.gradient.size(), kN);
+  for (std::size_t k = 0; k < kN; ++k)
+    EXPECT_EQ(a2.gradient[k], a1.gradient[k]) << "k=" << k;
+  // The eviction telemetry rides along in the response's RunStats snapshot.
+  EXPECT_GE(a2.stats.serveProgramEvictions, 2u);
+  EXPECT_GE(svc.stats().coldCompiles, 3u);
+
+  // An unbounded service never evicts (control).
+  serve::ServeConfig open;
+  open.workers = 1;
+  open.maxBatch = 1;
+  serve::GradientService svc2(open);
+  svc2.registerProgram("a", servable(1.25), "f", kN);
+  serve::Response c1 = svc2.call(ra);
+  ASSERT_TRUE(c1.ok) << c1.error;
+  serve::Response c2 = svc2.call(ra);
+  ASSERT_TRUE(c2.ok) << c2.error;
+  EXPECT_FALSE(c2.coldCompile);
+  EXPECT_EQ(svc2.stats().programEvictions, 0u);
+  EXPECT_GT(svc2.stats().registryBytes, 0u);
+}
+
+TEST(CacheEviction, ProgramCacheByteCapEvictsLeastRecentlyUsed) {
+  auto& cache = interp::ProgramCache::global();
+  const std::size_t savedCap = cache.capacityBytes();
+  const std::uint64_t e0 = cache.evictions();
+
+  // Address-stable modules (the cache keys by &module).
+  constexpr int kMods = 48;
+  std::deque<ir::Module> mods;
+  for (int k = 0; k < kMods; ++k) mods.push_back(hammerModule(500.0 + k));
+
+  // A cap far below one closure: each of the 16 shards keeps exactly its
+  // most recent entry (eviction never drops a shard's only closure, so a
+  // fresh insert always survives its own admission).
+  cache.setCapacityBytes(16);
+  for (auto& mod : mods) {
+    auto xm = cache.lookup(mod, mod.get("f"));
+    ASSERT_NE(xm, nullptr);
+    EXPECT_EQ(xm->programs[0].name, "f");
+  }
+  // 48 inserts into 16 shards holding one entry each: at least 32 evictions.
+  EXPECT_GE(cache.evictions() - e0, static_cast<std::uint64_t>(kMods - 16));
+
+  // An evicted closure relowers on demand and still executes correctly.
+  auto again = cache.lookup(mods[0], mods[0].get("f"));
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(test::evalScalarFn(mods[0], "f", inputFor(0, 6)),
+            test::evalScalarFn(mods[0], "f", inputFor(0, 6)));
+
+  // Restore the process-wide cache before the modules go out of scope.
+  for (auto& mod : mods) cache.invalidateModule(&mod);
+  cache.setCapacityBytes(savedCap);
+}
+
 }  // namespace
 }  // namespace parad
