@@ -7,8 +7,12 @@
 // amortizes with the interval (the sweep below), and a recovered rank crash
 // costs one rollback-and-replay while program values stay bit-exact.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "bench/bench_common.h"
 #include "src/interp/interp.h"
@@ -157,6 +161,81 @@ int main(int argc, char** argv) {
   json.num("ranks_killed", (double)rec.stats.ranksKilled);
   json.num("restores", (double)rec.stats.restores);
   json.num("virtual_slowdown", rec.makespan / off.makespan);
+
+  // Durable-checkpoint columns (DESIGN.md §16), opt-in via
+  // PARAD_BENCH_DURABLE=1 so the default JSON stays byte-identical: the
+  // host-side cost of publishing every epoch to disk (virtual time must not
+  // move — persistence happens outside the simulated machine), and the
+  // warm-resume payoff when a fresh machine re-seats from the newest on-disk
+  // epoch instead of replaying an interrupted run from zero.
+  if (const char* e = std::getenv("PARAD_BENCH_DURABLE"); e && *e && *e != '0') {
+    std::string tmpl = std::filesystem::temp_directory_path() /
+                       "parad_bench_ckpt_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* dir = ::mkdtemp(buf.data());
+    if (dir == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed for %s\n", tmpl.c_str());
+      return 1;
+    }
+    auto hostNs = [](auto fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      auto t1 = std::chrono::steady_clock::now();
+      return (double)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 t1 - t0)
+          .count();
+    };
+
+    psim::MachineConfig base = ckptConfig(2);
+    RingRun mem;
+    double memHostNs = hostNs([&] { mem = runRing(mod, base); });
+
+    psim::MachineConfig dur = base;
+    dur.ckptDir = std::string(dir) + "/write";
+    RingRun durRun;
+    double durHostNs = hostNs([&] { durRun = runRing(mod, dur); });
+    std::printf(
+        "durable:    makespan %12.1f vns  durable writes %llu  "
+        "host overhead %+.1f%%  (virtual time unchanged: %s)\n",
+        durRun.makespan, (unsigned long long)durRun.stats.durableWrites,
+        (durHostNs - memHostNs) / memHostNs * 100.0,
+        durRun.makespan == mem.makespan ? "yes" : "NO");
+    json.row("durable_write");
+    json.num("virtual_ns", durRun.makespan);
+    json.num("durable_writes", (double)durRun.stats.durableWrites);
+    json.num("host_overhead_frac", (durHostNs - memHostNs) / memHostNs);
+    json.num("virtual_ns_delta_vs_memory", durRun.makespan - mem.makespan);
+
+    // Interrupt a run mid-flight (kill past its retry budget) so its epochs
+    // stay on disk, then bring up a fresh machine over the same directory:
+    // it resumes from the newest epoch rather than recomputing from zero.
+    psim::MachineConfig crash = ckptConfig(2);
+    crash.ckptDir = std::string(dir) + "/restart";
+    crash.faults.killRate = 0.5;
+    crash.faults.killNs = off.makespan * 0.5;
+    crash.faults.retryBudget = 0;
+    try {
+      runRing(mod, crash);
+    } catch (const psim::VmError&) {
+      // expected: the interrupted "process" died with epochs on disk
+    }
+    psim::MachineConfig resume = ckptConfig(2);
+    resume.ckptDir = crash.ckptDir;
+    RingRun warm = runRing(mod, resume);
+    std::printf(
+        "restart:    makespan %12.1f vns  durable resumes %llu  "
+        "cold replay %12.1f vns\n",
+        warm.makespan, (unsigned long long)warm.stats.durableResumes,
+        mem.makespan);
+    json.row("durable_restart");
+    json.num("warm_resume_vns", warm.makespan);
+    json.num("cold_replay_vns", mem.makespan);
+    json.num("durable_resumes", (double)warm.stats.durableResumes);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
   json.write();
   return 0;
 }

@@ -20,6 +20,12 @@
 #                                      # several times queue capacity
 #   CODEGEN=1 ./scripts/check.sh       # whole suite under the codegen engine
 #                                      # + dispatch-throughput criterion check
+#   DURABLE=1 ./scripts/check.sh       # widened durable-checkpoint lane:
+#                                      # disk-fault chaos (iofail/torn/
+#                                      # iocorrupt x kill) + restart-resume
+#                                      # sweeps + durable columns of the
+#                                      # checkpoint bench. Composes with
+#                                      # SANITIZE=1 (runs in the ASan dir)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +101,20 @@ if [[ "${CODEGEN:-0}" == "1" ]]; then
   PARAD_CODEGEN_DIR="$BUILD_DIR/codegen-cache" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
   (cd "$BUILD_DIR" && PARAD_BENCH_CODEGEN=1 bench/micro_interp \
+    --benchmark_filter='^$')
+fi
+
+if [[ "${DURABLE:-0}" == "1" ]]; then
+  # Durable-checkpoint lane (DESIGN.md §16): the Durable.* suite with the
+  # widened chaos seed set — restart-resume on all three engines, the seeded
+  # disk-fault sweeps (write failures, torn installs, read bit-flips crossed
+  # with rank kills), the adversarial deserialize corpus (which the ASan
+  # composition memory-checks), and the serve warm-retry/restart tests. Then
+  # the checkpoint bench with its durable-write-overhead and
+  # warm-resume-vs-cold-replay columns enabled.
+  PARAD_CHAOS=1 "$BUILD_DIR"/tests/parad_tests \
+    --gtest_filter='Durable.*:Checkpoint.*'
+  (cd "$BUILD_DIR" && PARAD_BENCH_DURABLE=1 bench/micro_ckpt \
     --benchmark_filter='^$')
 fi
 

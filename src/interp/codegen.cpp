@@ -825,48 +825,19 @@ struct CodegenCache::Impl {
     }
   }
 
-  // Applies the disk byte cap after an install: removes oldest-modified
-  // artifacts (and their source/log siblings) until the directory's .so
-  // payload fits. `keep` is the just-installed artifact, never swept.
-  // Caller holds `mu`.
+  // Applies the disk byte cap after an install via the shared hardened
+  // sweep (io::sweepDirectory, the same oldest-first byte-capped retention
+  // the durable checkpoint store uses): removes oldest-modified artifacts
+  // (and their source/log siblings) until the directory's .so payload fits.
+  // `keep` is the just-installed artifact, never swept. Caller holds `mu`.
   void sweepDisk(const std::string& dir, const std::string& keep) {
-    std::size_t cap = diskCap();
-    if (cap == 0) return;
-    struct F {
-      std::string path;
-      std::size_t bytes;
-      double mtime;
-    };
-    std::vector<F> files;
-    std::size_t total = 0;
-    DIR* d = ::opendir(dir.c_str());
-    if (d == nullptr) return;
-    while (dirent* e = ::readdir(d)) {
-      std::string name = e->d_name;
-      if (name.rfind("parad_cg_", 0) != 0) continue;
-      if (name.size() < 3 || name.compare(name.size() - 3, 3, ".so") != 0)
-        continue;
-      std::string path = dir + "/" + name;
-      struct stat st{};
-      if (::stat(path.c_str(), &st) != 0) continue;
-      total += static_cast<std::size_t>(st.st_size);
-      files.push_back({path, static_cast<std::size_t>(st.st_size),
-                       static_cast<double>(st.st_mtime)});
-    }
-    ::closedir(d);
-    std::sort(files.begin(), files.end(), [](const F& a, const F& b) {
-      return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
-    });
-    for (const F& f : files) {
-      if (total <= cap) break;
-      if (f.path == keep) continue;
-      ::remove(f.path.c_str());
-      std::string base = f.path.substr(0, f.path.size() - 3);
-      ::remove((base + ".cpp").c_str());
-      ::remove((base + ".log").c_str());
-      total -= f.bytes;
-      ++counters.diskEvictions;
-    }
+    io::SweepSpec spec;
+    spec.prefix = "parad_cg_";
+    spec.suffix = ".so";
+    spec.capacityBytes = diskCap();
+    spec.siblingExts = {".cpp", ".log"};
+    counters.diskEvictions += static_cast<std::uint64_t>(
+        io::sweepDirectory(dir, spec, keep));
   }
 };
 
@@ -884,20 +855,7 @@ namespace {
 
 std::string shellQuote(const std::string& s) { return "'" + s + "'"; }
 
-bool makeDirs(const std::string& path) {
-  std::string cur;
-  for (std::size_t i = 0; i < path.size(); ++i) {
-    cur += path[i];
-    if (path[i] == '/' || i + 1 == path.size()) {
-      if (cur == "/" || cur.empty()) continue;
-      std::string d = cur;
-      while (!d.empty() && d.back() == '/') d.pop_back();
-      if (d.empty()) continue;
-      if (::mkdir(d.c_str(), 0700) != 0 && errno != EEXIST) return false;
-    }
-  }
-  return true;
-}
+bool makeDirs(const std::string& path) { return io::makeDirs(path); }
 
 std::string resolveCacheDir(const CodegenConfig& cfg) {
   if (!cfg.cacheDir.empty()) return cfg.cacheDir;
@@ -1036,18 +994,26 @@ std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
     return nullptr;
   }
 
+  // All disk writes below go through the shared hardened primitives
+  // (src/io/store.h): unique temp + flush + fsync + rename, with the
+  // config's seeded IO-fault plan armed — an injected (or real) failure or
+  // torn install degrades to the exec engine exactly like a missing
+  // compiler, and a torn artifact is discarded by tryOpen's validation on
+  // the next lookup.
+  io::IoFaultPlan ioFaults(im.cfg.ioFaults);
   std::string srcPath = base + ".cpp";
   {
-    std::ofstream src(srcPath, std::ios::trunc);
-    if (!src) {
+    std::string source = SourceEmitter(xm).emit(fp);
+    std::string werr;
+    if (!io::atomicWriteFile(srcPath, source.data(), source.size(),
+                             &ioFaults, fp ^ 0x737263ull /*"src"*/, &werr)) {
       ++im.counters.fallbacks;
       im.failed.insert(fp);
       im.remarks.emit(core::RemarkKind::Backend,
-                      "codegen: cannot write " + srcPath +
-                          ": falling back to exec engine for " + entry);
+                      "codegen: cannot write " + srcPath + " (" + werr +
+                          "): falling back to exec engine for " + entry);
       return nullptr;
     }
-    src << SourceEmitter(xm).emit(fp);
   }
   // Unique temp output + atomic rename: concurrent processes compiling the
   // same fingerprint race benignly (last rename wins, both objects
@@ -1076,13 +1042,13 @@ std::shared_ptr<const CodegenArtifact> CodegenCache::lookup(
                         ": falling back to exec engine");
     return nullptr;
   }
-  if (::rename(tmpPath.c_str(), soPath.c_str()) != 0) {
-    ::remove(tmpPath.c_str());
+  std::string ierr;
+  if (!io::installFile(tmpPath, soPath, &ioFaults, fp, &ierr)) {
     ++im.counters.fallbacks;
     im.failed.insert(fp);
     im.remarks.emit(core::RemarkKind::Backend,
-                    "codegen: cannot install artifact for " + entry +
-                        ": falling back to exec engine");
+                    "codegen: cannot install artifact for " + entry + " (" +
+                        ierr + "): falling back to exec engine");
     return nullptr;
   }
   ++im.counters.compiles;

@@ -35,6 +35,7 @@
 
 #include "src/core/remarks.h"
 #include "src/interp/lower.h"
+#include "src/io/store.h"
 
 namespace parad::interp {
 
@@ -56,6 +57,12 @@ struct CodegenConfig {
   // install. Evicted artifacts reload from disk or recompile transparently.
   std::size_t memCapacityBytes = 0;
   std::size_t diskCapacityBytes = 0;
+  // Seeded disk-fault injection for the artifact install path (tests): an
+  // injected failure or torn install is tolerated exactly like a real one —
+  // remark + graceful exec fallback, recompile on the next lookup. The
+  // write/validate/sweep machinery is shared with the durable checkpoint
+  // store (src/io/store.h, DESIGN.md §16).
+  io::IoFaultConfig ioFaults;
 };
 
 struct CodegenCounters {

@@ -1,5 +1,9 @@
 #include "src/psim/checkpoint.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <type_traits>
 #include <utility>
@@ -42,12 +46,43 @@ struct Reader {
     std::memcpy(&v, &bits, 8);
     return v;
   }
+  /// An element count about to size a container. Adversarial bytes can
+  /// claim astronomically large counts; bounding each against the bytes
+  /// actually remaining (at `elemBytes` serialized bytes per element) turns
+  /// a would-be giant allocation into a structured truncation error before
+  /// any resize happens.
+  std::size_t len(std::size_t elemBytes) {
+    std::uint64_t n = u64();
+    PARAD_CHECK(n <= (buf.size() - pos) / elemBytes,
+                "checkpoint deserialize: truncated (count ", n,
+                " exceeds the remaining ", buf.size() - pos, " bytes)");
+    return static_cast<std::size_t>(n);
+  }
 };
 
 constexpr std::uint64_t kMagic = 0x70636b7074763132ull;  // "pckptv12"
 
 std::uint64_t objPayloadBytes(const ObjImage& o) {
   return o.freed ? 0 : static_cast<std::uint64_t>(o.count) * 8u;
+}
+
+/// Zero-padded epoch record name, so lexicographic order == epoch order and
+/// the store's oldest-first sweep retires epochs in capture order.
+std::string epochName(int epoch) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "epoch_%08d", epoch);
+  return buf;
+}
+
+/// Parses an "epoch_%08d" record name back to its epoch, or -1.
+int epochOf(const std::string& name) {
+  if (name.rfind("epoch_", 0) != 0) return -1;
+  int epoch = 0;
+  for (std::size_t k = 6; k < name.size(); ++k) {
+    if (name[k] < '0' || name[k] > '9') return -1;
+    epoch = epoch * 10 + (name[k] - '0');
+  }
+  return name.size() > 6 ? epoch : -1;
 }
 
 }  // namespace
@@ -126,6 +161,130 @@ void CheckpointManager::onBoundary(double& releaseTime) {
   cp.epoch = nextEpoch_++;
   log_.push_back({cp.epoch, b, cp.payloadBytes, cp.cacheBytes});
   latest_ = std::move(cp);
+  publishDurable();
+}
+
+void CheckpointManager::publishDurable() {
+  if (!store_) return;
+  stats_.durableWrites++;
+  std::vector<std::uint8_t> bytes = serialize(latest_);
+  std::string name = epochName(latest_.epoch);
+  std::string err;
+  if (!store_->put(name, bytes, &err)) {
+    // A failed publish never fails the run: the in-memory checkpoint still
+    // recovers kills within this run; only cross-process resume degrades
+    // (to the previous durable epoch, or a cold start).
+    stats_.durableWriteFails++;
+    remarks_.push_back("durable: epoch " + std::to_string(latest_.epoch) +
+                       " not published: " + err +
+                       " (in-memory recovery unaffected)");
+    return;
+  }
+  int swept = store_->sweep(name);
+  if (swept > 0)
+    remarks_.push_back("durable: retention sweep removed " +
+                       std::to_string(swept) + " old epoch record(s)");
+}
+
+double CheckpointManager::openDurable(int nranks) {
+  PARAD_CHECK(!cfg_.ckptDir.empty(), "openDurable without a ckpt_dir");
+  // The program fingerprint hashes what a resume must agree on: the rank
+  // count and the run-start image — object shapes, roles, AND input values
+  // (a same-shaped but different job must cold-start, not resume into a
+  // foreign snapshot). Fault seeds are deliberately excluded: a serve warm
+  // retry re-runs the same job under an offset seed and must still match.
+  std::uint64_t fp = io::fnv1a(&nranks, sizeof nranks);
+  std::uint64_t nobj = base_.objects.size();
+  fp = io::fnv1a(&nobj, sizeof nobj, fp);
+  for (const ObjImage& o : base_.objects) {
+    std::uint64_t hdr[3] = {static_cast<std::uint64_t>(o.elem),
+                            static_cast<std::uint64_t>(o.count),
+                            (o.freed ? 1u : 0u) | (o.isCache ? 2u : 0u) |
+                                (o.isShadow ? 4u : 0u)};
+    fp = io::fnv1a(hdr, sizeof hdr, fp);
+    fp = io::fnv1a(o.f.data(), o.f.size() * sizeof(double), fp);
+    fp = io::fnv1a(o.i.data(), o.i.size() * sizeof(i64), fp);
+    for (const RtPtr& ptr : o.p) {
+      // Field-by-field: RtPtr has interior padding whose bytes are
+      // indeterminate, and the fingerprint must be a pure function of state.
+      std::int64_t pv[2] = {ptr.obj, ptr.off};
+      fp = io::fnv1a(pv, sizeof pv, fp);
+    }
+  }
+  programFp_ = fp;
+
+  io::StoreConfig sc;
+  sc.dir = cfg_.ckptDir;
+  sc.prefix = "parad_ckpt_";
+  sc.kind = kMagic;
+  sc.fingerprint = programFp_;
+  if (const char* e = std::getenv("PARAD_CKPT_DISK_BYTES");
+      e != nullptr && *e)
+    sc.capacityBytes = std::strtoull(e, nullptr, 10);
+  sc.faults.enabled = cfg_.enabled && (cfg_.ioFailRate > 0 ||
+                                       cfg_.tornRate > 0 ||
+                                       cfg_.ioCorruptRate > 0);
+  sc.faults.seed = cfg_.seed;
+  sc.faults.failRate = cfg_.ioFailRate;
+  sc.faults.tornRate = cfg_.tornRate;
+  sc.faults.corruptRate = cfg_.ioCorruptRate;
+  store_ = std::make_unique<io::DurableStore>(std::move(sc));
+
+  // Resume from the newest epoch that survives BOTH the store's validation
+  // (magic/version/kind/fingerprint/checksum — catches torn, bit-flipped,
+  // and stale records) and checkpoint deserialization (catches adversarial
+  // or version-skewed payloads). Anything damaged is skipped with a remark
+  // and the next-older epoch is tried; with none left the run cold-starts.
+  std::vector<std::string> names = store_->list();
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) { return a > b; });
+  for (const std::string& name : names) {
+    if (epochOf(name) < 0) continue;
+    std::vector<std::uint8_t> bytes;
+    std::string err;
+    if (!store_->get(name, &bytes, &err)) {
+      remarks_.push_back("durable: skipping epoch record '" + name +
+                         "': " + err);
+      continue;
+    }
+    Checkpoint cp;
+    try {
+      cp = deserialize(bytes);
+    } catch (const Error& e) {
+      remarks_.push_back("durable: skipping epoch record '" + name +
+                         "': " + e.what());
+      continue;
+    }
+    if (cp.epoch < 0) {
+      remarks_.push_back("durable: skipping epoch record '" + name +
+                         "': negative epoch");
+      continue;
+    }
+    latest_ = std::move(cp);
+    nextEpoch_ = latest_.epoch + 1;
+    // Re-seat through the existing replay-and-seek machinery, priced like a
+    // restore: replay from zero, apply the snapshot at its boundary, resume
+    // the clocks past the modeled restore cost. The event is attributed in
+    // the trail with killedRank -1 (no rank died — the *process* did).
+    double resume =
+        latest_.releaseClock + cost_.ckptRestoreBase +
+        cost_.ckptRestorePerByte * static_cast<double>(latest_.payloadBytes);
+    seeking_ = true;
+    seekTarget_ = latest_.boundary;
+    seekResumeClock_ = resume;
+    stats_.restores++;
+    stats_.durableResumes++;
+    trail_.push_back(RestoreEvent{/*killedRank=*/-1, latest_.epoch,
+                                  /*killClock=*/0.0, resume,
+                                  /*elastic=*/false});
+    remarks_.push_back("durable: resuming from epoch " +
+                       std::to_string(latest_.epoch) + " (boundary " +
+                       std::to_string(latest_.boundary) + ")");
+    return resume;
+  }
+  remarks_.push_back("durable: no valid epoch record in '" + cfg_.ckptDir +
+                     "'; cold start");
+  return -1.0;
 }
 
 void CheckpointManager::applyMemory(const Checkpoint& cp) {
@@ -163,6 +322,10 @@ void CheckpointManager::applyStats(const RunStats& snap) {
   stats_.ranksKilled = keep.ranksKilled;
   stats_.ckptBytes = keep.ckptBytes;
   stats_.elasticMigrations = keep.elasticMigrations;
+  stats_.durableWrites = keep.durableWrites;
+  stats_.durableWriteFails = keep.durableWriteFails;
+  stats_.durableResumes = keep.durableResumes;
+  stats_.serveWarmResumes = keep.serveWarmResumes;
 }
 
 void CheckpointManager::apply(const Checkpoint& cp) {
@@ -286,26 +449,35 @@ Checkpoint CheckpointManager::deserialize(
               "checkpoint deserialize: truncated stats");
   std::memcpy(&cp.stats, bytes.data() + r.pos, sizeof(RunStats));
   r.pos += sizeof(RunStats);
-  std::uint64_t nobj = r.u64();
+  // Every count below is bounds-checked against the remaining bytes (each
+  // object needs at least its 8 fixed fields; f/i/p/atomic elements occupy
+  // 8/8/16/32 serialized bytes) so adversarial counts raise parad::Error
+  // instead of driving a huge resize — the mutation-corpus test in
+  // tests/test_durable.cpp exercises exactly this surface under ASan.
+  std::size_t nobj = r.len(8 * 8);
   cp.objects.resize(nobj);
   for (ObjImage& o : cp.objects) {
-    o.elem = static_cast<ir::Type>(r.i64v());
+    std::int64_t elem = r.i64v();
+    PARAD_CHECK(elem >= 0 && elem <= static_cast<std::int64_t>(ir::Type::Task),
+                "checkpoint deserialize: bad element type ", elem);
+    o.elem = static_cast<ir::Type>(elem);
     o.count = r.i64v();
+    PARAD_CHECK(o.count >= 0, "checkpoint deserialize: negative object count");
     o.homeSocket = static_cast<int>(r.i64v());
     std::uint64_t flags = r.u64();
     o.freed = (flags & 1) != 0;
     o.isCache = (flags & 2) != 0;
     o.isShadow = (flags & 4) != 0;
-    o.f.resize(r.u64());
+    o.f.resize(r.len(8));
     for (double& v : o.f) v = r.f64();
-    o.i.resize(r.u64());
+    o.i.resize(r.len(8));
     for (i64& v : o.i) v = r.i64v();
-    o.p.resize(r.u64());
+    o.p.resize(r.len(16));
     for (RtPtr& v : o.p) {
       v.obj = static_cast<std::int32_t>(r.i64v());
       v.off = r.i64v();
     }
-    o.atomicLines.resize(r.u64());
+    o.atomicLines.resize(r.len(32));
     for (MemObject::AtomicLine& l : o.atomicLines) {
       l.lastCore = static_cast<int>(r.i64v());
       l.hot = r.u64() != 0;
@@ -313,15 +485,15 @@ Checkpoint CheckpointManager::deserialize(
       l.transitions = static_cast<int>(r.i64v());
     }
   }
-  std::uint64_t nsend = r.u64();
-  for (std::uint64_t k = 0; k < nsend; ++k) {
+  std::size_t nsend = r.len(32);
+  for (std::size_t k = 0; k < nsend; ++k) {
     int peer = static_cast<int>(r.i64v());
     int tag = static_cast<int>(r.i64v());
     int dest = static_cast<int>(r.i64v());
     cp.sendSeq[{{peer, tag}, dest}] = r.u64();
   }
-  std::uint64_t nrecv = r.u64();
-  for (std::uint64_t k = 0; k < nrecv; ++k) {
+  std::size_t nrecv = r.len(32);
+  for (std::size_t k = 0; k < nrecv; ++k) {
     int dst = static_cast<int>(r.i64v());
     int src = static_cast<int>(r.i64v());
     int tag = static_cast<int>(r.i64v());

@@ -23,8 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "src/io/store.h"
 #include "src/psim/fabric.h"
 #include "src/psim/failure.h"
 #include "src/psim/faults.h"
@@ -130,6 +133,26 @@ class CheckpointManager {
   double planRecovery(const RankKillSignal& kill, bool elastic = false,
                       int nranks = 1);
 
+  /// Durable mode (DESIGN.md §16), armed when cfg_.ckptDir is non-empty.
+  /// Opens the io::DurableStore over the directory (record fingerprint =
+  /// programFingerprint(), a content hash of the run-start image and rank
+  /// count, so epochs of a different job are detected as stale), then seeds
+  /// `latest_` from the newest epoch that survives validation AND
+  /// deserialization — corrupt, torn, version-skewed, or stale files are
+  /// skipped with a remark and the next-older epoch is tried; with none
+  /// valid the run cold-starts. A successful seed arms the replay-and-seek
+  /// machinery exactly like planRecovery (the resume is recorded in the
+  /// trail with killedRank -1 and counted in stats.durableResumes as well
+  /// as stats.restores) and returns the resume clock; returns a negative
+  /// value on a cold start. Call after captureBaseImage.
+  double openDurable(int nranks);
+  bool durable() const { return store_ != nullptr; }
+  const io::DurableStore* store() const { return store_.get(); }
+  std::uint64_t programFingerprint() const { return programFp_; }
+  /// Structured human-readable remarks from the durable path (skipped
+  /// epochs with reasons, failed publishes, the resume decision).
+  const std::vector<std::string>& remarks() const { return remarks_; }
+
   /// Per-capture summary, for tests and the checkpoint bench.
   struct CaptureLog {
     int epoch = 0;
@@ -152,6 +175,7 @@ class CheckpointManager {
   void applyMemory(const Checkpoint& cp);
   void applyStats(const RunStats& snap);
   void apply(const Checkpoint& cp);
+  void publishDurable();
 
   FaultConfig cfg_;
   CostModel cost_;
@@ -168,6 +192,9 @@ class CheckpointManager {
   double seekResumeClock_ = 0;
   std::vector<RestoreEvent> trail_;
   std::vector<CaptureLog> log_;
+  std::unique_ptr<io::DurableStore> store_;
+  std::uint64_t programFp_ = 0;
+  std::vector<std::string> remarks_;
 };
 
 }  // namespace parad::psim

@@ -39,6 +39,7 @@ constexpr const char* kKeys[] = {
     "seed",     "drop",   "dup",    "delay",         "delayns",
     "allocfail", "straggle", "factor", "rto",         "maxretry",
     "kill",     "killns", "ckpt_interval", "retry",  "elastic",
+    "ckpt_dir", "iofail", "torn",   "iocorrupt",
 };
 
 std::string keyList() {
@@ -142,6 +143,18 @@ FaultConfig parseFaultSpec(const std::string& spec) {
       double v = parseNumber(key, val);
       PARAD_CHECK(v == 0.0 || v == 1.0, "fault spec: elastic must be 0 or 1");
       cfg.elastic = v != 0.0;
+    } else if (key == "ckpt_dir") {
+      // The one string-valued key: a durable-checkpoint directory path.
+      // Comma is the spec separator, so paths containing one are not
+      // expressible — set FaultConfig::ckptDir directly for those.
+      PARAD_CHECK(!val.empty(), "fault spec: ckpt_dir needs a path");
+      cfg.ckptDir = val;
+    } else if (key == "iofail") {
+      cfg.ioFailRate = parseRate(key, val);
+    } else if (key == "torn") {
+      cfg.tornRate = parseRate(key, val);
+    } else if (key == "iocorrupt") {
+      cfg.ioCorruptRate = parseRate(key, val);
     } else {
       std::string near = nearestKey(key);
       fail("fault spec: unknown key '", key, "'",

@@ -40,15 +40,27 @@ struct FaultConfig {
   // shard to a survivor and continuing on n-1 ranks, instead of rolling the
   // whole machine back through a full restore. Requires ckpt_interval > 0.
   bool elastic = false;
+  // Durable checkpoints (DESIGN.md §16): with a directory set (and
+  // ckpt_interval > 0) every capture is also published through the
+  // io::DurableStore, and a fresh Machine seeds its recovery state from the
+  // newest valid on-disk epoch before the first attempt — restart-resume
+  // across process boundaries. The io* rates drive the store's seeded
+  // disk-fault injector (same determinism contract as the fabric faults).
+  std::string ckptDir;        // durable checkpoint directory ("" = off)
+  double ioFailRate = 0;      // P(a durable publish fails — ENOSPC model)
+  double tornRate = 0;        // P(a durable publish installs a torn file)
+  double ioCorruptRate = 0;   // P(a durable read observes a flipped bit)
 };
 
 /// Parses a comma-separated `key=value` fault spec, e.g.
 /// `seed=7,drop=0.2,dup=0.05,delay=0.3,delayns=1500,straggle=0.25,factor=3`.
 /// Keys: seed, drop, dup, delay, delayns, allocfail, straggle, factor, rto,
-/// maxretry, kill, killns, ckpt_interval, retry, elastic. An empty spec yields a
-/// disabled config; unknown keys or malformed values raise parad::Error with
-/// the offending token (unknown keys additionally name the nearest valid key
-/// so a typo like `drp=0.1` cannot silently run fault-free).
+/// maxretry, kill, killns, ckpt_interval, retry, elastic, ckpt_dir, iofail,
+/// torn, iocorrupt. An empty spec yields a disabled config; unknown keys or
+/// malformed values raise parad::Error with the offending token (unknown
+/// keys additionally name the nearest valid key so a typo like `drp=0.1`
+/// cannot silently run fault-free). `ckpt_dir` takes a path (no commas);
+/// everything else is numeric.
 FaultConfig parseFaultSpec(const std::string& spec);
 
 /// The seeded decision oracle. Stateless: safe to query from any rank in any

@@ -105,6 +105,11 @@ struct MachineConfig {
   /// cancel a batch whose deadline expires mid-run — the flag must outlive
   /// the run.
   const std::atomic<bool>* cancel = nullptr;
+  /// Durable checkpoint directory; overrides `faults.ckptDir` when set (the
+  /// programmatic spelling of the `ckpt_dir=` FaultPlan key — see
+  /// DESIGN.md §16). Takes effect only with checkpointing armed
+  /// (faults.enabled and ckpt_interval > 0).
+  std::string ckptDir;
 
   int totalCores() const { return sockets * coresPerSocket; }
   int socketOfCore(int core) const {
@@ -177,6 +182,17 @@ struct RunStats {
   std::uint64_t ranksKilled = 0;    // rank-crash events fired by the plan
   std::uint64_t ckptBytes = 0;      // payload bytes written by checkpoints
   std::uint64_t elasticMigrations = 0;  // shard migrations (elastic=1 kills)
+  // Durable-checkpoint bookkeeping (zero unless ckpt_dir is set). Resilience
+  // counters like the five above: rollbacks preserve them. A failed durable
+  // publish (real or injected iofail/torn) never fails the run — in-memory
+  // recovery is unaffected — it is only counted and remarked.
+  std::uint64_t durableWrites = 0;      // epoch publishes attempted
+  std::uint64_t durableWriteFails = 0;  // publishes that failed outright
+  std::uint64_t durableResumes = 0;     // runs seeded from an on-disk epoch
+  // Stamped by the serving layer (next to serveRetries below): transient
+  // retries that re-seated from the job's durable epoch instead of
+  // replaying from zero.
+  std::uint64_t serveWarmResumes = 0;
   // Static decision counts from the AD plan stage (core::PlanCounts), filled
   // by the bench harnesses so ablations can report *which* decisions flipped
   // alongside the dynamic costs above. Zero when no gradient was generated.

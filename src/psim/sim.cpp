@@ -29,11 +29,22 @@ double Machine::run(const Launch& launch,
   hostAlive_.assign(static_cast<std::size_t>(launch.ranks), 1);
   hostLoad_.assign(static_cast<std::size_t>(launch.ranks), 1);
   ckpt_.reset();
+  if (!cfg_.ckptDir.empty()) fc.ckptDir = cfg_.ckptDir;
   if (fc.enabled && fc.ckptInterval > 0) {
     ckpt_ = std::make_unique<CheckpointManager>(fc, cfg_.cost, mem_, stats_);
     // Run-start image: replay-from-zero restores this so a recovery attempt
     // re-executes against exactly the memory the original attempt saw.
     ckpt_->captureBaseImage(/*allocSeq=*/0);
+    if (!fc.ckptDir.empty()) {
+      // Durable mode: publish every capture, and seed recovery state from
+      // the newest valid on-disk epoch — a fresh Machine over the same
+      // directory resumes the interrupted run through the ordinary
+      // replay-and-seek path, bit-identically (DESIGN.md §16). The resume
+      // shift is excused from the virtual-time watchdog like any restore.
+      double resume = ckpt_->openDurable(launch.ranks);
+      if (resume >= 0)
+        watchdogSlackNs_ += resume - ckpt_->latest().releaseClock;
+    }
   }
 
   // Each loop iteration is one execution attempt; a recovered rank crash

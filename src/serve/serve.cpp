@@ -55,6 +55,7 @@ const char* const kServeKnobs[] = {
     "PARAD_SERVE_BREAKER_COOLDOWN_MS",
     "PARAD_SERVE_BURST",
     "PARAD_SERVE_CACHE_BYTES",
+    "PARAD_SERVE_CKPT_DIR",
     "PARAD_SERVE_DEADLINE_MS",
     "PARAD_SERVE_ENGINE",
     "PARAD_SERVE_INFLIGHT",
@@ -144,6 +145,8 @@ ServeConfig ServeConfig::fromEnv() {
   cfg.registryCapacityBytes = static_cast<std::size_t>(
       envDouble("PARAD_SERVE_CACHE_BYTES",
                 static_cast<double>(cfg.registryCapacityBytes)));
+  if (const char* e = std::getenv("PARAD_SERVE_CKPT_DIR"); e != nullptr && *e)
+    cfg.ckptDir = e;
   return cfg;
 }
 
@@ -233,7 +236,7 @@ struct GradientService::Impl {
       maxBatchObserved_{0}, isolatedRuns_{0}, batchFallbacks_{0},
       coldCompiles_{0};
   std::atomic<std::uint64_t> shedOverload_{0}, shedRate_{0}, shedInflight_{0},
-      deadlineExpired_{0}, retries_{0}, breakerOpens_{0},
+      deadlineExpired_{0}, retries_{0}, warmResumes_{0}, breakerOpens_{0},
       breakerShortCircuits_{0}, breakerProbes_{0}, programEvictions_{0};
   std::atomic<std::size_t> registryBytes_{0};
   std::atomic<std::uint64_t> nextId_{0};
@@ -579,6 +582,14 @@ struct GradientService::Impl {
       if (!req.faultSpec.empty()) {
         mc.faults = psim::parseFaultSpec(req.faultSpec);
         mc.faults.seed += static_cast<std::uint64_t>(attempt);
+        // Durable warm retries: give every checkpointing fault-injected job
+        // a per-job epoch directory (stable across attempts — the retry
+        // Machine re-seats from the epochs the failed attempt published). An
+        // explicit ckpt_dir= in the request's fault spec wins.
+        if (!svc_.cfg_.ckptDir.empty() && mc.faults.ckptInterval > 0 &&
+            mc.faults.ckptDir.empty())
+          mc.faults.ckptDir =
+              svc_.cfg_.ckptDir + "/job_" + std::to_string(req.id);
       }
       if (deadlineNs != 0) {
         cancel = armDeadline(deadlineNs);
@@ -640,16 +651,28 @@ struct GradientService::Impl {
                            std::uint64_t deadlineNs) {
     int budget = req.retryMax >= 0 ? req.retryMax : svc_.cfg_.retryMax;
     Response r;
+    std::uint64_t warm = 0;  // attempts re-seated from a durable epoch
     for (int attempt = 0;; ++attempt) {
       r = executeAttempt(p, req, engine, attempt, deadlineNs);
       r.retries = attempt;
-      if (r.ok || !isTransient(r) || attempt >= budget) return r;
+      warm += r.stats.durableResumes;
+      if (r.ok || !isTransient(r) || attempt >= budget) {
+        r.stats.serveWarmResumes = warm;
+        if (warm > 0)
+          warmResumes_.fetch_add(warm, std::memory_order_relaxed);
+        return r;
+      }
       double backoffUs =
           svc_.cfg_.retryBackoffUs * static_cast<double>(1ull << attempt);
       if (backoffUs > 0) {
         std::uint64_t wake =
             nowNs() + static_cast<std::uint64_t>(backoffUs * 1000.0);
-        if (deadlineNs != 0 && wake >= deadlineNs) return r;  // budget < time
+        if (deadlineNs != 0 && wake >= deadlineNs) {  // budget < time
+          r.stats.serveWarmResumes = warm;
+          if (warm > 0)
+            warmResumes_.fetch_add(warm, std::memory_order_relaxed);
+          return r;
+        }
         std::uint64_t nw = nowNs();
         if (wake > nw)
           std::this_thread::sleep_for(std::chrono::nanoseconds(wake - nw));
@@ -1149,6 +1172,7 @@ ServiceStats GradientService::stats() const {
   s.shedInflight = impl_->shedInflight_.load(std::memory_order_relaxed);
   s.deadlineExpired = impl_->deadlineExpired_.load(std::memory_order_relaxed);
   s.retries = impl_->retries_.load(std::memory_order_relaxed);
+  s.warmResumes = impl_->warmResumes_.load(std::memory_order_relaxed);
   s.breakerOpens = impl_->breakerOpens_.load(std::memory_order_relaxed);
   s.breakerShortCircuits =
       impl_->breakerShortCircuits_.load(std::memory_order_relaxed);

@@ -70,6 +70,12 @@ namespace parad::serve {
 ///   PARAD_SERVE_BREAKER       consecutive failures that open the breaker
 ///   PARAD_SERVE_BREAKER_COOLDOWN_MS  open -> half-open probe delay
 ///   PARAD_SERVE_CACHE_BYTES   prepared-program registry byte cap (0 = off)
+///   PARAD_SERVE_CKPT_DIR      durable-checkpoint directory for warm
+///                             retries ("" = off): fault-injected jobs that
+///                             checkpoint get a per-job subdirectory, and a
+///                             transient-failure retry re-seats from the
+///                             job's last durable epoch instead of
+///                             replaying from zero (DESIGN.md §16)
 /// fromEnv() validates strictly: malformed or negative values and unknown
 /// PARAD_SERVE_* names raise parad::Error (unknown names with a did-you-mean
 /// suggestion), so a typo cannot silently run with defaults.
@@ -94,6 +100,12 @@ struct ServeConfig {
   int breakerThreshold = 0;        // consecutive failures that open the breaker
   double breakerCooldownMs = 100;  // open -> half-open probe delay
   std::size_t registryCapacityBytes = 0;  // prepared tenant-program byte cap
+  // Durable warm retries (DESIGN.md §16): with a directory set, every
+  // checkpointing fault-injected job publishes its epochs under a per-job
+  // subdirectory, and each retry Machine re-seats from the newest valid
+  // epoch — bounded lost work instead of replay-from-zero, counted in
+  // RunStats::serveWarmResumes. Gradients stay bit-identical either way.
+  std::string ckptDir;             // "" = cold retries (replay from zero)
 
   /// Reads the PARAD_SERVE_* knobs over the built-in defaults.
   static ServeConfig fromEnv();
@@ -159,6 +171,7 @@ struct ServiceStats {
   std::uint64_t shedInflight = 0;     // rejected: tenant inflight cap
   std::uint64_t deadlineExpired = 0;  // jobs answered with a Deadline report
   std::uint64_t retries = 0;          // transient re-execution attempts
+  std::uint64_t warmResumes = 0;      // retries re-seated from durable epochs
   std::uint64_t breakerOpens = 0;     // circuit transitions closed -> open
   std::uint64_t breakerShortCircuits = 0;  // jobs rejected by an open circuit
   std::uint64_t breakerProbes = 0;    // half-open probe jobs admitted

@@ -1,0 +1,38 @@
+// Process-level test hygiene: every test binary gets its own private disk
+// artifact directories so `ctest -j` runs in parallel without any two
+// processes racing on shared per-user cache paths.
+//
+// Without this, two concurrent test processes share the default per-user
+// codegen cache directory: one process's CodegenSandbox teardown (or disk
+// sweep) can delete a .so the other is about to dlopen, turning a green run
+// flaky. The same applies to any suite that defaults a durable checkpoint
+// directory from the environment. Explicit settings always win — the guard
+// only fills in a unique fallback when the variable is unset.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tests/test_util.h"
+
+namespace parad::test {
+namespace {
+
+class UniqueArtifactDirs : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    if (std::getenv("PARAD_CODEGEN_DIR") == nullptr) {
+      dir_ = makeTempDir("parad_cg_env");
+      ::setenv("PARAD_CODEGEN_DIR", dir_.c_str(), /*overwrite=*/0);
+    }
+  }
+
+ private:
+  std::string dir_;  // leaked on purpose: lives as long as the process
+};
+
+const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new UniqueArtifactDirs);
+
+}  // namespace
+}  // namespace parad::test

@@ -166,6 +166,45 @@ TEST(Faults, ParseResilienceKeys) {
             std::string::npos);
 }
 
+TEST(Faults, ParseDurableKeys) {
+  psim::FaultConfig fc = psim::parseFaultSpec(
+      "seed=2,ckpt_interval=1,ckpt_dir=/tmp/parad_epochs,iofail=0.1,"
+      "torn=0.2,iocorrupt=0.3");
+  EXPECT_TRUE(fc.enabled);
+  EXPECT_EQ(fc.ckptDir, "/tmp/parad_epochs");
+  EXPECT_DOUBLE_EQ(fc.ioFailRate, 0.1);
+  EXPECT_DOUBLE_EQ(fc.tornRate, 0.2);
+  EXPECT_DOUBLE_EQ(fc.ioCorruptRate, 0.3);
+  EXPECT_TRUE(psim::parseFaultSpec("iofail=0").ckptDir.empty());
+
+  auto errOf = [](const std::string& spec) -> std::string {
+    try {
+      psim::parseFaultSpec(spec);
+    } catch (const parad::Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Rates are validated like every other probability knob.
+  EXPECT_NE(errOf("iofail=1.5").find("iofail"), std::string::npos);
+  EXPECT_NE(errOf("torn=-0.1").find("torn"), std::string::npos);
+  EXPECT_NE(errOf("iocorrupt=2").find("iocorrupt"), std::string::npos);
+  EXPECT_NE(errOf("ckpt_dir=").find("ckpt_dir"), std::string::npos);
+  // Typos get the same did-you-mean treatment as the original key set.
+  EXPECT_NE(errOf("iofial=0.1").find("did you mean 'iofail'?"),
+            std::string::npos);
+  EXPECT_NE(errOf("ckptdir=/x").find("did you mean 'ckpt_dir'?"),
+            std::string::npos);
+  EXPECT_NE(errOf("icorrupt=0.1").find("did you mean 'iocorrupt'?"),
+            std::string::npos);
+  EXPECT_NE(errOf("torm=0.1").find("did you mean 'torn'?"),
+            std::string::npos);
+  // The new keys appear in the full key list shown for far-off typos.
+  std::string far = errOf("zzzzzzzz=1");
+  EXPECT_NE(far.find("iofail"), std::string::npos) << far;
+  EXPECT_NE(far.find("ckpt_dir"), std::string::npos) << far;
+}
+
 TEST(Faults, KillScheduleIsDeterministicAndIncreasing) {
   psim::FaultConfig fc;
   fc.enabled = true;

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/gradient.h"
@@ -14,6 +16,19 @@
 #include "src/psim/sim.h"
 
 namespace parad::test {
+
+/// mkdtemp's a fresh private directory under the gtest temp root. Each call
+/// gets a unique path even across concurrently running test processes, so
+/// suites that write disk artifacts (codegen cache, durable checkpoints)
+/// never collide under `ctest -j`.
+inline std::string makeTempDir(const std::string& prefix) {
+  std::string tmpl = ::testing::TempDir() + prefix + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = ::mkdtemp(buf.data());
+  PARAD_CHECK(made != nullptr, "mkdtemp failed for ", tmpl);
+  return made;
+}
 
 /// Runs `fn` single-rank with the given scalar/pointer args already encoded
 /// as RtVals; returns the function result.
